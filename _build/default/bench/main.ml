@@ -1,0 +1,203 @@
+(* The benchmark harness.
+
+   Running with no arguments regenerates every table and figure of the
+   paper's evaluation (§7) on the simulator, then runs Bechamel
+   microbenchmarks of the hot data structures so the per-operation costs
+   backing the simulation are measured on this machine rather than
+   guessed.
+
+     dune exec bench/main.exe                  # everything, fast windows
+     dune exec bench/main.exe -- fig9 fig13    # a subset
+     dune exec bench/main.exe -- --full all    # longer measurement windows
+     dune exec bench/main.exe -- micro         # microbenchmarks only *)
+
+open Hovercraft_sim
+open Hovercraft_cluster
+module Rnode = Hovercraft_raft.Node
+module Rlog = Hovercraft_raft.Log
+module Rtypes = Hovercraft_raft.Types
+module K = Hovercraft_apps.Kvstore
+module R2p2 = Hovercraft_r2p2.R2p2
+module Jbsq = Hovercraft_r2p2.Jbsq
+module Core = Hovercraft_core
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+
+let bench_heap () =
+  let h = Heap.create () in
+  let rng = Rng.create 1 in
+  Bechamel.Staged.stage (fun () ->
+      for i = 0 to 63 do
+        Heap.push h ~key:(Rng.int rng 1_000_000) ~seq:i i
+      done;
+      for _ = 0 to 63 do
+        ignore (Heap.pop h)
+      done)
+
+let bench_engine_event () =
+  Bechamel.Staged.stage (fun () ->
+      let e = Engine.create () in
+      for i = 1 to 64 do
+        Engine.at e i ignore
+      done;
+      Engine.run e)
+
+let bench_rng () =
+  let rng = Rng.create 2 in
+  Bechamel.Staged.stage (fun () -> ignore (Rng.int rng 1000))
+
+let bench_log_append () =
+  Bechamel.Staged.stage (fun () ->
+      let log = Rlog.create () in
+      for _ = 1 to 64 do
+        ignore (Rlog.append log { Rtypes.term = 1; cmd = 0 })
+      done;
+      ignore (Rlog.slice log ~lo:1 ~hi:64))
+
+let bench_unordered () =
+  let clock = ref 0 in
+  let store =
+    Core.Unordered.create ~now:(fun () -> !clock) ~gc_unordered:1_000_000
+      ~gc_ordered:1_000_000 ()
+  in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      let rid =
+        { R2p2.id = !i; src_addr = Hovercraft_net.Addr.Client 0; src_port = 0 }
+      in
+      Core.Unordered.add store rid Hovercraft_apps.Op.Nop;
+      ignore (Core.Unordered.mark_ordered store rid);
+      Core.Unordered.remove store rid)
+
+let bench_jbsq_pick () =
+  let q = Jbsq.create Jbsq.Jbsq ~bound:64 ~n:9 ~rng:(Rng.create 3) in
+  Bechamel.Staged.stage (fun () ->
+      match Jbsq.pick q with
+      | Some i ->
+          Jbsq.assign q i;
+          Jbsq.complete q i
+      | None -> ())
+
+let bench_kv_scan =
+  let store = K.create () in
+  let () =
+    for i = 1 to 100 do
+      ignore
+        (K.execute store
+           (K.Insert { thread = "t"; record = [ ("f", string_of_int i) ] }))
+    done
+  in
+  fun () ->
+    Bechamel.Staged.stage (fun () ->
+        ignore (K.execute store (K.Scan { thread = "t"; limit = 10 })))
+
+let bench_kv_insert () =
+  let store = K.create () in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      ignore
+        (K.execute store
+           (K.Insert
+              {
+                thread = Printf.sprintf "t%d" (!i mod 64);
+                record = [ ("f", "0123456789abcdef") ];
+              })))
+
+let bench_raft_roundtrip () =
+  (* One command through a netless 3-node Raft: append, replicate, ack,
+     commit. Measures the pure consensus CPU cost per batch. *)
+  Bechamel.Staged.stage (fun () ->
+      let mk id =
+        Rnode.create
+          {
+            Rnode.id;
+            peers = Array.init 2 (fun i -> if i < id then i else i + 1);
+            batch_max = 64;
+            eager_commit_notify = false;
+          }
+          ~noop:(-1)
+      in
+      let nodes = Array.init 3 mk in
+      let bag = Queue.create () in
+      let feed i input =
+        List.iter
+          (function
+            | Rnode.Send (dst, msg) -> Queue.push (dst, msg) bag
+            | _ -> ())
+          (Rnode.handle nodes.(i) input)
+      in
+      feed 0 Rnode.Election_timeout;
+      for _ = 1 to 16 do
+        feed 0 (Rnode.Client_command 1)
+      done;
+      while not (Queue.is_empty bag) do
+        let dst, msg = Queue.pop bag in
+        feed dst (Rnode.Receive msg)
+      done)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"heap push+pop x64" (bench_heap ());
+        Test.make ~name:"engine 64 events" (bench_engine_event ());
+        Test.make ~name:"rng int" (bench_rng ());
+        Test.make ~name:"raft log append+slice x64" (bench_log_append ());
+        Test.make ~name:"unordered add/mark/remove" (bench_unordered ());
+        Test.make ~name:"jbsq pick/assign/complete (n=9)" (bench_jbsq_pick ());
+        Test.make ~name:"kv scan(10)" (bench_kv_scan ());
+        Test.make ~name:"kv insert" (bench_kv_insert ());
+        Test.make ~name:"raft 3-node commit x16 (netless)" (bench_raft_roundtrip ());
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n=== Microbenchmarks (per call, this machine) ===\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (v :: _) -> v | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-42s %10.1f ns\n" name ns)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quality =
+    if List.mem "--full" args then Experiment.Full else Experiment.Fast
+  in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let wanted_figures, want_micro =
+    match args with
+    | [] -> (Figures.names |> List.filter (fun n -> n <> "all"), true)
+    | [ "micro" ] -> ([], true)
+    | names ->
+        ( List.filter (fun n -> n <> "micro") names,
+          List.mem "micro" names )
+  in
+  List.iter
+    (fun name ->
+      match Figures.by_name name with
+      | Some run -> run ~quality ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " ("micro" :: Figures.names)))
+    wanted_figures;
+  if want_micro then microbenchmarks ()

@@ -1,0 +1,368 @@
+(* The hovercraft command-line tool.
+
+   Subcommands:
+     run       — drive one deployment at a fixed load and report latency,
+                 throughput and per-node statistics;
+     sweep     — latency-throughput curve over a list of offered loads;
+     slo       — find the max load sustaining a p99 SLO;
+     failover  — leader-kill timeline with flow control;
+     repro     — regenerate the paper's tables and figures by id;
+     mc        — model-check bounded Raft / HovercRaft++ instances. *)
+
+open Cmdliner
+open Hovercraft_sim
+open Hovercraft_core
+open Hovercraft_cluster
+module Service = Hovercraft_apps.Service
+module Ycsb = Hovercraft_apps.Ycsb
+module Jbsq = Hovercraft_r2p2.Jbsq
+
+(* --- shared arguments ------------------------------------------------ *)
+
+let mode_conv =
+  let parse s = Hnode.mode_of_string s |> Result.map_error (fun e -> `Msg e) in
+  let print fmt m = Hnode.pp_mode fmt m in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  let doc = "Deployment mode: unrep, vanilla, hover or hoverpp." in
+  Arg.(value & opt mode_conv Hnode.Hover_pp & info [ "m"; "mode" ] ~doc)
+
+let nodes_arg =
+  let doc = "Cluster size (ignored for unrep, which runs one node)." in
+  Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc)
+
+let rate_arg =
+  let doc = "Offered load in requests per second." in
+  Arg.(value & opt float 100_000. & info [ "r"; "rate" ] ~doc)
+
+let duration_arg =
+  let doc = "Measured duration in simulated milliseconds." in
+  Arg.(value & opt int 100 & info [ "d"; "duration-ms" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (simulations are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let service_us_arg =
+  let doc = "Mean service time of the synthetic workload, in microseconds." in
+  Arg.(value & opt float 1.0 & info [ "service-us" ] ~doc)
+
+let read_fraction_arg =
+  let doc = "Fraction of requests that are read-only." in
+  Arg.(value & opt float 0. & info [ "read-fraction" ] ~doc)
+
+let req_bytes_arg =
+  let doc = "Request payload size in bytes." in
+  Arg.(value & opt int 24 & info [ "req-bytes" ] ~doc)
+
+let rep_bytes_arg =
+  let doc = "Reply payload size in bytes." in
+  Arg.(value & opt int 8 & info [ "rep-bytes" ] ~doc)
+
+let bimodal_arg =
+  let doc = "Use the paper's bimodal service distribution (10% of requests 10x longer)." in
+  Arg.(value & flag & info [ "bimodal" ] ~doc)
+
+let ycsb_arg =
+  let doc = "Run YCSB-E on the Redis-like store instead of the synthetic service." in
+  Arg.(value & flag & info [ "ycsb" ] ~doc)
+
+let no_lb_arg =
+  let doc = "Disable reply/read-only load balancing (leader answers everything)." in
+  Arg.(value & flag & info [ "no-reply-lb" ] ~doc)
+
+let random_lb_arg =
+  let doc = "Use RANDOM replier selection instead of JBSQ." in
+  Arg.(value & flag & info [ "random-lb" ] ~doc)
+
+let bound_arg =
+  let doc = "Bounded-queue size B (max assigned-but-unapplied ops per node)." in
+  Arg.(value & opt int 128 & info [ "bound" ] ~doc)
+
+let flow_cap_arg =
+  let doc = "Enable the flow-control middlebox with this many in-flight requests." in
+  Arg.(value & opt (some int) None & info [ "flow-cap" ] ~doc)
+
+let make_params mode n no_lb random_lb bound flow_cap seed =
+  {
+    (Hnode.params ~mode ~n:(if mode = Hnode.Unreplicated then max n 1 else n) ())
+    with
+    reply_lb = not no_lb;
+    lb_policy = (if random_lb then Jbsq.Random_choice else Jbsq.Jbsq);
+    bound;
+    flow_control = flow_cap <> None;
+    seed;
+  }
+
+let make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
+    ~rep_bytes ~seed =
+  if ycsb then begin
+    let gen = Ycsb.create ~seed () in
+    ((fun _rng -> Ycsb.next gen), Ycsb.preload_ops gen 20_000)
+  end
+  else begin
+    let service =
+      if bimodal then
+        Dist.Bimodal
+          { mean = Timebase.of_us_f service_us; long_fraction = 0.1; ratio = 10. }
+      else Dist.Fixed (Timebase.of_us_f service_us)
+    in
+    let spec =
+      Service.spec ~service ~req_bytes ~rep_bytes ~read_fraction ()
+    in
+    (Service.sample spec, [])
+  end
+
+let print_report (r : Loadgen.report) =
+  Printf.printf "offered    : %.0f RPS\n" r.offered_rps;
+  Printf.printf "goodput    : %.0f RPS (%d completed / %d sent)\n" r.goodput_rps
+    r.completed r.sent;
+  Printf.printf "latency    : mean %.1f us, p50 %.1f us, p99 %.1f us, max %.1f us\n"
+    r.mean_us r.p50_us r.p99_us r.max_us;
+  Printf.printf "nacked     : %d, lost: %d\n" r.nacked r.lost
+
+let print_nodes (deploy : Deploy.t) =
+  Array.iter
+    (fun node ->
+      Printf.printf
+        "  node%d%s: applied=%d executed=%d replies=%d net-busy=%.1fms \
+         app-busy=%.1fms%s\n"
+        (Hnode.id node)
+        (if Hnode.is_leader node && Hnode.alive node then " (leader)" else "")
+        (Hnode.applied_index node) (Hnode.executed_ops node)
+        (Hnode.replies_sent node)
+        (float_of_int (Hnode.net_busy_time node) /. 1e6)
+        (float_of_int (Hnode.app_busy_time node) /. 1e6)
+        (if Hnode.alive node then "" else " DEAD"))
+    deploy.Deploy.nodes;
+  Printf.printf "replicas consistent: %b\n" (Deploy.consistent deploy)
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let action mode n rate duration_ms seed service_us read_fraction req_bytes
+      rep_bytes bimodal ycsb no_lb random_lb bound flow_cap =
+    let params = make_params mode n no_lb random_lb bound flow_cap seed in
+    let workload, preload =
+      make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
+        ~rep_bytes ~seed
+    in
+    let deploy = Deploy.create ?flow_cap params in
+    if preload <> [] then
+      Array.iter (fun nd -> Hnode.preload nd preload) deploy.Deploy.nodes;
+    let gen = Loadgen.create deploy ~clients:8 ~rate_rps:rate ~workload ~seed () in
+    let duration = Timebase.ms duration_ms in
+    let report = Loadgen.run gen ~warmup:(duration / 5) ~duration () in
+    Deploy.quiesce deploy ();
+    Format.printf "mode %a, %d node(s)@." Hnode.pp_mode mode params.Hnode.n;
+    print_report report;
+    print_nodes deploy
+  in
+  let term =
+    Term.(
+      const action $ mode_arg $ nodes_arg $ rate_arg $ duration_arg $ seed_arg
+      $ service_us_arg $ read_fraction_arg $ req_bytes_arg $ rep_bytes_arg
+      $ bimodal_arg $ ycsb_arg $ no_lb_arg $ random_lb_arg $ bound_arg
+      $ flow_cap_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Drive one deployment at a fixed load.") term
+
+(* --- sweep --------------------------------------------------------------- *)
+
+let rates_arg =
+  let doc = "Comma-separated offered loads in kRPS." in
+  Arg.(value & opt (list float) [ 100.; 300.; 500.; 700.; 900. ] & info [ "loads-krps" ] ~doc)
+
+let sweep_cmd =
+  let action mode n rates seed service_us read_fraction req_bytes rep_bytes
+      bimodal ycsb no_lb random_lb bound =
+    let params = make_params mode n no_lb random_lb bound None seed in
+    let workload, preload =
+      make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
+        ~rep_bytes ~seed
+    in
+    let setup = Experiment.setup ~preload ~seed params workload in
+    let rows =
+      List.map
+        (fun krps ->
+          let r = Experiment.run_point setup ~rate_rps:(krps *. 1000.) in
+          [
+            Table.fmt_krps r.Loadgen.offered_rps;
+            Table.fmt_krps r.Loadgen.goodput_rps;
+            Table.fmt_us r.Loadgen.p50_us;
+            Table.fmt_us r.Loadgen.p99_us;
+            string_of_int r.Loadgen.lost;
+          ])
+        rates
+    in
+    Table.print
+      ~header:[ "offered kRPS"; "goodput kRPS"; "p50 us"; "p99 us"; "lost" ]
+      rows
+  in
+  let term =
+    Term.(
+      const action $ mode_arg $ nodes_arg $ rates_arg $ seed_arg
+      $ service_us_arg $ read_fraction_arg $ req_bytes_arg $ rep_bytes_arg
+      $ bimodal_arg $ ycsb_arg $ no_lb_arg $ random_lb_arg $ bound_arg)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Latency-throughput curve over offered loads.") term
+
+(* --- slo ------------------------------------------------------------------ *)
+
+let slo_us_arg =
+  let doc = "Tail-latency SLO in microseconds (99th percentile)." in
+  Arg.(value & opt float 500. & info [ "slo-us" ] ~doc)
+
+let slo_cmd =
+  let action mode n seed service_us read_fraction req_bytes rep_bytes bimodal
+      ycsb no_lb random_lb bound slo_us =
+    let params = make_params mode n no_lb random_lb bound None seed in
+    let workload, preload =
+      make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
+        ~rep_bytes ~seed
+    in
+    let setup = Experiment.setup ~preload ~seed params workload in
+    let knee =
+      Experiment.max_under_slo ~slo:(Timebase.of_us_f slo_us) ~lo:2_000. setup
+    in
+    Format.printf "%a n=%d sustains %s kRPS under a %.0f us p99 SLO@."
+      Hnode.pp_mode mode params.Hnode.n (Table.fmt_krps knee) slo_us
+  in
+  let term =
+    Term.(
+      const action $ mode_arg $ nodes_arg $ seed_arg $ service_us_arg
+      $ read_fraction_arg $ req_bytes_arg $ rep_bytes_arg $ bimodal_arg
+      $ ycsb_arg $ no_lb_arg $ random_lb_arg $ bound_arg $ slo_us_arg)
+  in
+  Cmd.v (Cmd.info "slo" ~doc:"Max throughput under a tail-latency SLO.") term
+
+(* --- failover --------------------------------------------------------------- *)
+
+let failover_cmd =
+  let action n rate seed kill_ms duration_ms =
+    let spec =
+      Service.spec
+        ~service:(Dist.Bimodal { mean = Timebase.us 10; long_fraction = 0.1; ratio = 10. })
+        ~read_fraction:0.75 ()
+    in
+    let outcome =
+      Failure.run
+        ~params:
+          {
+            (Hnode.params ~mode:Hnode.Hover_pp ~n ()) with
+            bound = 32;
+            flow_control = true;
+            seed;
+          }
+        ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100)
+        ~duration:(Timebase.ms duration_ms) ~kill_after:(Timebase.ms kill_ms)
+        ~workload:(Service.sample spec) ~seed ()
+    in
+    let rows =
+      List.map
+        (fun (b : Failure.bucket) ->
+          [
+            Printf.sprintf "%.1f" b.t_s;
+            Printf.sprintf "%.1f" b.krps;
+            (match b.p99_us with Some v -> Table.fmt_us v | None -> "-");
+            string_of_int b.nacks;
+          ])
+        outcome.Failure.series
+    in
+    Table.print ~header:[ "t (s)"; "kRPS"; "p99 us"; "NACKs" ] rows;
+    Printf.printf
+      "killed node %s at %.1fs; new leader %s; NACKed %d; consistent %b\n"
+      (match outcome.Failure.killed_node with Some i -> string_of_int i | None -> "?")
+      outcome.Failure.killed_at_s
+      (match outcome.Failure.new_leader with Some i -> string_of_int i | None -> "?")
+      outcome.Failure.total_nacked outcome.Failure.consistent
+  in
+  let kill_ms =
+    Arg.(value & opt int 600 & info [ "kill-ms" ] ~doc:"When to kill the leader.")
+  in
+  let dur = Arg.(value & opt int 2000 & info [ "duration-ms" ] ~doc:"Run length.") in
+  let rate =
+    Arg.(value & opt float 165_000. & info [ "rate" ] ~doc:"Offered load in RPS.")
+  in
+  let term = Term.(const action $ nodes_arg $ rate $ seed_arg $ kill_ms $ dur) in
+  Cmd.v (Cmd.info "failover" ~doc:"Leader-kill timeline with flow control.") term
+
+(* --- mc ------------------------------------------------------------------------ *)
+
+let mc_cmd =
+  let action n aggregated max_term max_cmds max_messages no_dups no_drops
+      max_states =
+    let cfg =
+      {
+        Hovercraft_mc.Model.n;
+        aggregated;
+        max_term;
+        max_cmds;
+        max_messages;
+        allow_drops = not no_drops;
+        allow_duplication = not no_dups;
+      }
+    in
+    Format.printf "model-checking %s n=%d (term<=%d, cmds<=%d, msgs<=%d, drops=%b, dups=%b)@."
+      (if aggregated then "hovercraft++" else "raft")
+      n max_term max_cmds max_messages (not no_drops) (not no_dups);
+    Format.printf "%a@." Hovercraft_mc.Explore.pp_outcome
+      (Hovercraft_mc.Explore.run ~max_states cfg)
+  in
+  let agg = Arg.(value & flag & info [ "aggregated" ] ~doc:"Model HovercRaft++.") in
+  let max_term =
+    Arg.(value & opt int 2 & info [ "max-term" ] ~doc:"Election bound.")
+  in
+  let max_cmds =
+    Arg.(value & opt int 1 & info [ "max-cmds" ] ~doc:"Client command bound.")
+  in
+  let max_msgs =
+    Arg.(value & opt int 4 & info [ "max-messages" ] ~doc:"In-flight message cap.")
+  in
+  let no_dups = Arg.(value & flag & info [ "no-dups" ] ~doc:"Disable duplication.") in
+  let no_drops = Arg.(value & flag & info [ "no-drops" ] ~doc:"Disable drops.") in
+  let budget =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc:"State budget.")
+  in
+  let term =
+    Term.(
+      const action $ nodes_arg $ agg $ max_term $ max_cmds $ max_msgs $ no_dups
+      $ no_drops $ budget)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Model-check bounded Raft / HovercRaft++ instances (safety).")
+    term
+
+(* --- repro -------------------------------------------------------------------- *)
+
+let repro_cmd =
+  let action names full =
+    let quality = if full then Experiment.Full else Experiment.Fast in
+    let names = if names = [] then [ "all" ] else names in
+    List.iter
+      (fun name ->
+        match Figures.by_name name with
+        | Some run -> run ~quality ()
+        | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" name
+              (String.concat ", " Figures.names))
+      names
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+           ~doc:"table1, fig7..fig13, or all.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Longer measurement windows.")
+  in
+  let term = Term.(const action $ names $ full) in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Regenerate the paper's tables and figures.")
+    term
+
+let () =
+  let doc = "HovercRaft: scalable, fault-tolerant microsecond-scale RPC (simulated reproduction)" in
+  let info = Cmd.info "hovercraft" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; slo_cmd; failover_cmd; repro_cmd; mc_cmd ]))

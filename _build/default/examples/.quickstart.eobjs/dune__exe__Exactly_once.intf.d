@@ -1,0 +1,1 @@
+examples/exactly_once.mli:

@@ -1,0 +1,1 @@
+examples/fault_tolerant_kv.ml: Deploy Engine Format Hnode Hovercraft_apps Hovercraft_cluster Hovercraft_core Hovercraft_sim List Loadgen Printf Rng Series Timebase

@@ -1,0 +1,1 @@
+examples/fault_tolerant_kv.mli:

@@ -1,0 +1,1 @@
+examples/lost_multicast_recovery.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Deploy Format Hnode Hovercraft_apps Hovercraft_cluster Hovercraft_core Hovercraft_sim Loadgen Printf

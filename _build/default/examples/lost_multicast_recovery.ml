@@ -1,0 +1,40 @@
+(* What happens when the multicast loses request bodies.
+
+   HovercRaft does not assume reliable multicast: a follower that sees
+   ordering metadata for a body it never received fetches it with a
+   recovery_request (§5). This example injects 5% receive loss on every
+   node and shows the recovery machinery keeping all replicas consistent,
+   with a visible (but bounded) latency cost.
+
+   Run with: dune exec examples/lost_multicast_recovery.exe *)
+
+open Hovercraft_core
+open Hovercraft_cluster
+module Tb = Hovercraft_sim.Timebase
+module Service = Hovercraft_apps.Service
+
+let run label loss =
+  let params =
+    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with loss_prob = loss }
+  in
+  let deploy = Deploy.create params in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:20_000.
+      ~workload:(Service.sample (Service.spec ()))
+      ~seed:5 ()
+  in
+  let report = Loadgen.run gen ~warmup:(Tb.ms 5) ~duration:(Tb.ms 80) () in
+  Deploy.quiesce deploy ~extra:(Tb.ms 50) ();
+  let recoveries =
+    Array.fold_left (fun acc n -> acc + Hnode.recoveries_sent n) 0 deploy.Deploy.nodes
+  in
+  Format.printf
+    "%s: completed %d/%d, p99 %.1f us, recovery requests %d, consistent %b@."
+    label report.Loadgen.completed report.Loadgen.sent report.Loadgen.p99_us
+    recoveries
+    (Deploy.consistent deploy)
+
+let () =
+  run "loss 0%" 0.0;
+  run "loss 1%" 0.01;
+  run "loss 5%" 0.05

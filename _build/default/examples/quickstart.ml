@@ -1,0 +1,57 @@
+(* Quickstart: turn a key-value service into a fault-tolerant one.
+
+   Builds a 3-node HovercRaft++ cluster on the simulated fabric, drives a
+   small read/write workload through the R2P2 multicast path, and shows
+   that (a) clients get answers at microsecond latencies, (b) every replica
+   converged to the same state, and (c) nobody had to change the
+   application: the same Kvstore runs unreplicated or replicated.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Hovercraft_core
+open Hovercraft_cluster
+module Tb = Hovercraft_sim.Timebase
+module Op = Hovercraft_apps.Op
+module K = Hovercraft_apps.Kvstore
+
+let () =
+  (* 1. A cluster: 3 nodes, HovercRaft++ (aggregator included), reply load
+     balancing on. Node 0 is bootstrapped as the initial leader. *)
+  let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let deploy = Deploy.create params in
+  Format.printf "cluster up: %d nodes, mode %a, leader node%d@."
+    (Array.length deploy.Deploy.nodes)
+    Hnode.pp_mode params.Hnode.mode
+    (match Deploy.leader deploy with Some l -> Hnode.id l | None -> -1);
+
+  (* 2. A workload: clients alternate writes and reads over a few keys.
+     Read-only requests are tagged REPLICATED_REQ_R and execute on a single
+     replica; writes execute everywhere. *)
+  let counter = ref 0 in
+  let workload _rng =
+    incr counter;
+    let key = Printf.sprintf "user:%d" (!counter mod 10) in
+    if !counter mod 4 = 0 then Op.Kv (K.Get key)
+    else Op.Kv (K.Put (key, Printf.sprintf "v%d" !counter))
+  in
+
+  (* 3. Open-loop clients at 50 kRPS for 20 simulated milliseconds. *)
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:50_000. ~workload ~seed:1 ()
+  in
+  let report = Loadgen.run gen ~warmup:(Tb.ms 2) ~duration:(Tb.ms 20) () in
+  Deploy.quiesce deploy ();
+
+  Format.printf "sent %d, completed %d, lost %d@." report.Loadgen.sent
+    report.Loadgen.completed report.Loadgen.lost;
+  Format.printf "latency: p50 %.1f us, p99 %.1f us@." report.Loadgen.p50_us
+    report.Loadgen.p99_us;
+
+  (* 4. Every replica holds the same state. *)
+  Array.iter
+    (fun node ->
+      Format.printf "  node%d: applied %d entries, fingerprint %08x@."
+        (Hnode.id node) (Hnode.applied_index node)
+        (Hnode.app_fingerprint node land 0xFFFFFFFF))
+    deploy.Deploy.nodes;
+  Format.printf "replicas consistent: %b@." (Deploy.consistent deploy)

@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: Array Hashtbl List String

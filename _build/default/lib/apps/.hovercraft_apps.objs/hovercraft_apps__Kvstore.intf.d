@@ -1,0 +1,1 @@
+lib/apps/kvstore.mli: Hovercraft_sim

@@ -1,0 +1,1 @@
+lib/apps/op.ml: Format Hashtbl Hovercraft_sim Kvstore Timebase

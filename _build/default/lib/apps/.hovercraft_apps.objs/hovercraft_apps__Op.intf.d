@@ -1,0 +1,1 @@
+lib/apps/op.mli: Format Hovercraft_sim Kvstore Timebase

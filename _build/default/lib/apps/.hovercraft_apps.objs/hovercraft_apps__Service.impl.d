@@ -1,0 +1,1 @@
+lib/apps/service.ml: Dist Format Hovercraft_sim Op Rng Timebase

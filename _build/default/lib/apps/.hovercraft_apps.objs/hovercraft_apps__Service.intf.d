@@ -1,0 +1,1 @@
+lib/apps/service.mli: Dist Format Hovercraft_sim Op Rng

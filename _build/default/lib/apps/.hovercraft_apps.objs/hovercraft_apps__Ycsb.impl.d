@@ -1,0 +1,1 @@
+lib/apps/ycsb.ml: Char Hovercraft_sim Kvstore List Op Printf String Zipf

@@ -1,0 +1,1 @@
+lib/apps/zipf.ml: Float Hovercraft_sim

@@ -1,0 +1,1 @@
+lib/apps/zipf.mli: Hovercraft_sim

@@ -1,0 +1,78 @@
+(** An in-memory data-structure store in the spirit of Redis.
+
+    Supports strings, lists, hashes and sets, plus a user-defined module in
+    the sense of Redis modules (§7.5): the [Insert]/[Scan] commands
+    implement YCSB-E's threaded-conversation operations as single isolated
+    store operations, exactly as the paper's custom Redis module does.
+
+    Execution is deterministic (a requirement for state-machine
+    replication): identical command sequences yield identical stores, which
+    the test suite checks by hashing replicas. *)
+
+type t
+
+type record = (string * string) list
+(** A YCSB record: field name -> 100-byte value, 10 fields = 1 kB. *)
+
+type cmd =
+  | Nop  (** Leader-election no-op; applied but has no effect. *)
+  | Get of string
+  | Put of string * string
+  | Del of string
+  | Lpush of string * string  (** Prepend to a list. *)
+  | Rpush of string * string  (** Append to a list. *)
+  | Lrange of string * int * int
+      (** [Lrange (k, start, stop)], inclusive 0-based bounds like Redis. *)
+  | Llen of string
+  | Hset of string * string * string
+  | Hget of string * string
+  | Hgetall of string
+  | Sadd of string * string
+  | Srem of string * string
+  | Sismember of string * string
+  | Scard of string
+  | Insert of { thread : string; record : record }
+      (** YCSB-E INSERT: post a record to a conversation thread. *)
+  | Scan of { thread : string; limit : int }
+      (** YCSB-E SCAN: read the [limit] most recent posts of a thread. *)
+
+type reply =
+  | Ok
+  | Value of string option
+  | Values of string list
+  | Records of record list
+  | Count of int
+  | Wrong_type  (** Command applied to a key holding another type. *)
+
+val create : unit -> t
+
+val execute : t -> cmd -> reply
+(** Apply one command. Total: never raises on user input. *)
+
+val is_read_only : cmd -> bool
+(** Whether the command leaves the store unchanged; read-only commands may
+    be load-balanced to a single replica (§3.5). *)
+
+val keys : t -> int
+(** Number of live keys (threads count as one key each). *)
+
+val fingerprint : t -> int
+(** Order-insensitive digest of the full store contents. Two replicas that
+    applied the same command sequence have equal fingerprints; used by the
+    replication safety tests. *)
+
+(** {1 Sizing and cost model}
+
+    Request/reply wire sizes and CPU costs for the simulator. The cost
+    constants are calibrated so that YCSB-E's operation mix averages to the
+    paper's observed unreplicated capacity (~35 kRPS, §7.5). *)
+
+val cmd_bytes : cmd -> int
+(** Serialized request size in bytes. *)
+
+val reply_bytes : reply -> int
+(** Serialized reply size in bytes. *)
+
+val cost_ns : cmd -> reply -> Hovercraft_sim.Timebase.t
+(** CPU time to execute the command (depends on the work actually done,
+    e.g. records returned by a scan). *)

@@ -1,0 +1,73 @@
+open Hovercraft_sim
+
+type t =
+  | Nop
+  | Synth of {
+      cost : Timebase.t;
+      read_only : bool;
+      req_bytes : int;
+      rep_bytes : int;
+    }
+  | Kv of Kvstore.cmd
+
+type result = Done | Kv_reply of Kvstore.reply
+
+type state = {
+  kv : Kvstore.t;
+  mutable applied : int;
+  mutable rw_ops : int;
+  mutable synth_digest : int;
+}
+
+let create_state () =
+  { kv = Kvstore.create (); applied = 0; rw_ops = 0; synth_digest = 0 }
+
+let apply state op =
+  state.applied <- state.applied + 1;
+  match op with
+  | Nop -> (Done, 100)
+  | Synth { cost; read_only; _ } ->
+      (* Writes perturb a digest so replica divergence is detectable even
+         for the synthetic service. The digest folds in the write ordinal
+         (not the execution counter — read-only executions are per-replica,
+         §3.5). *)
+      if not read_only then begin
+        state.rw_ops <- state.rw_ops + 1;
+        state.synth_digest <- (state.synth_digest * 31) + state.rw_ops
+      end;
+      (Done, cost)
+  | Kv cmd ->
+      let reply = Kvstore.execute state.kv cmd in
+      (Kv_reply reply, Kvstore.cost_ns cmd reply)
+
+let read_only = function
+  | Nop -> true
+  | Synth { read_only; _ } -> read_only
+  | Kv cmd -> Kvstore.is_read_only cmd
+
+let request_bytes = function
+  | Nop -> 8
+  | Synth { req_bytes; _ } -> req_bytes
+  | Kv cmd -> Kvstore.cmd_bytes cmd
+
+let reply_bytes op result =
+  match (op, result) with
+  | Synth { rep_bytes; _ }, _ -> rep_bytes
+  | _, Kv_reply r -> Kvstore.reply_bytes r
+  | (Nop | Kv _), Done -> 8
+
+let executed state = state.applied
+
+(* Deliberately excludes the execution counter: read-only operations run on
+   a single replica (§3.5), so replicas agree on state, not on how many
+   operations they executed. *)
+let fingerprint state =
+  Hashtbl.hash (state.synth_digest, Kvstore.fingerprint state.kv)
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Synth { cost; read_only; req_bytes; rep_bytes } ->
+      Format.fprintf fmt "synth(cost=%a,%s,req=%dB,rep=%dB)" Timebase.pp cost
+        (if read_only then "ro" else "rw")
+        req_bytes rep_bytes
+  | Kv _ -> Format.pp_print_string fmt "kv"

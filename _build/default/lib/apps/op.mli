@@ -1,0 +1,42 @@
+(** The replicated operation type: what the SMR layer orders and applies.
+
+    The paper's point is that fault-tolerance is provided at the RPC layer
+    for {e any} deterministic service; this module is the closed union of
+    the services the evaluation runs — the configurable synthetic service
+    of §7.1–§7.4 and the Redis-like store of §7.5. *)
+
+open Hovercraft_sim
+
+type t =
+  | Nop  (** Internal no-op (leader's term-opening entry). *)
+  | Synth of {
+      cost : Timebase.t;  (** CPU time to execute. *)
+      read_only : bool;
+      req_bytes : int;  (** Client request payload size. *)
+      rep_bytes : int;  (** Reply payload size. *)
+    }
+  | Kv of Kvstore.cmd
+
+type result = Done | Kv_reply of Kvstore.reply
+
+type state
+(** One replica's application state. *)
+
+val create_state : unit -> state
+
+val apply : state -> t -> result * Timebase.t
+(** Execute the operation against the state, returning the result and the
+    CPU time the execution costs. Deterministic. *)
+
+val read_only : t -> bool
+val request_bytes : t -> int
+val reply_bytes : t -> result -> int
+
+val executed : state -> int
+(** Number of operations applied to this replica so far. *)
+
+val fingerprint : state -> int
+(** Digest covering both the op count and the store contents; replicas that
+    applied the same sequence agree. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+open Hovercraft_sim
+
+type spec = {
+  service : Dist.t;
+  req_bytes : int;
+  rep_bytes : int;
+  read_fraction : float;
+}
+
+let spec ?(service = Dist.Fixed (Timebase.us 1)) ?(req_bytes = 24)
+    ?(rep_bytes = 8) ?(read_fraction = 0.) () =
+  if read_fraction < 0. || read_fraction > 1. then
+    invalid_arg "Service.spec: read_fraction outside [0,1]";
+  { service; req_bytes; rep_bytes; read_fraction }
+
+let sample t rng =
+  let cost = Dist.sample t.service rng in
+  let read_only = t.read_fraction > 0. && Rng.bool rng t.read_fraction in
+  Op.Synth { cost; read_only; req_bytes = t.req_bytes; rep_bytes = t.rep_bytes }
+
+let pp_spec fmt t =
+  Format.fprintf fmt "synth{S=%a, req=%dB, rep=%dB, ro=%.0f%%}" Dist.pp
+    t.service t.req_bytes t.rep_bytes (100. *. t.read_fraction)

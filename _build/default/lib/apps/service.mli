@@ -1,0 +1,27 @@
+(** The synthetic service of §7: configurable CPU service time, request and
+    reply sizes, and read-only fraction. Used by every microbenchmark to
+    exercise one bottleneck at a time. *)
+
+open Hovercraft_sim
+
+type spec = {
+  service : Dist.t;  (** CPU execution time distribution. *)
+  req_bytes : int;
+  rep_bytes : int;
+  read_fraction : float;  (** Probability a request is read-only. *)
+}
+
+val spec :
+  ?service:Dist.t ->
+  ?req_bytes:int ->
+  ?rep_bytes:int ->
+  ?read_fraction:float ->
+  unit ->
+  spec
+(** Defaults are the paper's baseline microbenchmark: S = 1 µs fixed,
+    24-byte requests, 8-byte replies, no read-only operations. *)
+
+val sample : spec -> Rng.t -> Op.t
+(** Draw one operation. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,94 @@
+type spec = {
+  threads : int;
+  scan_fraction : float;
+  max_scan : int;
+  fields : int;
+  field_bytes : int;
+  theta : float;
+}
+
+let workload_e =
+  {
+    threads = 1000;
+    scan_fraction = 0.95;
+    max_scan = 10;
+    fields = 10;
+    field_bytes = 100;
+    theta = 0.99;
+  }
+
+type t = { spec : spec; rng : Hovercraft_sim.Rng.t; zipf : Zipf.t; mutable seq : int }
+
+let create ?(spec = workload_e) ~seed () =
+  {
+    spec;
+    rng = Hovercraft_sim.Rng.create seed;
+    zipf = Zipf.create ~theta:spec.theta ~n:spec.threads ();
+    seq = 0;
+  }
+
+let thread_key t = Printf.sprintf "thread%05d" (Zipf.sample t.zipf t.rng)
+
+let make_record t =
+  t.seq <- t.seq + 1;
+  let base = t.seq in
+  List.init t.spec.fields (fun i ->
+      ( Printf.sprintf "field%d" i,
+        (* Deterministic per-record content: replicas must agree. *)
+        String.init t.spec.field_bytes (fun j ->
+            Char.chr (97 + ((base + i + j) mod 26))) ))
+
+let insert t = Op.Kv (Kvstore.Insert { thread = thread_key t; record = make_record t })
+
+let scan t =
+  Op.Kv (Kvstore.Scan { thread = thread_key t; limit = t.spec.max_scan })
+
+let preload_ops t n = List.init n (fun _ -> insert t)
+
+let next t =
+  if Hovercraft_sim.Rng.bool t.rng t.spec.scan_fraction then scan t else insert t
+
+let spec_of t = t.spec
+
+module Kv = struct
+  type nonrec t = {
+    read_fraction : float;
+    records : int;
+    rng : Hovercraft_sim.Rng.t;
+    zipf : Zipf.t;
+    mutable seq : int;
+  }
+
+  let create ~read_fraction ?(records = 10_000) ?(theta = 0.99) ~seed () =
+    if read_fraction < 0. || read_fraction > 1. then
+      invalid_arg "Ycsb.Kv.create: read_fraction outside [0,1]";
+    {
+      read_fraction;
+      records;
+      rng = Hovercraft_sim.Rng.create seed;
+      zipf = Zipf.create ~theta ~n:records ();
+      seq = 0;
+    }
+
+  let key t = Printf.sprintf "user%08d" (Zipf.sample t.zipf t.rng)
+
+  (* A 1 kB record value, deterministic per sequence number so replicas
+     agree on replayed streams. *)
+  let value t =
+    t.seq <- t.seq + 1;
+    let base = t.seq in
+    String.init 1000 (fun j -> Char.chr (97 + ((base + j) mod 26)))
+
+  let preload_ops t =
+    List.init t.records (fun i ->
+        Op.Kv (Kvstore.Put (Printf.sprintf "user%08d" i, value t)))
+
+  let next t =
+    if Hovercraft_sim.Rng.bool t.rng t.read_fraction then
+      Op.Kv (Kvstore.Get (key t))
+    else Op.Kv (Kvstore.Put (key t, value t))
+
+  let workload_a ~seed = create ~read_fraction:0.5 ~seed ()
+  let workload_b ~seed = create ~read_fraction:0.95 ~seed ()
+  let workload_c ~seed = create ~read_fraction:1.0 ~seed ()
+end

@@ -1,0 +1,1 @@
+lib/cluster/ablations.ml: Deploy Dist Experiment Hnode Hovercraft_apps Hovercraft_core Hovercraft_r2p2 Hovercraft_sim List Loadgen Printf Table Timebase

@@ -1,0 +1,1 @@
+lib/cluster/ablations.mli: Experiment

@@ -1,0 +1,1 @@
+lib/cluster/deploy.ml: Aggregator Array Engine Flow_control Hnode Hovercraft_core Hovercraft_net Hovercraft_sim List Option Protocol Router Seq Timebase

@@ -1,0 +1,1 @@
+lib/cluster/deploy.mli: Aggregator Engine Flow_control Hnode Hovercraft_core Hovercraft_net Hovercraft_sim Protocol Router Timebase

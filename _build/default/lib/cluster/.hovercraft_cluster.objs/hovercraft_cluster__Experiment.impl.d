@@ -1,0 +1,1 @@
+lib/cluster/experiment.ml: Array Deploy Float Hnode Hovercraft_apps Hovercraft_core Hovercraft_sim List Loadgen Rng Timebase

@@ -1,0 +1,1 @@
+lib/cluster/experiment.mli: Hnode Hovercraft_apps Hovercraft_core Hovercraft_sim Loadgen Rng Timebase

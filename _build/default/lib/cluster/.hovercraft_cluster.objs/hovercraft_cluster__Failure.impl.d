@@ -1,0 +1,1 @@
+lib/cluster/failure.ml: Deploy Engine Hnode Hovercraft_core Hovercraft_sim List Loadgen Option Series Timebase

@@ -1,0 +1,1 @@
+lib/cluster/failure.mli: Hnode Hovercraft_apps Hovercraft_core Hovercraft_sim Rng Timebase

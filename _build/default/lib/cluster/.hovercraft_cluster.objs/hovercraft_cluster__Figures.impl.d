@@ -1,0 +1,1 @@
+lib/cluster/figures.ml: Ablations Deploy Dist Engine Experiment Failure Hnode Hovercraft_apps Hovercraft_core Hovercraft_net Hovercraft_r2p2 Hovercraft_sim List Loadgen Option Printf Table Timebase

@@ -1,0 +1,1 @@
+lib/cluster/loadgen.ml: Array Deploy Engine Hashtbl Hovercraft_apps Hovercraft_core Hovercraft_net Hovercraft_r2p2 Hovercraft_sim Protocol R2p2 Rng Stats Timebase

@@ -1,0 +1,1 @@
+lib/cluster/loadgen.mli: Deploy Hovercraft_apps Hovercraft_net Hovercraft_sim Rng Stats Timebase

@@ -1,0 +1,1 @@
+lib/cluster/table.ml: List Option Printf String

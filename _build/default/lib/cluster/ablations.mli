@@ -1,0 +1,32 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    These are not paper figures; they isolate the contribution of single
+    mechanisms on top of the same workloads the evaluation uses:
+
+    - {!bound_sweep}: the bounded-queue size B trades tail latency
+      (smaller B = tighter scheduling) against lost replies on failure
+      (at most B per dead node, §3.4);
+    - {!batch_sweep}: append_entries batching is what keeps consensus off
+      the critical path at 1 MRPS — batch 1 collapses the knee;
+    - {!commit_hint}: plain HovercRaft's eager commit broadcast vs waiting
+      for the next append_entries, visible as follower-replier latency at
+      low load;
+    - {!heartbeat_sweep}: the heartbeat period bounds both retransmission
+      delay and (with commit hints off) reply latency. *)
+
+val bound_sweep : ?quality:Experiment.quality -> unit -> unit
+val batch_sweep : ?quality:Experiment.quality -> unit -> unit
+val commit_hint : ?quality:Experiment.quality -> unit -> unit
+val heartbeat_sweep : ?quality:Experiment.quality -> unit -> unit
+
+val read_leases : ?quality:Experiment.quality -> unit -> unit
+(** Leader leases vs HovercRaft's load-balanced ordered reads (§3.5). *)
+
+val ycsb_mixes : ?quality:Experiment.quality -> unit -> unit
+(** YCSB A/B/C: how the read/write mix bounds HovercRaft's scaling. *)
+
+val unrestricted_reads : ?quality:Experiment.quality -> unit -> unit
+(** Ordered reads vs router-balanced unrestricted (possibly stale)
+    reads (§6.1). *)
+
+val all : ?quality:Experiment.quality -> unit -> unit

@@ -1,0 +1,97 @@
+open Hovercraft_sim
+open Hovercraft_core
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+
+type t = {
+  engine : Engine.t;
+  fabric : Protocol.payload Fabric.t;
+  nodes : Hnode.t array;
+  aggregator : Aggregator.t option;
+  flow : Flow_control.t option;
+  router : Router.t option;
+  params : Hnode.params;
+}
+
+let followers_group = 1
+
+let leader t =
+  Array.to_seq t.nodes
+  |> Seq.filter (fun n -> Hnode.alive n && Hnode.is_leader n)
+  |> fun s -> Seq.uncons s |> Option.map fst
+
+let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
+    ?(switch_gbps = 100.) (params : Hnode.params) =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~latency:fabric_latency () in
+  let nodes =
+    Array.init params.Hnode.n (fun id -> Hnode.create engine fabric params ~id)
+  in
+  let aggregator =
+    match params.Hnode.mode with
+    | Hnode.Hover_pp ->
+        Some
+          (Aggregator.create engine fabric ~n:params.Hnode.n
+             ~cluster_group:Addr.cluster_group ~followers_group
+             ~rate_gbps:switch_gbps)
+    | Hnode.Unreplicated | Hnode.Vanilla | Hnode.Hover -> None
+  in
+  let flow =
+    match flow_cap with
+    | Some cap ->
+        Some
+          (Flow_control.create engine fabric ~cap ~group:Addr.cluster_group
+             ~rate_gbps:switch_gbps)
+    | None -> None
+  in
+  let router =
+    match router_bound with
+    | Some bound ->
+        Some
+          (Router.create engine fabric ~n:params.Hnode.n ~bound
+             ~rate_gbps:switch_gbps ())
+    | None -> None
+  in
+  let t = { engine; fabric; nodes; aggregator; flow; router; params } in
+  (match params.Hnode.mode with
+  | Hnode.Unreplicated -> ()
+  | Hnode.Vanilla | Hnode.Hover | Hnode.Hover_pp ->
+      Hnode.bootstrap nodes.(0);
+      (* Let leadership (and the aggregator probe) settle. *)
+      Engine.run ~until:(Engine.now engine + Timebase.ms 5) engine);
+  t
+
+let client_target t =
+  match (t.params.Hnode.mode, t.flow) with
+  | (Hnode.Unreplicated | Hnode.Vanilla), _ -> (
+      match leader t with
+      | Some n -> Addr.Node (Hnode.id n)
+      | None -> Addr.Node 0)
+  | (Hnode.Hover | Hnode.Hover_pp), Some _ -> Addr.Middlebox
+  | (Hnode.Hover | Hnode.Hover_pp), None -> Addr.Group Addr.cluster_group
+
+let total_replies t =
+  Array.fold_left (fun acc n -> acc + Hnode.replies_sent n) 0 t.nodes
+
+let total_executed t =
+  Array.fold_left (fun acc n -> acc + Hnode.executed_ops n) 0 t.nodes
+
+let consistent t =
+  let live = Array.to_list t.nodes |> List.filter Hnode.alive in
+  match live with
+  | [] -> true
+  | first :: rest ->
+      let f = Hnode.app_fingerprint first in
+      List.for_all (fun n -> Hnode.app_fingerprint n = f) rest
+
+let quiesce t ?(extra = Timebase.ms 20) () =
+  Engine.run ~until:(Engine.now t.engine + extra) t.engine
+
+let kill_node t i = Hnode.kill t.nodes.(i)
+
+let kill_leader t =
+  match leader t with
+  | Some n ->
+      Hnode.kill n;
+      Some (Hnode.id n)
+  | None -> None

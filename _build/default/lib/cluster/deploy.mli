@@ -1,0 +1,56 @@
+(** Builds a complete simulated deployment: the fabric, the cluster nodes
+    in one of the four modes, and (as required by the mode) the in-network
+    aggregator and the flow-control middlebox. *)
+
+open Hovercraft_sim
+open Hovercraft_core
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+
+type t = {
+  engine : Engine.t;
+  fabric : Protocol.payload Fabric.t;
+  nodes : Hnode.t array;
+  aggregator : Aggregator.t option;  (** Present in HovercRaft++ mode. *)
+  flow : Flow_control.t option;  (** Present when [flow_cap] was given. *)
+  router : Router.t option;  (** Present when [router_bound] was given. *)
+  params : Hnode.params;
+}
+
+val followers_group : int
+(** Multicast group id the aggregator manages (all nodes minus leader). *)
+
+val create :
+  ?fabric_latency:Timebase.t ->
+  ?flow_cap:int ->
+  ?router_bound:int ->
+  ?switch_gbps:float ->
+  Hnode.params ->
+  t
+(** Build the deployment. Node 0 is bootstrapped as the initial leader and
+    the engine is advanced (a few simulated ms) until leadership and — for
+    HovercRaft++ — the aggregator handshake are established, so callers
+    start from a quiesced cluster at a well-defined simulated time. *)
+
+val leader : t -> Hnode.t option
+(** The current leader among live nodes, if any. *)
+
+val client_target : t -> Addr.t
+(** Where clients address their requests in this deployment: the leader
+    for unreplicated/VanillaRaft, the flow-control middlebox when present,
+    the cluster multicast group otherwise. *)
+
+val total_replies : t -> int
+val total_executed : t -> int
+
+val consistent : t -> bool
+(** All live replicas' application fingerprints agree (replicas may lag;
+    this drains nothing — call after quiescing). *)
+
+val quiesce : t -> ?extra:Timebase.t -> unit -> unit
+(** Run the engine forward with no client load so in-flight replication
+    and application drain. *)
+
+val kill_node : t -> int -> unit
+val kill_leader : t -> int option
+(** Kill the current leader; returns its id. *)

@@ -1,0 +1,74 @@
+open Hovercraft_sim
+open Hovercraft_core
+
+type workload = Rng.t -> Hovercraft_apps.Op.t
+
+type setup = {
+  params : Hnode.params;
+  workload : workload;
+  preload : Hovercraft_apps.Op.t list;
+  clients : int;
+  flow_cap : int option;
+  seed : int;
+}
+
+let setup ?(clients = 8) ?flow_cap ?(preload = []) ?(seed = 1) params workload =
+  { params; workload; preload; clients; flow_cap; seed }
+
+type quality = Fast | Full
+
+(* Window sizing: long enough for a stable p99 (>= ~4k samples) but bounded
+   so SLO searches stay cheap. *)
+let window ~quality ~rate_rps =
+  let min_samples, cap_s =
+    match quality with Fast -> (4_000., 0.25) | Full -> (20_000., 1.0)
+  in
+  let needed_s = min_samples /. rate_rps in
+  let dur_s = Float.min cap_s (Float.max 0.03 needed_s) in
+  let dur = int_of_float (dur_s *. 1e9) in
+  let warm = dur / 5 in
+  (warm, dur + warm)
+
+let run_point ?(quality = Fast) s ~rate_rps =
+  let deploy = Deploy.create ?flow_cap:s.flow_cap s.params in
+  if s.preload <> [] then
+    Array.iter (fun n -> Hnode.preload n s.preload) deploy.Deploy.nodes;
+  let gen =
+    Loadgen.create deploy ~clients:s.clients ~rate_rps ~workload:s.workload
+      ~seed:(s.seed + 7)
+      ()
+  in
+  let warmup, duration = window ~quality ~rate_rps in
+  Loadgen.run gen ~warmup ~duration ()
+
+let latency_curve ?quality s ~rates =
+  List.map (fun r -> (r, run_point ?quality s ~rate_rps:r)) rates
+
+let meets_slo ~slo (r : Loadgen.report) =
+  r.completed > 0
+  && r.p99_us <= Timebase.to_us_f slo
+  && r.goodput_rps >= 0.97 *. r.offered_rps
+  && r.lost = 0
+
+let max_under_slo ?(quality = Fast) ?(slo = Timebase.us 500) ?(lo = 5_000.)
+    ?(hi = 2_000_000.) s =
+  let ok rate = meets_slo ~slo (run_point ~quality s ~rate_rps:rate) in
+  if not (ok lo) then 0.
+  else begin
+    (* Geometric bracketing, then bisection to ~2%. *)
+    let rec bracket good =
+      let candidate = good *. 1.6 in
+      if candidate >= hi then (good, hi)
+      else if ok candidate then bracket candidate
+      else (good, candidate)
+    in
+    let good, bad = bracket lo in
+    let rec bisect good bad iters =
+      if iters = 0 || (bad -. good) /. good < 0.02 then good
+      else begin
+        let mid = (good +. bad) /. 2. in
+        if ok mid then bisect mid bad (iters - 1) else bisect good mid (iters - 1)
+      end
+    in
+    if good >= hi then hi else bisect good bad 8
+  end

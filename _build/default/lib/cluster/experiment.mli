@@ -1,0 +1,50 @@
+(** Experiment drivers: single load points, latency-throughput curves, and
+    the max-throughput-under-SLO search used throughout §7. *)
+
+open Hovercraft_sim
+open Hovercraft_core
+
+type workload = Rng.t -> Hovercraft_apps.Op.t
+
+type setup = {
+  params : Hnode.params;
+  workload : workload;
+  preload : Hovercraft_apps.Op.t list;  (** Applied to every replica first. *)
+  clients : int;
+  flow_cap : int option;
+  seed : int;
+}
+
+val setup :
+  ?clients:int ->
+  ?flow_cap:int ->
+  ?preload:Hovercraft_apps.Op.t list ->
+  ?seed:int ->
+  Hnode.params ->
+  workload ->
+  setup
+
+(** Simulated measurement sizing. [Fast] keeps curves cheap to regenerate;
+    [Full] runs longer windows for smoother tails. *)
+type quality = Fast | Full
+
+val run_point :
+  ?quality:quality -> setup -> rate_rps:float -> Loadgen.report
+(** Build a fresh deployment, apply preload, drive [rate_rps] through it
+    and report. Deterministic for a given setup/rate/quality. *)
+
+val latency_curve :
+  ?quality:quality -> setup -> rates:float list -> (float * Loadgen.report) list
+(** One [run_point] per offered rate. *)
+
+val max_under_slo :
+  ?quality:quality ->
+  ?slo:Timebase.t ->
+  ?lo:float ->
+  ?hi:float ->
+  setup ->
+  float
+(** Maximum offered load (RPS) whose p99 stays within [slo] (default
+    500 µs) and that the system actually sustains (goodput within 3% of
+    offered, no losses). Geometric bracketing followed by bisection;
+    search range [lo, hi] in RPS. *)

@@ -1,0 +1,69 @@
+open Hovercraft_sim
+open Hovercraft_core
+
+type bucket = {
+  t_s : float;
+  krps : float;
+  p99_us : float option;
+  nacks : int;
+}
+
+type outcome = {
+  series : bucket list;
+  killed_at_s : float;
+  killed_node : int option;
+  new_leader : int option;
+  total_nacked : int;
+  consistent : bool;
+}
+
+let run ?params ?(rate_rps = 165_000.) ?(flow_cap = 1000)
+    ?(bucket = Timebase.ms 100) ?(duration = Timebase.s 2)
+    ?(kill_after = Timebase.ms 600) ~workload ~seed () =
+  let params =
+    match params with Some p -> p | None -> Hnode.params ~mode:Hnode.Hover_pp ()
+  in
+  let deploy = Deploy.create ~flow_cap params in
+  let engine = deploy.Deploy.engine in
+  let t0 = Engine.now engine in
+  let completions = Series.create ~bucket () in
+  let nacks = Series.create ~bucket () in
+  let gen =
+    Loadgen.create deploy ~clients:8 ~rate_rps ~workload
+      ~on_reply:(fun ~sent_at:_ ~latency ->
+        Series.add completions ~at:(Engine.now engine - t0) latency)
+      ~on_nack:(fun ~at -> Series.mark nacks ~at:(at - t0))
+      ~seed ()
+  in
+  let killed = ref None in
+  Engine.after engine kill_after (fun () -> killed := Deploy.kill_leader deploy);
+  let report = Loadgen.run gen ~warmup:0 ~duration () in
+  Deploy.quiesce deploy ();
+  let nack_counts =
+    List.fold_left
+      (fun acc (b : Series.bucket) -> (b.start, b.count) :: acc)
+      []
+      (Series.buckets nacks)
+  in
+  let series =
+    List.map
+      (fun (b : Series.bucket) ->
+        {
+          t_s = Timebase.to_s_f b.start;
+          krps = float_of_int b.count /. Timebase.to_s_f bucket /. 1e3;
+          p99_us = Option.map Timebase.to_us_f b.p99;
+          nacks = (try List.assoc b.start nack_counts with Not_found -> 0);
+        })
+      (Series.buckets completions)
+  in
+  {
+    series;
+    killed_at_s = Timebase.to_s_f kill_after;
+    killed_node = !killed;
+    new_leader =
+      (match Deploy.leader deploy with
+      | Some n -> Some (Hnode.id n)
+      | None -> None);
+    total_nacked = report.Loadgen.nacked;
+    consistent = Deploy.consistent deploy;
+  }

@@ -1,0 +1,34 @@
+(** The failure-timeline experiment (Fig. 12): fixed offered load on a
+    HovercRaft++ cluster with flow control, leader killed mid-run, per-
+    bucket throughput / p99 / NACK series out. *)
+
+open Hovercraft_sim
+open Hovercraft_core
+
+type bucket = {
+  t_s : float;  (** Bucket start, seconds from measurement start. *)
+  krps : float;  (** Completed replies per second in the bucket. *)
+  p99_us : float option;
+  nacks : int;
+}
+
+type outcome = {
+  series : bucket list;
+  killed_at_s : float;
+  killed_node : int option;
+  new_leader : int option;
+  total_nacked : int;
+  consistent : bool;  (** Surviving replicas agree after drain. *)
+}
+
+val run :
+  ?params:Hnode.params ->
+  ?rate_rps:float ->
+  ?flow_cap:int ->
+  ?bucket:Timebase.t ->
+  ?duration:Timebase.t ->
+  ?kill_after:Timebase.t ->
+  workload:(Rng.t -> Hovercraft_apps.Op.t) ->
+  seed:int ->
+  unit ->
+  outcome

@@ -1,0 +1,209 @@
+open Hovercraft_sim
+open Hovercraft_r2p2
+open Hovercraft_core
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+module Op = Hovercraft_apps.Op
+
+module Rid_tbl = Hashtbl.Make (struct
+  type t = R2p2.req_id
+
+  let equal = R2p2.req_id_equal
+  let hash = R2p2.req_id_hash
+end)
+
+type endpoint = {
+  port : Protocol.payload Fabric.port;
+  ids : R2p2.Id_source.t;
+}
+
+type report = {
+  offered_rps : float;
+  sent : int;
+  completed : int;
+  nacked : int;
+  lost : int;
+  goodput_rps : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+type t = {
+  deploy : Deploy.t;
+  engine : Engine.t;
+  mutable endpoints : endpoint array;
+  rate_rps : float;
+  workload : Rng.t -> Op.t;
+  target : Addr.t option;
+  unrestricted_reads : bool;
+  retry : (Timebase.t * int) option;
+  on_reply : (sent_at:Timebase.t -> latency:Timebase.t -> unit) option;
+  on_nack : (at:Timebase.t -> unit) option;
+  rng : Rng.t;
+  outstanding : Timebase.t Rid_tbl.t;
+  stats : Stats.t;
+  mutable measure_from : Timebase.t;
+  mutable measure_to : Timebase.t;
+  mutable sent : int;
+  mutable completed : int;
+  mutable nacked : int;
+  mutable retried : int;
+  mutable next_endpoint : int;
+}
+
+let client_link_gbps = 10.
+
+let on_packet t (pkt : Protocol.payload Fabric.packet) =
+  let now = Engine.now t.engine in
+  match pkt.payload with
+  | Protocol.Response { rid } -> (
+      match Rid_tbl.find_opt t.outstanding rid with
+      | Some sent_at ->
+          Rid_tbl.remove t.outstanding rid;
+          let latency = now - sent_at in
+          if sent_at >= t.measure_from && now <= t.measure_to then begin
+            t.completed <- t.completed + 1;
+            Stats.add t.stats latency;
+            match t.on_reply with
+            | Some f -> f ~sent_at ~latency
+            | None -> ()
+          end
+      | None -> () (* duplicate or out-of-window reply *))
+  | Protocol.Nack { rid } ->
+      if Rid_tbl.mem t.outstanding rid then begin
+        Rid_tbl.remove t.outstanding rid;
+        if Engine.now t.engine >= t.measure_from then begin
+          t.nacked <- t.nacked + 1;
+          match t.on_nack with Some f -> f ~at:now | None -> ()
+        end
+      end
+  | Protocol.Request _ | Protocol.Raft _ | Protocol.Recovery_request _
+  | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
+  | Protocol.Agg_commit _ | Protocol.Feedback _ ->
+      ()
+
+let create deploy ~clients ~rate_rps ~workload ?target
+    ?(unrestricted_reads = false) ?retry ?on_reply ?on_nack ~seed () =
+  if clients <= 0 then invalid_arg "Loadgen.create: need at least one client";
+  if rate_rps <= 0. then invalid_arg "Loadgen.create: rate must be positive";
+  let engine = deploy.Deploy.engine in
+  let t =
+    {
+      deploy;
+      engine;
+      endpoints = [||];
+      rate_rps;
+      workload;
+      target;
+      unrestricted_reads;
+      retry;
+      on_reply;
+      on_nack;
+      rng = Rng.create seed;
+      outstanding = Rid_tbl.create 4096;
+      stats = Stats.create ();
+      measure_from = max_int;
+      measure_to = max_int;
+      sent = 0;
+      completed = 0;
+      nacked = 0;
+      retried = 0;
+      next_endpoint = 0;
+    }
+  in
+  t.endpoints <-
+    Array.init clients (fun i ->
+        let addr = Addr.Client i in
+        {
+          port =
+            Fabric.attach deploy.Deploy.fabric ~addr ~rate_gbps:client_link_gbps
+              ~handler:(on_packet t);
+          ids = R2p2.Id_source.create ~src_addr:addr ~src_port:(1000 + i);
+        });
+  t
+
+let transmit t ep rid op =
+  let unrestricted = t.unrestricted_reads && Op.read_only op in
+  let policy =
+    if unrestricted then R2p2.Unrestricted
+    else if Op.read_only op then R2p2.Replicated_req_r
+    else R2p2.Replicated_req
+  in
+  let payload = Protocol.Request { rid; policy; op } in
+  let bytes = Protocol.payload_bytes ~with_bodies:false payload in
+  let dst =
+    if unrestricted then Addr.Router
+    else
+      match t.target with Some a -> a | None -> Deploy.client_target t.deploy
+  in
+  Fabric.send t.deploy.Deploy.fabric ep.port ~dst ~bytes payload
+
+(* Retransmit with the same request id until answered or out of
+   attempts. *)
+let rec arm_retry t ep rid op attempts_left =
+  match t.retry with
+  | None -> ()
+  | Some (timeout, _) ->
+      Engine.after t.engine timeout (fun () ->
+          if Rid_tbl.mem t.outstanding rid && attempts_left > 0 then begin
+            t.retried <- t.retried + 1;
+            transmit t ep rid op;
+            arm_retry t ep rid op (attempts_left - 1)
+          end)
+
+let send_one t =
+  let ep = t.endpoints.(t.next_endpoint) in
+  t.next_endpoint <- (t.next_endpoint + 1) mod Array.length t.endpoints;
+  let op = t.workload t.rng in
+  let rid = R2p2.Id_source.next ep.ids in
+  Rid_tbl.replace t.outstanding rid (Engine.now t.engine);
+  t.sent <- t.sent + 1;
+  transmit t ep rid op;
+  match t.retry with
+  | Some (_, attempts) -> arm_retry t ep rid op attempts
+  | None -> ()
+
+let interarrival t =
+  let u = 1.0 -. Rng.float t.rng in
+  let gap_ns = -.log u *. 1e9 /. t.rate_rps in
+  max 1 (int_of_float gap_ns)
+
+let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
+  let start = Engine.now t.engine in
+  let stop_at = start + duration in
+  t.measure_from <- start + warmup;
+  t.measure_to <- stop_at;
+  let rec arrival () =
+    if Engine.now t.engine < stop_at then begin
+      send_one t;
+      Engine.after t.engine (interarrival t) arrival
+    end
+  in
+  Engine.after t.engine (interarrival t) arrival;
+  Engine.run ~until:(stop_at + drain) t.engine;
+  (* Anything still outstanding that was sent inside the measurement window
+     never got an answer. *)
+  let lost = ref 0 in
+  Rid_tbl.iter
+    (fun _ sent_at ->
+      if sent_at >= t.measure_from && sent_at <= t.measure_to then incr lost)
+    t.outstanding;
+  let window_s = Timebase.to_s_f (t.measure_to - t.measure_from) in
+  let pct p = if Stats.count t.stats = 0 then 0. else Timebase.to_us_f (Stats.percentile t.stats p) in
+  {
+    offered_rps = t.rate_rps;
+    sent = t.sent;
+    completed = t.completed;
+    nacked = t.nacked;
+    lost = !lost;
+    goodput_rps = (if window_s > 0. then float_of_int t.completed /. window_s else 0.);
+    mean_us = Stats.mean t.stats /. 1e3;
+    p50_us = pct 0.5;
+    p99_us = pct 0.99;
+    max_us = Timebase.to_us_f (Stats.max_sample t.stats);
+  }
+
+let stats t = t.stats
+let retried t = t.retried

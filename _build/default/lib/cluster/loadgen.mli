@@ -1,0 +1,58 @@
+(** The Lancet-equivalent load generator (§7).
+
+    Open-loop Poisson arrivals over a pool of client endpoints; latency is
+    measured on the client from request transmission to reply reception on
+    the simulated clock (the analogue of Lancet's hardware timestamping).
+    Samples inside the warmup window are discarded. *)
+
+open Hovercraft_sim
+module Addr = Hovercraft_net.Addr
+
+type t
+
+type report = {
+  offered_rps : float;
+  sent : int;
+  completed : int;  (** Replies received inside the measurement window. *)
+  nacked : int;  (** Flow-control rejections. *)
+  lost : int;  (** Requests never answered (measured at drain). *)
+  goodput_rps : float;  (** Completed / measurement window. *)
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+val create :
+  Deploy.t ->
+  clients:int ->
+  rate_rps:float ->
+  workload:(Rng.t -> Hovercraft_apps.Op.t) ->
+  ?target:Addr.t ->
+  ?unrestricted_reads:bool ->
+  ?retry:Timebase.t * int ->
+  ?on_reply:(sent_at:Timebase.t -> latency:Timebase.t -> unit) ->
+  ?on_nack:(at:Timebase.t -> unit) ->
+  seed:int ->
+  unit ->
+  t
+(** Attach [clients] endpoints to the deployment's fabric. [target]
+    defaults to {!Deploy.client_target} evaluated per request (so vanilla
+    clients follow a leader change). With [unrestricted_reads], read-only
+    operations are tagged [Unrestricted] and sent to the request router
+    (they bypass consensus entirely and may observe stale data, §6.1).
+    [retry = (timeout, attempts)] enables
+    RPC retransmission with the {e same} request id — the server side's
+    completion records turn the combination into exactly-once semantics.
+    The optional callbacks observe every measured completion/NACK (used by
+    the failure-timeline experiment). *)
+
+val retried : t -> int
+(** Retransmissions performed (0 without [retry]). *)
+
+val run :
+  t -> warmup:Timebase.t -> duration:Timebase.t -> ?drain:Timebase.t -> unit -> report
+(** Generate load for [duration] (measuring after [warmup]), then stop
+    arrivals and let the system drain before counting losses. *)
+
+val stats : t -> Stats.t

@@ -1,0 +1,34 @@
+let rtrim s =
+  let n = String.length s in
+  let rec go i = if i > 0 && s.[i - 1] = ' ' then go (i - 1) else i in
+  String.sub s 0 (go n)
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let line row =
+    List.mapi
+      (fun c w -> pad (Option.value ~default:"" (List.nth_opt row c)) w)
+      widths
+    |> String.concat "  " |> rtrim
+  in
+  let sep = List.map (fun w -> String.make w '-') widths |> String.concat "  " in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let print ~header rows = print_string (render ~header rows)
+
+let fmt_krps rps =
+  let k = rps /. 1e3 in
+  if k >= 100. then Printf.sprintf "%.0f" k else Printf.sprintf "%.1f" k
+
+let fmt_us us = Printf.sprintf "%.1f" us

@@ -1,0 +1,11 @@
+(** Plain-text table rendering for experiment output. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned table with a separator under the header. *)
+
+val print : header:string list -> string list list -> unit
+
+val fmt_krps : float -> string
+(** Render an RPS value as kRPS with sensible precision. *)
+
+val fmt_us : float -> string

@@ -1,0 +1,1 @@
+lib/core/aggregator.ml: Array Hovercraft_net Hovercraft_raft Option Protocol

@@ -1,0 +1,1 @@
+lib/core/aggregator.mli: Engine Hovercraft_net Hovercraft_sim Protocol

@@ -1,0 +1,1 @@
+lib/core/flow_control.ml: Hovercraft_net Option Protocol

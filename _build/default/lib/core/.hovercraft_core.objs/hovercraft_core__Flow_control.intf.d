@@ -1,0 +1,1 @@
+lib/core/flow_control.mli: Engine Hovercraft_net Hovercraft_sim Protocol

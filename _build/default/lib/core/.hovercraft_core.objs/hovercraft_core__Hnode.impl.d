@@ -1,0 +1,1 @@
+lib/core/hnode.ml: Array Engine Format Hashtbl Hovercraft_apps Hovercraft_net Hovercraft_r2p2 Hovercraft_raft Hovercraft_sim Jbsq List Option Printf Protocol Queue R2p2 Replier Rng Timebase Unordered

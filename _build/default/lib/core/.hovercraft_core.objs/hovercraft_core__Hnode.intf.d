@@ -1,0 +1,1 @@
+lib/core/hnode.mli: Engine Format Hovercraft_apps Hovercraft_net Hovercraft_r2p2 Hovercraft_raft Hovercraft_sim Jbsq Protocol Timebase

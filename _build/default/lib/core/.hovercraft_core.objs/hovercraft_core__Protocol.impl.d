@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Hashtbl Hovercraft_apps Hovercraft_net Hovercraft_r2p2 Hovercraft_raft R2p2

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Hovercraft_apps Hovercraft_r2p2 Hovercraft_raft R2p2

@@ -1,0 +1,1 @@
+lib/core/replier.ml: Array Hovercraft_r2p2 Hovercraft_sim Jbsq Queue Rng

@@ -1,0 +1,1 @@
+lib/core/replier.mli: Hovercraft_r2p2 Hovercraft_sim Jbsq Rng

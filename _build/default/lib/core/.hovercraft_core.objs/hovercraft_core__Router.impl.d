@@ -1,0 +1,1 @@
+lib/core/router.ml: Hashtbl Hovercraft_net Hovercraft_r2p2 Hovercraft_sim Jbsq Protocol R2p2 Rng

@@ -1,0 +1,1 @@
+lib/core/router.mli: Engine Hovercraft_net Hovercraft_sim Protocol

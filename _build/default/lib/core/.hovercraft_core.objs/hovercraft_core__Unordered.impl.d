@@ -1,0 +1,1 @@
+lib/core/unordered.ml: Hashtbl Hovercraft_apps Hovercraft_r2p2 Hovercraft_sim List R2p2 Timebase

@@ -1,0 +1,1 @@
+lib/core/unordered.mli: Hovercraft_apps Hovercraft_r2p2 Hovercraft_sim R2p2 Timebase

@@ -1,0 +1,147 @@
+module Fabric = Hovercraft_net.Fabric
+module Addr = Hovercraft_net.Addr
+module Rtypes = Hovercraft_raft.Types
+
+type t = {
+  fabric : Protocol.payload Fabric.t;
+  mutable port : Protocol.payload Fabric.port option;
+  n : int;
+  cluster_group : int;
+  followers_group : int;
+  match_reg : int array;
+  completed_reg : int array;
+  mutable term : int;
+  mutable leader : int;
+  mutable leader_last : int;
+  mutable commit : int;
+  mutable pending : bool;
+  mutable down : bool;
+  mutable forwarded : int;
+  mutable commits_sent : int;
+}
+
+let quorum t = (t.n / 2) + 1
+
+let flush t ~term ~leader =
+  Array.fill t.match_reg 0 t.n 0;
+  Array.fill t.completed_reg 0 t.n 0;
+  t.term <- term;
+  t.leader_last <- 0;
+  t.commit <- 0;
+  t.pending <- false;
+  if leader <> t.leader then begin
+    (* Rebuild the follower fan-out group around the new leader. *)
+    for i = 0 to t.n - 1 do
+      if i = leader then Fabric.leave t.fabric ~group:t.followers_group (Addr.Node i)
+      else Fabric.join t.fabric ~group:t.followers_group (Addr.Node i)
+    done;
+    t.leader <- leader
+  end
+
+let transmit t ~dst payload =
+  let port = Option.get t.port in
+  Fabric.send t.fabric port ~dst
+    ~bytes:(Protocol.payload_bytes ~with_bodies:false payload)
+    payload
+
+let send_agg_commit t =
+  t.commits_sent <- t.commits_sent + 1;
+  transmit t ~dst:(Addr.Group t.cluster_group)
+    (Protocol.Agg_commit
+       { term = t.term; commit = t.commit; applied = Array.copy t.completed_reg })
+
+(* Largest index acknowledged by enough followers that, together with the
+   leader, a quorum holds it. *)
+let quorum_match t =
+  let sorted = Array.copy t.match_reg in
+  sorted.(t.leader) <- min_int;
+  Array.sort compare sorted;
+  let needed = quorum t - 1 in
+  (* The needed-th largest follower match (1-based from the top). *)
+  if needed = 0 then t.leader_last else sorted.(t.n - needed)
+
+let on_append_entries t ~term ~leader ~end_idx pkt_payload =
+  if term > t.term then flush t ~term ~leader;
+  if term = t.term then begin
+    if leader <> t.leader then flush t ~term ~leader;
+    if end_idx <= t.leader_last then t.pending <- true
+    else t.leader_last <- end_idx;
+    t.forwarded <- t.forwarded + 1;
+    transmit t ~dst:(Addr.Group t.followers_group) pkt_payload
+  end
+
+let on_append_ack t ~term ~from ~match_idx ~applied_idx =
+  if term = t.term && from >= 0 && from < t.n then begin
+    t.match_reg.(from) <- max t.match_reg.(from) match_idx;
+    t.completed_reg.(from) <- max t.completed_reg.(from) applied_idx;
+    let candidate = min (quorum_match t) t.leader_last in
+    if candidate > t.commit then begin
+      t.commit <- candidate;
+      t.pending <- false;
+      send_agg_commit t
+    end
+    else if t.pending then begin
+      t.pending <- false;
+      send_agg_commit t
+    end
+  end
+
+let handle t (pkt : Protocol.payload Fabric.packet) =
+  if not t.down then
+    match pkt.payload with
+    | Protocol.Raft (Rtypes.Append_entries { term; leader; prev_idx; entries; _ }) ->
+        on_append_entries t ~term ~leader
+          ~end_idx:(prev_idx + Array.length entries)
+          pkt.payload
+    | Protocol.Raft
+        (Rtypes.Append_ack { term; from; success; match_idx; applied_idx; _ })
+      ->
+        (* Failure replies go point-to-point to the leader (§5); only
+           successes reach the dataplane registers. *)
+        if success then on_append_ack t ~term ~from ~match_idx ~applied_idx
+    | Protocol.Probe { term; leader } ->
+        if term > t.term then flush t ~term ~leader;
+        if term = t.term then
+          transmit t ~dst:(Addr.Node leader) (Protocol.Probe_reply { term })
+    | Protocol.Raft
+        (Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _ | Rtypes.Agg_ack _)
+    | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
+    | Protocol.Recovery_response _ | Protocol.Probe_reply _
+    | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Nack _ ->
+        ()
+
+let create engine fabric ~n ~cluster_group ~followers_group ~rate_gbps =
+  ignore engine;
+  if n <= 0 then invalid_arg "Aggregator.create: n must be positive";
+  let t =
+    {
+      fabric;
+      port = None;
+      n;
+      cluster_group;
+      followers_group;
+      match_reg = Array.make n 0;
+      completed_reg = Array.make n 0;
+      term = 0;
+      leader = -1;
+      leader_last = 0;
+      commit = 0;
+      pending = false;
+      down = false;
+      forwarded = 0;
+      commits_sent = 0;
+    }
+  in
+  let port = Fabric.attach fabric ~addr:Addr.Netagg ~rate_gbps ~handler:(handle t) in
+  t.port <- Some port;
+  t
+
+let set_down t flag =
+  t.down <- flag;
+  match t.port with Some p -> Fabric.set_down p flag | None -> ()
+
+let term t = t.term
+let commit t = t.commit
+let match_of t i = t.match_reg.(i)
+let forwarded t = t.forwarded
+let commits_sent t = t.commits_sent

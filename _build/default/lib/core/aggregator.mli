@@ -1,0 +1,44 @@
+(** The in-network append_entries aggregator of HovercRaft++ (§4, §6.4).
+
+    Modelled after the paper's Tofino P4 program: per-follower match and
+    completed-count registers, the current term, the leader's last log
+    index, and the pending flag. The aggregator is soft state — it flushes
+    whenever it sees a higher term — and it is semantically part of the
+    leader: it fans an append_entries out to the followers, counts
+    acknowledgements in the dataplane, and multicasts a single AGG_COMMIT
+    (commit index + per-node completed counts) to the whole group once a
+    quorum is reached. The leader therefore sends and receives O(1)
+    messages per batch regardless of cluster size (Table 1).
+
+    Being an ASIC dataplane, it charges no CPU time; only its port's
+    serialization and the fabric latency apply. *)
+
+open Hovercraft_sim
+
+type t
+
+val create :
+  Engine.t ->
+  Protocol.payload Hovercraft_net.Fabric.t ->
+  n:int ->
+  cluster_group:int ->
+  followers_group:int ->
+  rate_gbps:float ->
+  t
+(** [n] cluster nodes with addresses [Node 0 .. Node (n-1)].
+    [followers_group] is managed by the aggregator itself (members = all
+    nodes minus the current leader); [cluster_group] must contain all
+    nodes and is used for AGG_COMMIT. *)
+
+val set_down : t -> bool -> unit
+(** Fail / revive the device (drops everything while down). *)
+
+val term : t -> int
+val commit : t -> int
+val match_of : t -> int -> int
+
+val forwarded : t -> int
+(** append_entries fanned out so far. *)
+
+val commits_sent : t -> int
+(** AGG_COMMIT messages multicast so far. *)

@@ -1,0 +1,51 @@
+module Fabric = Hovercraft_net.Fabric
+module Addr = Hovercraft_net.Addr
+
+type t = {
+  fabric : Protocol.payload Fabric.t;
+  mutable port : Protocol.payload Fabric.port option;
+  cap : int;
+  group : int;
+  mutable inflight : int;
+  mutable admitted : int;
+  mutable nacked : int;
+}
+
+let handle t (pkt : Protocol.payload Fabric.packet) =
+  let port = Option.get t.port in
+  match pkt.payload with
+  | Protocol.Request { rid; _ } ->
+      if t.inflight < t.cap then begin
+        t.inflight <- t.inflight + 1;
+        t.admitted <- t.admitted + 1;
+        (* Destination rewrite: same payload, multicast delivery. *)
+        Fabric.send t.fabric port ~dst:(Addr.Group t.group) ~bytes:pkt.bytes
+          pkt.payload
+      end
+      else begin
+        t.nacked <- t.nacked + 1;
+        Fabric.send t.fabric port ~dst:pkt.src
+          ~bytes:(Protocol.payload_bytes ~with_bodies:false (Protocol.Nack { rid }))
+          (Protocol.Nack { rid })
+      end
+  | Protocol.Feedback _ -> if t.inflight > 0 then t.inflight <- t.inflight - 1
+  | Protocol.Response _ | Protocol.Raft _ | Protocol.Recovery_request _
+  | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
+  | Protocol.Agg_commit _ | Protocol.Nack _ ->
+      ()
+
+let create engine fabric ~cap ~group ~rate_gbps =
+  ignore engine;
+  if cap <= 0 then invalid_arg "Flow_control.create: cap must be positive";
+  let t =
+    { fabric; port = None; cap; group; inflight = 0; admitted = 0; nacked = 0 }
+  in
+  let port =
+    Fabric.attach fabric ~addr:Addr.Middlebox ~rate_gbps ~handler:(handle t)
+  in
+  t.port <- Some port;
+  t
+
+let inflight t = t.inflight
+let admitted t = t.admitted
+let nacked t = t.nacked

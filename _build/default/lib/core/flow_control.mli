@@ -1,0 +1,31 @@
+(** The flow-control middlebox (§6.3).
+
+    Multicast has no implicit back-pressure: under overload, leader and
+    followers would drop different requests and the recovery path would
+    thrash. The paper fronts the multicast group with a programmable
+    middlebox that counts requests in flight; clients address the
+    middlebox, which rewrites the destination to the multicast group while
+    below the threshold and NACKs the client above it. Repliers send a
+    FEEDBACK per reply to decrement the counter.
+
+    The device is a switch dataplane: it adds no CPU cost, only its port's
+    serialization and the fabric latency. *)
+
+open Hovercraft_sim
+
+type t
+
+val create :
+  Engine.t ->
+  Protocol.payload Hovercraft_net.Fabric.t ->
+  cap:int ->
+  group:int ->
+  rate_gbps:float ->
+  t
+(** Attach the middlebox at {!Hovercraft_net.Addr.Middlebox}, forwarding
+    admitted requests to multicast [group]. [cap] is the max number of
+    requests in flight. *)
+
+val inflight : t -> int
+val admitted : t -> int
+val nacked : t -> int

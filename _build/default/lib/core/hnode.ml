@@ -1,0 +1,815 @@
+open Hovercraft_sim
+open Hovercraft_r2p2
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+module Cpu = Hovercraft_net.Cpu
+module Op = Hovercraft_apps.Op
+module Rnode = Hovercraft_raft.Node
+module Rtypes = Hovercraft_raft.Types
+module Rlog = Hovercraft_raft.Log
+
+type mode = Unreplicated | Vanilla | Hover | Hover_pp
+type read_mode = Replicated_reads | Leader_leases
+
+let pp_mode fmt = function
+  | Unreplicated -> Format.pp_print_string fmt "unreplicated"
+  | Vanilla -> Format.pp_print_string fmt "vanilla-raft"
+  | Hover -> Format.pp_print_string fmt "hovercraft"
+  | Hover_pp -> Format.pp_print_string fmt "hovercraft++"
+
+let mode_of_string = function
+  | "unrep" | "unreplicated" -> Ok Unreplicated
+  | "vanilla" | "raft" -> Ok Vanilla
+  | "hover" | "hovercraft" -> Ok Hover
+  | "hoverpp" | "hovercraft++" -> Ok Hover_pp
+  | s -> Error (Printf.sprintf "unknown mode %S" s)
+
+type params = {
+  mode : mode;
+  n : int;
+  link_gbps : float;
+  net_rx_packet_ns : int;
+  net_tx_packet_ns : int;
+  net_per_byte_ns : float;
+  raft_msg_extra_ns : int;
+  per_entry_tx_ns : int;
+  per_entry_rx_ns : int;
+  vanilla_entry_extra_ns : int;
+  ae_body_ns_per_byte : float;
+  app_per_op_ns : int;
+  batch_max : int;
+  heartbeat : Timebase.t;
+  election_min : Timebase.t;
+  election_max : Timebase.t;
+  reply_lb : bool;
+  lb_policy : Jbsq.policy;
+  bound : int;
+  read_mode : read_mode;
+  lease_window : Timebase.t;
+  flow_control : bool;
+  eager_commit_notify : bool;
+  gc_interval : Timebase.t;
+  gc_unordered : Timebase.t;
+  gc_ordered : Timebase.t;
+  log_retain : int;
+  recovery_timeout : Timebase.t;
+  probe_timeout : Timebase.t;
+  loss_prob : float;
+  seed : int;
+}
+
+let params ?(mode = Hover) ?(n = 3) () =
+  {
+    mode;
+    n;
+    link_gbps = 10.0;
+    net_rx_packet_ns = 150;
+    net_tx_packet_ns = 30;
+    net_per_byte_ns = 0.35;
+    raft_msg_extra_ns = 400;
+    per_entry_tx_ns = 85;
+    per_entry_rx_ns = 30;
+    vanilla_entry_extra_ns = 75;
+    ae_body_ns_per_byte = 0.5;
+    app_per_op_ns = 20;
+    batch_max = 64;
+    heartbeat = Timebase.us 500;
+    election_min = Timebase.ms 2;
+    election_max = Timebase.ms 4;
+    reply_lb = true;
+    lb_policy = Jbsq.Jbsq;
+    bound = 128;
+    read_mode = Replicated_reads;
+    lease_window = Timebase.ms 1;
+    flow_control = false;
+    eager_commit_notify = true;
+    gc_interval = Timebase.ms 10;
+    gc_unordered = Timebase.ms 50;
+    gc_ordered = Timebase.ms 100;
+    log_retain = 8192;
+    recovery_timeout = Timebase.us 200;
+    probe_timeout = Timebase.ms 1;
+    loss_prob = 0.;
+    seed = 42;
+  }
+
+module Rid_tbl = Hashtbl.Make (struct
+  type t = R2p2.req_id
+
+  let equal = R2p2.req_id_equal
+  let hash = R2p2.req_id_hash
+end)
+
+type t = {
+  p : params;
+  id : int;
+  engine : Engine.t;
+  fabric : Protocol.payload Fabric.t;
+  mutable port : Protocol.payload Fabric.port option;
+  net : Cpu.t;
+  app : Cpu.t;
+  rng : Rng.t;
+  raft : Protocol.cmd Rnode.t option;
+  store : Unordered.t;
+  replier : Replier.t;
+  app_state : Op.state;
+  mutable alive : bool;
+  mutable last_activity : Timebase.t;
+  mutable election_timeout : Timebase.t;
+  mutable hb_gen : int;  (* invalidates stale heartbeat loops *)
+  mutable apply_busy : bool;
+  mutable applied_ptr : int;
+  pending_recovery : int Rid_tbl.t;  (* rid -> retries *)
+  lease_heard : Timebase.t array;  (* leader: last contact per node *)
+  completions : (Op.result * Timebase.t) Rid_tbl.t;
+      (* RIFL-style completion records, built deterministically during
+         apply on every replica; replays answer retransmitted requests
+         without re-execution. *)
+  completion_fifo : (R2p2.req_id * Timebase.t) Queue.t;
+  mutable ack_override : Addr.t option;
+  mutable probe_sent_term : int;
+  (* counters *)
+  mutable replies : int;
+  mutable recoveries : int;
+  mutable rejected : int;
+  mutable lost_rx : int;
+  rx_census : (string, int) Hashtbl.t;
+}
+
+let debug_recovery = ref false
+
+let commit_index_internal t =
+  match t.raft with Some r -> Rnode.commit_index r | None -> 0
+
+let with_bodies t = t.p.mode = Vanilla
+
+(* ------------------------------------------------------------------ *)
+(* Transmission                                                        *)
+
+let tx_cost t ~bytes ~extra =
+  t.p.net_tx_packet_ns
+  + int_of_float (t.p.net_per_byte_ns *. float_of_int bytes)
+  + extra
+
+(* Consensus and recovery traffic leaves through the network thread's TX
+   queue; client replies leave through the application thread's (§6). *)
+let transmit_on t cpu ~dst ~bytes ~extra payload =
+  Cpu.exec cpu ~cost:(tx_cost t ~bytes ~extra) (fun () ->
+      match t.port with
+      | Some port when t.alive -> Fabric.send t.fabric port ~dst ~bytes payload
+      | Some _ | None -> ())
+
+let transmit_net t ~dst ?(extra = 0) payload =
+  let bytes = Protocol.payload_bytes ~with_bodies:(with_bodies t) payload in
+  transmit_on t t.net ~dst ~bytes ~extra payload
+
+(* ------------------------------------------------------------------ *)
+(* Raft plumbing                                                       *)
+
+let is_leader t =
+  match t.raft with Some r -> Rnode.role r = Rnode.Leader | None -> true
+
+let leader_addr t =
+  match t.raft with
+  | Some r -> (
+      match Rnode.leader_hint r with Some l -> Some (Addr.Node l) | None -> None)
+  | None -> None
+
+let raft_send_extra t = function
+  | Rtypes.Append_entries { entries; _ } ->
+      let base = t.p.per_entry_tx_ns * Array.length entries in
+      if with_bodies t then begin
+        (* VanillaRaft: for every entry of every per-follower AE the leader
+           fetches the request and copies its body; HovercRaft appends
+           fixed-size metadata and never touches bodies here (§3.2). *)
+        let body_bytes =
+          Array.fold_left
+            (fun acc (e : Protocol.cmd Rtypes.entry) ->
+              acc + Op.request_bytes e.cmd.Protocol.body)
+            0 entries
+        in
+        base
+        + (t.p.vanilla_entry_extra_ns * Array.length entries)
+        + int_of_float (t.p.ae_body_ns_per_byte *. float_of_int body_bytes)
+      end
+      else base
+  | Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Append_ack _
+  | Rtypes.Commit_to _ | Rtypes.Agg_ack _ ->
+      0
+
+let rec feed_raft t input =
+  match t.raft with
+  | None -> ()
+  | Some raft ->
+      if t.alive then
+        let actions = Rnode.handle raft input in
+        List.iter (perform t) actions
+
+and perform t action =
+  match action with
+  | Rnode.Send (peer, msg) ->
+      let dst =
+        match (msg, t.ack_override) with
+        | Rtypes.Append_ack { success = true; _ }, Some src -> src
+        | _, _ -> Addr.Node peer
+      in
+      transmit_net t ~dst ~extra:(raft_send_extra t msg) (Protocol.Raft msg)
+  | Rnode.Send_aggregate msg ->
+      transmit_net t ~dst:Addr.Netagg ~extra:(raft_send_extra t msg)
+        (Protocol.Raft msg)
+  | Rnode.Commit_advanced _ -> pump t
+  | Rnode.Appended idx -> on_appended t idx
+  | Rnode.Became_leader -> on_became_leader t
+  | Rnode.Became_follower _ -> on_became_follower t
+  | Rnode.Leader_activity -> t.last_activity <- Engine.now t.engine
+  | Rnode.Reject_command _ -> t.rejected <- t.rejected + 1
+
+and on_appended t idx =
+  (* The leader just ordered a request: its body is now bound to the log. *)
+  match t.raft with
+  | None -> ()
+  | Some raft ->
+      let entry = Rlog.get (Rnode.log raft) idx in
+      if not entry.cmd.Protocol.meta.internal then
+        (match t.p.mode with
+        | Hover | Hover_pp ->
+            ignore (Unordered.mark_ordered t.store entry.cmd.Protocol.meta.rid)
+        | Vanilla | Unreplicated -> ())
+
+and gate t idx (cmd : Protocol.cmd) =
+  if not t.p.reply_lb then begin
+    cmd.meta.replier <- t.id;
+    true
+  end
+  else
+    match Replier.pick t.replier () with
+    | Some node ->
+        cmd.meta.replier <- node;
+        Replier.assign t.replier ~node ~index:idx;
+        true
+    | None -> false
+
+and on_became_leader t =
+  match t.raft with
+  | None -> ()
+  | Some raft ->
+      Replier.reset t.replier;
+      Replier.note_applied t.replier ~node:t.id ~applied:t.applied_ptr;
+      (match t.p.mode with
+      | Hover | Hover_pp ->
+          Rnode.set_announce_gate raft (Some (gate t));
+          (* Ingest requests the previous leader never ordered (§5). *)
+          List.iter
+            (fun (rid, op) ->
+              feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op)))
+            (Unordered.unordered_bindings t.store)
+      | Vanilla | Unreplicated -> ());
+      if t.p.mode = Hover_pp then begin
+        t.probe_sent_term <- Rnode.term raft;
+        transmit_net t ~dst:Addr.Netagg
+          (Protocol.Probe { term = Rnode.term raft; leader = t.id })
+      end;
+      start_heartbeats t
+
+and on_became_follower t =
+  t.hb_gen <- t.hb_gen + 1;
+  t.probe_sent_term <- -1;
+  t.last_activity <- Engine.now t.engine
+
+and start_heartbeats t =
+  t.hb_gen <- t.hb_gen + 1;
+  let gen = t.hb_gen in
+  let rec loop () =
+    Engine.after t.engine t.p.heartbeat (fun () ->
+        if t.alive && t.hb_gen = gen && is_leader t then begin
+          feed_raft t Rnode.Heartbeat_timeout;
+          loop ()
+        end)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The apply loop (application thread)                                 *)
+
+and body_for t (cmd : Protocol.cmd) =
+  if cmd.meta.internal then Some Op.Nop
+  else
+    match t.p.mode with
+    | Vanilla -> Some cmd.body
+    | Hover | Hover_pp -> Unordered.find t.store cmd.meta.rid
+    | Unreplicated -> Some cmd.body
+
+and pump t =
+  match t.raft with
+  | None -> ()
+  | Some raft ->
+      if t.alive && (not t.apply_busy) && t.applied_ptr < Rnode.commit_index raft
+      then begin
+        let idx = t.applied_ptr + 1 in
+        let entry = Rlog.get (Rnode.log raft) idx in
+        let cmd = entry.Rtypes.cmd in
+        match body_for t cmd with
+        | None -> request_recovery t cmd.meta.rid
+        | Some op -> apply_one t idx cmd op
+      end
+
+and apply_one t idx (cmd : Protocol.cmd) op =
+  t.apply_busy <- true;
+  let meta = cmd.Protocol.meta in
+  let is_replier = meta.replier = t.id in
+  let duplicate = (not meta.internal) && Rid_tbl.mem t.completions meta.rid in
+  let execute =
+    (not meta.internal) && (not duplicate)
+    &&
+    match t.p.mode with
+    | Vanilla -> (not meta.read_only) || is_leader t
+    | Hover | Hover_pp -> (not meta.read_only) || is_replier
+    | Unreplicated -> true
+  in
+  let result, exec_cost =
+    if execute then Op.apply t.app_state op
+    else if duplicate then (fst (Rid_tbl.find t.completions meta.rid), 0)
+    else (Op.Done, 0)
+  in
+  let should_reply =
+    (not meta.internal)
+    &&
+    match t.p.mode with
+    | Vanilla -> is_leader t
+    | Hover | Hover_pp -> is_replier
+    | Unreplicated -> true
+  in
+  let reply_bytes =
+    if should_reply then R2p2.header_bytes + Op.reply_bytes op result else 0
+  in
+  let cost =
+    t.p.app_per_op_ns + exec_cost
+    + (if should_reply then tx_cost t ~bytes:reply_bytes ~extra:0 else 0)
+  in
+  Cpu.exec t.app ~cost (fun () ->
+      t.applied_ptr <- idx;
+      if not meta.internal then begin
+        let now = Engine.now t.engine in
+        if not (Rid_tbl.mem t.completions meta.rid) then begin
+          Rid_tbl.replace t.completions meta.rid (result, now);
+          Queue.push (meta.rid, now) t.completion_fifo
+        end
+      end;
+      if should_reply then begin
+        t.replies <- t.replies + 1;
+        (match t.port with
+        | Some port when t.alive ->
+            Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
+              (Protocol.Response { rid = meta.rid });
+            if t.p.flow_control then
+              Fabric.send t.fabric port ~dst:Addr.Middlebox
+                ~bytes:
+                  (Protocol.payload_bytes ~with_bodies:false
+                     (Protocol.Feedback { rid = meta.rid }))
+                (Protocol.Feedback { rid = meta.rid })
+        | Some _ | None -> ())
+      end;
+      (* Bodies stay in the store after application: duplicate AEs
+         (heartbeat retransmits) must still bind, and lagging followers
+         recover bodies from peers that already applied them. The GC's
+         ordered-retention window reclaims them (§5). *)
+      (match t.p.mode with
+      | Hover | Hover_pp ->
+          if not meta.internal then Rid_tbl.remove t.pending_recovery meta.rid
+      | Vanilla | Unreplicated -> ());
+      if is_leader t then
+        Replier.note_applied t.replier ~node:t.id ~applied:idx;
+      feed_raft t (Rnode.Applied_up_to idx);
+      t.apply_busy <- false;
+      pump t)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery of lost multicast bodies (§5)                              *)
+
+and recovery_target t retries =
+  (* First ask the leader; on retries ask a random other node, since any
+     group member may hold the body. *)
+  match (leader_addr t, retries) with
+  | Some l, 0 when not (Addr.equal l (Addr.Node t.id)) -> l
+  | _ ->
+      let rec draw () =
+        let i = Rng.int t.rng t.p.n in
+        if i = t.id then draw () else Addr.Node i
+      in
+      if t.p.n <= 1 then Addr.Node t.id else draw ()
+
+and request_recovery t rid =
+  if !debug_recovery then
+    Format.eprintf "t=%dus node%d recovery for %a store=%d applied=%d commit=%d@."
+      (Engine.now t.engine / 1000) t.id R2p2.pp_req_id rid
+      (Unordered.size t.store) t.applied_ptr (commit_index_internal t);
+  if not (Rid_tbl.mem t.pending_recovery rid) then begin
+    Rid_tbl.replace t.pending_recovery rid 0;
+    send_recovery t rid 0
+  end
+
+and send_recovery t rid retries =
+  if t.alive && retries < 100 && Rid_tbl.mem t.pending_recovery rid then begin
+    t.recoveries <- t.recoveries + 1;
+    transmit_net t
+      ~dst:(recovery_target t retries)
+      (Protocol.Recovery_request { rid; asker = t.id });
+    Engine.after t.engine t.p.recovery_timeout (fun () ->
+        match Rid_tbl.find_opt t.pending_recovery rid with
+        | Some r when r = retries ->
+            Rid_tbl.replace t.pending_recovery rid (retries + 1);
+            send_recovery t rid (retries + 1)
+        | Some _ | None -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Receive path (network thread)                                       *)
+
+let rx_cost t (pkt : Protocol.payload Fabric.packet) =
+  let base =
+    t.p.net_rx_packet_ns
+    + int_of_float (t.p.net_per_byte_ns *. float_of_int pkt.bytes)
+  in
+  match pkt.payload with
+  | Protocol.Raft (Rtypes.Append_entries { entries; _ }) ->
+      base + t.p.raft_msg_extra_ns + (t.p.per_entry_rx_ns * Array.length entries)
+  | Protocol.Raft _ | Protocol.Agg_commit _ -> base + t.p.raft_msg_extra_ns
+  | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
+  | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
+  | Protocol.Feedback _ | Protocol.Nack _ ->
+      base
+
+(* Read leases (the §3.5 alternative to replier load balancing): the
+   leader may serve read-only requests locally, without ordering, while it
+   has heard from a quorum within the lease window — proof that no other
+   leader can have been elected meanwhile (the window is kept below the
+   minimum election timeout). *)
+let lease_note_contact t node =
+  if node >= 0 && node < t.p.n then
+    t.lease_heard.(node) <- Engine.now t.engine
+
+let lease_valid t =
+  let now = Engine.now t.engine in
+  t.lease_heard.(t.id) <- now;
+  let fresh = ref 0 in
+  Array.iter
+    (fun heard -> if now - heard <= t.p.lease_window then incr fresh)
+    t.lease_heard;
+  !fresh >= (t.p.n / 2) + 1
+
+(* Execute a request on this node alone: the unreplicated path, lease
+   reads, and router-balanced unrestricted requests. [feedback] is where a
+   completion credit goes (flow-control middlebox or request router). *)
+let execute_locally ?feedback t rid op =
+  let result, exec_cost = Op.apply t.app_state op in
+  let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
+  let cost =
+    t.p.app_per_op_ns + exec_cost + tx_cost t ~bytes:reply_bytes ~extra:0
+  in
+  Cpu.exec t.app ~cost (fun () ->
+      t.replies <- t.replies + 1;
+      match t.port with
+      | Some port when t.alive -> (
+          Fabric.send t.fabric port ~dst:rid.R2p2.src_addr ~bytes:reply_bytes
+            (Protocol.Response { rid });
+          let credit dst =
+            Fabric.send t.fabric port ~dst
+              ~bytes:
+                (Protocol.payload_bytes ~with_bodies:false
+                   (Protocol.Feedback { rid }))
+              (Protocol.Feedback { rid })
+          in
+          match feedback with
+          | Some dst -> credit dst
+          | None -> if t.p.flow_control then credit Addr.Middlebox)
+      | Some _ | None -> ())
+
+(* A retransmitted request that already completed is answered from the
+   completion record (exactly-once); one that is in flight (ordered but not
+   applied) is ignored — its reply is coming. *)
+let replay_completion t rid op =
+  match Rid_tbl.find_opt t.completions rid with
+  | Some (result, _) ->
+      let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
+      transmit_on t t.app ~dst:rid.R2p2.src_addr ~bytes:reply_bytes ~extra:0
+        (Protocol.Response { rid });
+      if t.p.flow_control then
+        transmit_on t t.app ~dst:Addr.Middlebox
+          ~bytes:
+            (Protocol.payload_bytes ~with_bodies:false
+               (Protocol.Feedback { rid }))
+          ~extra:0
+          (Protocol.Feedback { rid });
+      true
+  | None -> false
+
+let rec on_client_request t ~src ~policy rid op =
+  match policy with
+  | R2p2.Unrestricted ->
+      (* A non-replicated request (§6.1): executed here and now, never
+         ordered — reads may be stale on a follower. The completion credit
+         returns to the router that balanced it here. *)
+      let feedback = if Addr.equal src Addr.Router then Some Addr.Router else None in
+      execute_locally ?feedback t rid op
+  | R2p2.Replicated_req | R2p2.Replicated_req_r -> on_client_replicated t rid op
+
+and on_client_replicated t rid op =
+  match t.p.mode with
+  | Unreplicated ->
+      if replay_completion t rid op then ()
+      else on_client_request_fresh t rid op
+  | Vanilla ->
+      if is_leader t && replay_completion t rid op then ()
+      else on_client_request_fresh t rid op
+  | Hover | Hover_pp ->
+      (* Only the leader replays, so a retransmission multicast to the
+         whole group yields one reply. *)
+      if is_leader t && replay_completion t rid op then ()
+      else on_client_request_fresh t rid op
+
+and on_client_request_fresh t rid op =
+  let lease_read =
+    t.p.read_mode = Leader_leases && Op.read_only op && t.p.mode <> Unreplicated
+  in
+  if lease_read then begin
+    (* Only the leader acts on lease reads; followers drop them (with a
+       multicast target every node sees the request). A leader without a
+       valid lease falls through to the ordered path for safety. *)
+    if is_leader t then
+      if lease_valid t then execute_locally t rid op
+      else on_client_request_ordered t rid op
+  end
+  else on_client_request_ordered t rid op
+
+and on_client_request_ordered t rid op =
+  match t.p.mode with
+  | Unreplicated ->
+      (* No consensus: hand straight to the application thread. *)
+      execute_locally t rid op
+  | Vanilla ->
+      if is_leader t then
+        feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op))
+      else t.rejected <- t.rejected + 1
+  | Hover | Hover_pp ->
+      let already_ordered = Unordered.status t.store rid = `Ordered in
+      Unordered.add t.store rid op;
+      Rid_tbl.remove t.pending_recovery rid;
+      if is_leader t then begin
+        (* Duplicate suppression: a retransmission of a request that is
+           already in the log must not be ordered twice. *)
+        if not already_ordered then
+          feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op))
+      end
+      else pump t
+
+(* After accepting an append_entries, check that every newly ordered
+   entry's body is present; fetch the ones the multicast lost. *)
+let bind_bodies t ~prev_idx (entries : Protocol.cmd Rtypes.entry array) =
+  match t.p.mode with
+  | Hover | Hover_pp ->
+      Array.iteri
+        (fun i (e : Protocol.cmd Rtypes.entry) ->
+          let idx = prev_idx + 1 + i in
+          let meta = e.cmd.Protocol.meta in
+          (* Entries at or below the applied index were already executed;
+             retransmissions of them need no body. *)
+          if idx > t.applied_ptr && not meta.internal then
+            if not (Unordered.mark_ordered t.store meta.rid) then
+              request_recovery t meta.rid)
+        entries
+  | Vanilla | Unreplicated -> ()
+
+let on_agg_commit t ~term ~commit ~applied =
+  if is_leader t then begin
+    (* A quorum acknowledged through the aggregator: the lease renews. *)
+    Array.iteri (fun node _ -> lease_note_contact t node) applied;
+    Array.iteri
+      (fun node a -> if node <> t.id then Replier.note_applied t.replier ~node ~applied:a)
+      applied;
+    feed_raft t (Rnode.Receive (Rtypes.Agg_ack { term; commit }))
+  end
+  else feed_raft t (Rnode.Receive (Rtypes.Commit_to { term; commit }))
+
+let dispatch t (pkt : Protocol.payload Fabric.packet) =
+  match pkt.payload with
+  | Protocol.Request { rid; policy; op } ->
+      on_client_request t ~src:pkt.src ~policy rid op
+  | Protocol.Raft msg ->
+      (match msg with
+      | Rtypes.Append_entries { entries; prev_idx; _ } ->
+          t.ack_override <-
+            (match pkt.src with Addr.Netagg -> Some Addr.Netagg | _ -> None);
+          feed_raft t (Rnode.Receive msg);
+          t.ack_override <- None;
+          bind_bodies t ~prev_idx entries;
+          pump t
+      | Rtypes.Append_ack { from; applied_idx; _ } ->
+          (* Followers piggyback their applied index on every ack (§6.2);
+             it feeds the leader's bounded queues and the read lease. *)
+          if is_leader t then begin
+            Replier.note_applied t.replier ~node:from ~applied:applied_idx;
+            lease_note_contact t from
+          end;
+          feed_raft t (Rnode.Receive msg);
+          pump t
+      | Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _
+      | Rtypes.Agg_ack _ ->
+          feed_raft t (Rnode.Receive msg);
+          pump t)
+  | Protocol.Recovery_request { rid; asker } -> (
+      match Unordered.find t.store rid with
+      | Some op ->
+          transmit_net t ~dst:(Addr.Node asker)
+            (Protocol.Recovery_response { rid; op })
+      | None -> ())
+  | Protocol.Recovery_response { rid; op } ->
+      if Rid_tbl.mem t.pending_recovery rid then begin
+        Rid_tbl.remove t.pending_recovery rid;
+        Unordered.add t.store rid op;
+        ignore (Unordered.mark_ordered t.store rid);
+        pump t
+      end
+  | Protocol.Probe_reply { term } -> (
+      match t.raft with
+      | Some raft
+        when t.p.mode = Hover_pp && is_leader t && term = Rnode.term raft ->
+          Rnode.set_aggregated raft true;
+          (* Kick replication so the aggregated path takes over now. *)
+          feed_raft t Rnode.Heartbeat_timeout
+      | Some _ | None -> ())
+  | Protocol.Agg_commit { term; commit; applied } ->
+      on_agg_commit t ~term ~commit ~applied
+  | Protocol.Response _ | Protocol.Nack _ | Protocol.Probe _
+  | Protocol.Feedback _ ->
+      ()
+
+let on_packet t pkt =
+  if t.alive then begin
+    if t.p.loss_prob > 0. && Rng.bool t.rng t.p.loss_prob then
+      t.lost_rx <- t.lost_rx + 1
+    else begin
+      let tag = Protocol.describe pkt.Fabric.payload in
+      Hashtbl.replace t.rx_census tag
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.rx_census tag));
+      Cpu.exec t.net ~cost:(rx_cost t pkt) (fun () -> dispatch t pkt)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Election clock and housekeeping                                     *)
+
+let draw_timeout t =
+  t.p.election_min + Rng.int t.rng (max 1 (t.p.election_max - t.p.election_min))
+
+let start_election_clock t =
+  let rec arm deadline =
+    Engine.at t.engine deadline (fun () ->
+        if t.alive then begin
+          let now = Engine.now t.engine in
+          if is_leader t then begin
+            t.last_activity <- now;
+            arm (now + t.election_timeout)
+          end
+          else if now - t.last_activity >= t.election_timeout then begin
+            feed_raft t Rnode.Election_timeout;
+            t.last_activity <- now;
+            t.election_timeout <- draw_timeout t;
+            arm (now + t.election_timeout)
+          end
+          else arm (t.last_activity + t.election_timeout)
+        end)
+  in
+  arm (Engine.now t.engine + t.election_timeout)
+
+let start_gc_loop t =
+  let rec loop () =
+    Engine.after t.engine t.p.gc_interval (fun () ->
+        if t.alive then begin
+          ignore (Unordered.gc t.store);
+          let now = Engine.now t.engine in
+          let expired (_, recorded) = now - recorded > t.p.gc_ordered in
+          while
+            (not (Queue.is_empty t.completion_fifo))
+            && expired (Queue.peek t.completion_fifo)
+          do
+            let rid, _ = Queue.pop t.completion_fifo in
+            Rid_tbl.remove t.completions rid
+          done;
+          (match t.raft with
+          | Some raft -> ignore (Rnode.compact raft ~retain:t.p.log_retain)
+          | None -> ());
+          loop ()
+        end)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let create engine fabric p ~id =
+  if id < 0 || id >= p.n then invalid_arg "Hnode.create: id outside cluster";
+  let rng = Rng.create (p.seed + (id * 7919)) in
+  let raft =
+    match p.mode with
+    | Unreplicated -> None
+    | Vanilla | Hover | Hover_pp ->
+        let peers =
+          Array.init (p.n - 1) (fun i -> if i < id then i else i + 1)
+        in
+        Some
+          (Rnode.create
+             {
+               Rnode.id;
+               peers;
+               batch_max = p.batch_max;
+               eager_commit_notify =
+                 (p.eager_commit_notify && p.mode = Hover && p.reply_lb);
+             }
+             ~noop:Protocol.internal_noop)
+  in
+  let now () = Engine.now engine in
+  let t =
+    {
+      p;
+      id;
+      engine;
+      fabric;
+      port = None;
+      net = Cpu.create engine;
+      app = Cpu.create engine;
+      rng;
+      raft;
+      store =
+        Unordered.create ~now ~gc_unordered:p.gc_unordered
+          ~gc_ordered:p.gc_ordered ();
+      replier = Replier.create p.lb_policy ~bound:p.bound ~n:p.n ~rng:(Rng.split rng);
+      app_state = Op.create_state ();
+      alive = true;
+      last_activity = 0;
+      election_timeout = 0;
+      hb_gen = 0;
+      apply_busy = false;
+      applied_ptr = 0;
+      pending_recovery = Rid_tbl.create 64;
+      lease_heard = Array.make p.n 0;
+      completions = Rid_tbl.create 1024;
+      completion_fifo = Queue.create ();
+      ack_override = None;
+      probe_sent_term = -1;
+      replies = 0;
+      recoveries = 0;
+      rejected = 0;
+      lost_rx = 0;
+      rx_census = Hashtbl.create 16;
+    }
+  in
+  t.election_timeout <- draw_timeout t;
+  let port =
+    Fabric.attach fabric ~addr:(Addr.Node id) ~rate_gbps:p.link_gbps
+      ~handler:(on_packet t)
+  in
+  t.port <- Some port;
+  Fabric.join fabric ~group:Addr.cluster_group (Addr.Node id);
+  (match p.mode with
+  | Vanilla | Hover | Hover_pp ->
+      start_election_clock t;
+      start_gc_loop t
+  | Unreplicated -> ());
+  t
+
+let id t = t.id
+let alive t = t.alive
+let mode t = t.p.mode
+
+let term t = match t.raft with Some r -> Rnode.term r | None -> 0
+
+let commit_index t =
+  match t.raft with Some r -> Rnode.commit_index r | None -> 0
+
+let applied_index t = t.applied_ptr
+
+let log_length t =
+  match t.raft with Some r -> Rlog.last_index (Rnode.log r) | None -> 0
+
+let app_fingerprint t = Op.fingerprint t.app_state
+let executed_ops t = Op.executed t.app_state
+let replies_sent t = t.replies
+let store_size t = Unordered.size t.store
+let recoveries_sent t = t.recoveries
+let port t = Option.get t.port
+let net_busy_time t = Cpu.busy_time t.net
+let app_busy_time t = Cpu.busy_time t.app
+let raft_node t = t.raft
+
+let bootstrap t = feed_raft t Rnode.Election_timeout
+
+let preload t ops = List.iter (fun op -> ignore (Op.apply t.app_state op)) ops
+
+let rx_census t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rx_census []
+  |> List.sort compare
+
+let kill t =
+  t.alive <- false;
+  Cpu.halt t.net;
+  Cpu.halt t.app;
+  match t.port with Some p -> Fabric.set_down p true | None -> ()

@@ -1,0 +1,140 @@
+(** A HovercRaft server node on the simulated fabric.
+
+    One [Hnode.t] is one server: a NIC port, a network thread (R2P2 +
+    consensus processing) and an application thread (state-machine
+    execution and client replies), mirroring the paper's two-thread DPDK
+    runtime (§6). The node runs in one of four modes, matching the four
+    evaluated setups (§7):
+
+    - [Unreplicated]: plain R2P2 service, no fault tolerance;
+    - [Vanilla]: Raft integrated in the RPC layer; append_entries carry
+      full request bodies; the leader executes and answers everything;
+    - [Hover]: HovercRaft — clients multicast bodies, append_entries carry
+      metadata only, replies and read-only execution are load balanced
+      under bounded queues;
+    - [Hover_pp]: HovercRaft++ — additionally fans append_entries in/out
+      through the in-network aggregator. *)
+
+open Hovercraft_sim
+open Hovercraft_r2p2
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+
+type mode = Unreplicated | Vanilla | Hover | Hover_pp
+
+(** How read-only requests are served (§3.5): totally ordered and executed
+    on the designated replier (HovercRaft's way), or locally on the leader
+    under a quorum lease (the classic alternative — cheaper per read,
+    but every read burns leader CPU). *)
+type read_mode = Replicated_reads | Leader_leases
+
+val pp_mode : Format.formatter -> mode -> unit
+val mode_of_string : string -> (mode, string) result
+
+(** All knobs of a node. Build with {!params} and tweak with record
+    update. *)
+type params = {
+  mode : mode;
+  n : int;  (** Cluster size (1 for [Unreplicated]). *)
+  link_gbps : float;
+  (* Network-thread CPU cost model. *)
+  net_rx_packet_ns : int;  (** Base cost of receiving any packet. *)
+  net_tx_packet_ns : int;  (** Base cost of sending any packet. *)
+  net_per_byte_ns : float;  (** Payload touch cost, both directions. *)
+  raft_msg_extra_ns : int;  (** Protocol work per consensus message. *)
+  per_entry_tx_ns : int;  (** Serializing one entry into an AE. *)
+  per_entry_rx_ns : int;  (** Processing one entry from an AE. *)
+  vanilla_entry_extra_ns : int;
+      (** VanillaRaft's extra fixed cost per entry per follower AE (request
+          fetch, buffer management); HovercRaft appends flat metadata. *)
+  ae_body_ns_per_byte : float;
+      (** Copying request bodies into per-follower AEs (VanillaRaft only —
+          HovercRaft's AEs carry no bodies). *)
+  app_per_op_ns : int;  (** Apply-loop overhead per log entry. *)
+  (* Consensus timing. *)
+  batch_max : int;
+  heartbeat : Timebase.t;
+  election_min : Timebase.t;
+  election_max : Timebase.t;
+  (* HovercRaft features. *)
+  reply_lb : bool;  (** Load-balance replies/read-only ops (§3.3/§3.5). *)
+  lb_policy : Jbsq.policy;
+  bound : int;  (** Bounded-queue B (§3.4). *)
+  read_mode : read_mode;
+  lease_window : Timebase.t;
+      (** Quorum-contact freshness required to serve a lease read; keep it
+          below the minimum election timeout. *)
+  flow_control : bool;  (** Send FEEDBACK to the middlebox per reply. *)
+  eager_commit_notify : bool;
+      (** In plain HovercRaft with reply LB, let the leader broadcast a
+          commit hint as soon as the commit index advances, so follower
+          repliers do not wait for the next append_entries. HovercRaft++
+          gets this behaviour from AGG_COMMIT regardless. *)
+  gc_interval : Timebase.t;
+  gc_unordered : Timebase.t;
+  gc_ordered : Timebase.t;
+  log_retain : int;
+      (** Minimum log suffix each node retains; older entries compact away
+          once applied everywhere. *)
+  recovery_timeout : Timebase.t;
+  probe_timeout : Timebase.t;
+  loss_prob : float;  (** Random per-packet receive loss (tests). *)
+  seed : int;
+}
+
+val params : ?mode:mode -> ?n:int -> unit -> params
+(** Calibrated defaults (see DESIGN.md §5); [mode] defaults to [Hover],
+    [n] to 3. *)
+
+type t
+
+val create :
+  Engine.t -> Protocol.payload Fabric.t -> params -> id:int -> t
+(** Attach node [id] (address [Node id]) to the fabric and start its
+    election clock and GC loops. Nodes join the cluster multicast group
+    themselves. *)
+
+(** {1 Observers} *)
+
+val id : t -> int
+val alive : t -> bool
+val mode : t -> mode
+val is_leader : t -> bool
+val term : t -> int
+val commit_index : t -> int
+val applied_index : t -> int
+val log_length : t -> int
+val app_fingerprint : t -> int
+val executed_ops : t -> int
+val replies_sent : t -> int
+val store_size : t -> int
+val recoveries_sent : t -> int
+val port : t -> Protocol.payload Fabric.port
+
+val rx_census : t -> (string * int) list
+(** Received messages by payload type (diagnostics / Table 1). *)
+
+val net_busy_time : t -> Timebase.t
+val app_busy_time : t -> Timebase.t
+val raft_node : t -> Protocol.cmd Hovercraft_raft.Node.t option
+(** The embedded consensus state machine ([None] when unreplicated). *)
+
+(** {1 Control} *)
+
+val bootstrap : t -> unit
+(** Fire an immediate election timeout (used to elect a deterministic
+    initial leader at simulation start). *)
+
+val preload : t -> Hovercraft_apps.Op.t list -> unit
+(** Apply operations directly to the local application state, bypassing
+    consensus and charging no CPU. Used to populate every replica with the
+    same initial dataset before measurement (e.g. YCSB preload); call it
+    identically on every node. *)
+
+val kill : t -> unit
+(** Crash-stop: both threads halt, the NIC goes dark. Permanent. *)
+
+(**/**)
+
+val debug_recovery : bool ref
+(** Internal: verbose tracing of body-recovery triggers. *)

@@ -1,0 +1,94 @@
+open Hovercraft_r2p2
+module Op = Hovercraft_apps.Op
+module Rtypes = Hovercraft_raft.Types
+
+type meta = {
+  rid : R2p2.req_id;
+  read_only : bool;
+  mutable replier : int;
+  body_hash : int;
+  internal : bool;
+}
+
+type cmd = { meta : meta; body : Op.t }
+
+let client_cmd ~rid op =
+  {
+    meta =
+      {
+        rid;
+        read_only = Op.read_only op;
+        replier = -1;
+        body_hash = Hashtbl.hash op;
+        internal = false;
+      };
+    body = op;
+  }
+
+let internal_noop =
+  {
+    meta =
+      {
+        rid = { R2p2.id = -1; src_addr = Hovercraft_net.Addr.Netagg; src_port = 0 };
+        read_only = false;
+        replier = -1;
+        body_hash = 0;
+        internal = true;
+      };
+    body = Op.Nop;
+  }
+
+type payload =
+  | Request of { rid : R2p2.req_id; policy : R2p2.policy; op : Op.t }
+  | Response of { rid : R2p2.req_id }
+  | Raft of cmd Rtypes.message
+  | Recovery_request of { rid : R2p2.req_id; asker : int }
+  | Recovery_response of { rid : R2p2.req_id; op : Op.t }
+  | Probe of { term : int; leader : int }
+  | Probe_reply of { term : int }
+  | Agg_commit of { term : int; commit : int; applied : int array }
+  | Feedback of { rid : R2p2.req_id }
+  | Nack of { rid : R2p2.req_id }
+
+let meta_wire_bytes = 32
+let hdr = R2p2.header_bytes
+
+let ae_bytes ~with_bodies entries =
+  let per_entry acc (e : cmd Rtypes.entry) =
+    acc + meta_wire_bytes
+    + if with_bodies then Op.request_bytes e.cmd.body else 0
+  in
+  hdr + 32 + Array.fold_left per_entry 0 entries
+
+let payload_bytes ~with_bodies = function
+  | Request { op; _ } -> hdr + Op.request_bytes op
+  | Response _ ->
+      (* The caller sizes responses explicitly (reply bytes depend on the
+         execution result); this is the floor. *)
+      hdr
+  | Raft (Rtypes.Append_entries { entries; _ }) -> ae_bytes ~with_bodies entries
+  | Raft (Rtypes.Request_vote _ | Rtypes.Vote _) -> hdr + 24
+  | Raft (Rtypes.Append_ack _) -> hdr + 32
+  | Raft (Rtypes.Commit_to _ | Rtypes.Agg_ack _) -> hdr + 16
+  | Recovery_request _ -> hdr + 24
+  | Recovery_response { op; _ } -> hdr + 24 + Op.request_bytes op
+  | Probe _ | Probe_reply _ -> hdr + 16
+  | Agg_commit { applied; _ } -> hdr + 16 + (8 * Array.length applied)
+  | Feedback _ | Nack _ -> hdr + 8
+
+let describe = function
+  | Request _ -> "request"
+  | Response _ -> "response"
+  | Raft (Rtypes.Request_vote _) -> "request_vote"
+  | Raft (Rtypes.Vote _) -> "vote"
+  | Raft (Rtypes.Append_entries _) -> "append_entries"
+  | Raft (Rtypes.Append_ack _) -> "append_ack"
+  | Raft (Rtypes.Commit_to _) -> "commit_to"
+  | Raft (Rtypes.Agg_ack _) -> "agg_ack"
+  | Recovery_request _ -> "recovery_request"
+  | Recovery_response _ -> "recovery_response"
+  | Probe _ -> "probe"
+  | Probe_reply _ -> "probe_reply"
+  | Agg_commit _ -> "agg_commit"
+  | Feedback _ -> "feedback"
+  | Nack _ -> "nack"

@@ -1,0 +1,56 @@
+(** HovercRaft wire protocol: what travels over the fabric.
+
+    The replicated command ([cmd]) pairs the R2P2 ordering metadata with the
+    request body. VanillaRaft ships the body inside append_entries;
+    HovercRaft ships metadata only and lets followers bind bodies from
+    their unordered sets — the simulator reflects this in both the byte
+    accounting ({!ae_bytes}) and the node logic (followers in HovercRaft
+    mode never read [body] out of an append_entries). *)
+
+open Hovercraft_r2p2
+
+type meta = {
+  rid : R2p2.req_id;  (** The unique R2P2 identity triple. *)
+  read_only : bool;
+  mutable replier : int;
+      (** Designated replier node id; -1 until the leader assigns it,
+          immutable afterwards (§3.3). *)
+  body_hash : int;  (** Guards against metadata collisions (§5). *)
+  internal : bool;  (** Leader no-op entries: no client, no multicast body. *)
+}
+
+type cmd = { meta : meta; body : Hovercraft_apps.Op.t }
+
+val client_cmd : rid:R2p2.req_id -> Hovercraft_apps.Op.t -> cmd
+val internal_noop : cmd
+
+(** Everything a fabric packet can carry. *)
+type payload =
+  | Request of { rid : R2p2.req_id; policy : R2p2.policy; op : Hovercraft_apps.Op.t }
+  | Response of { rid : R2p2.req_id }
+  | Raft of cmd Hovercraft_raft.Types.message
+  | Recovery_request of { rid : R2p2.req_id; asker : int }
+  | Recovery_response of { rid : R2p2.req_id; op : Hovercraft_apps.Op.t }
+  | Probe of { term : int; leader : int }
+      (** New leader -> aggregator liveness check (§5). *)
+  | Probe_reply of { term : int }
+  | Agg_commit of { term : int; commit : int; applied : int array }
+      (** Aggregator -> group: commit index plus per-node completed
+          counts for the leader's load balancing (§4). *)
+  | Feedback of { rid : R2p2.req_id }
+  | Nack of { rid : R2p2.req_id }
+
+val meta_wire_bytes : int
+(** Fixed size of one entry's ordering metadata inside append_entries. *)
+
+val ae_bytes : with_bodies:bool -> cmd Hovercraft_raft.Types.entry array -> int
+(** Payload bytes of an append_entries with the given entries; when
+    [with_bodies] (VanillaRaft) each entry additionally pays its request
+    body. *)
+
+val payload_bytes : with_bodies:bool -> payload -> int
+(** Bytes of any payload; [with_bodies] selects the append_entries
+    encoding. *)
+
+val describe : payload -> string
+(** Short tag for logging/debug counters. *)

@@ -1,0 +1,89 @@
+open Hovercraft_sim
+open Hovercraft_r2p2
+
+type t = {
+  policy : Jbsq.policy;
+  bound : int;
+  applied : int array;
+  assigned : int Queue.t array;  (* assigned entry indices, ascending *)
+  last_assigned : int array;
+  excluded : bool array;
+  rng : Rng.t;
+  scratch : int array;
+}
+
+let create policy ~bound ~n ~rng =
+  if bound <= 0 then invalid_arg "Replier.create: bound must be positive";
+  if n <= 0 then invalid_arg "Replier.create: need at least one node";
+  {
+    policy;
+    bound;
+    applied = Array.make n 0;
+    assigned = Array.init n (fun _ -> Queue.create ());
+    last_assigned = Array.make n 0;
+    excluded = Array.make n false;
+    rng;
+    scratch = Array.make n 0;
+  }
+
+let bound t = t.bound
+let n t = Array.length t.applied
+
+let prune t i =
+  let q = t.assigned.(i) in
+  while (not (Queue.is_empty q)) && Queue.peek q <= t.applied.(i) do
+    ignore (Queue.pop q)
+  done
+
+let note_applied t ~node ~applied =
+  if applied > t.applied.(node) then begin
+    t.applied.(node) <- applied;
+    prune t node
+  end
+
+let applied_of t i = t.applied.(i)
+let depth t i = Queue.length t.assigned.(i)
+let eligible t i = (not t.excluded.(i)) && depth t i < t.bound
+
+let pick t () =
+  match t.policy with
+  | Jbsq.Random_choice ->
+      let count = ref 0 in
+      for i = 0 to n t - 1 do
+        if eligible t i then begin
+          t.scratch.(!count) <- i;
+          incr count
+        end
+      done;
+      if !count = 0 then None else Some t.scratch.(Rng.int t.rng !count)
+  | Jbsq.Jbsq ->
+      let best = ref max_int and count = ref 0 in
+      for i = 0 to n t - 1 do
+        if eligible t i then begin
+          let d = depth t i in
+          if d < !best then begin
+            best := d;
+            t.scratch.(0) <- i;
+            count := 1
+          end
+          else if d = !best then begin
+            t.scratch.(!count) <- i;
+            incr count
+          end
+        end
+      done;
+      if !count = 0 then None else Some t.scratch.(Rng.int t.rng !count)
+
+let assign t ~node ~index =
+  if index <= t.last_assigned.(node) then
+    invalid_arg "Replier.assign: indices must be increasing per node";
+  t.last_assigned.(node) <- index;
+  if index > t.applied.(node) then Queue.push index t.assigned.(node)
+
+let set_excluded t i flag = t.excluded.(i) <- flag
+
+let reset t =
+  Array.fill t.applied 0 (n t) 0;
+  Array.fill t.last_assigned 0 (n t) 0;
+  Array.iter Queue.clear t.assigned;
+  Array.fill t.excluded 0 (n t) false

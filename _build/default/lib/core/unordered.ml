@@ -1,0 +1,73 @@
+open Hovercraft_sim
+open Hovercraft_r2p2
+
+type slot = {
+  op : Hovercraft_apps.Op.t;
+  mutable added : Timebase.t;
+  mutable ordered : bool;
+  seq : int;  (* arrival order, for deterministic leader ingestion *)
+}
+
+module Tbl = Hashtbl.Make (struct
+  type t = R2p2.req_id
+
+  let equal = R2p2.req_id_equal
+  let hash = R2p2.req_id_hash
+end)
+
+type t = {
+  now : unit -> Timebase.t;
+  gc_unordered : Timebase.t;
+  gc_ordered : Timebase.t;
+  table : slot Tbl.t;
+  mutable seq : int;
+}
+
+let create ~now ~gc_unordered ~gc_ordered () =
+  { now; gc_unordered; gc_ordered; table = Tbl.create 4096; seq = 0 }
+
+let add t rid op =
+  match Tbl.find_opt t.table rid with
+  | Some slot -> slot.added <- t.now ()
+  | None ->
+      t.seq <- t.seq + 1;
+      Tbl.replace t.table rid { op; added = t.now (); ordered = false; seq = t.seq }
+
+let find t rid =
+  match Tbl.find_opt t.table rid with None -> None | Some s -> Some s.op
+
+let status t rid =
+  match Tbl.find_opt t.table rid with
+  | None -> `Absent
+  | Some s -> if s.ordered then `Ordered else `Unordered
+
+let mark_ordered t rid =
+  match Tbl.find_opt t.table rid with
+  | None -> false
+  | Some s ->
+      s.ordered <- true;
+      s.added <- t.now ();
+      true
+
+let remove t rid = Tbl.remove t.table rid
+
+let unordered_bindings t =
+  Tbl.fold (fun rid s acc -> if s.ordered then acc else (rid, s) :: acc) t.table []
+  |> List.sort (fun (_, (a : slot)) (_, (b : slot)) -> compare a.seq b.seq)
+  |> List.map (fun (rid, s) -> (rid, s.op))
+
+let gc t =
+  let now = t.now () in
+  let dead = ref [] in
+  Tbl.iter
+    (fun rid s ->
+      let limit = if s.ordered then t.gc_ordered else t.gc_unordered in
+      if now - s.added > limit then dead := rid :: !dead)
+    t.table;
+  List.iter (Tbl.remove t.table) !dead;
+  List.length !dead
+
+let size t = Tbl.length t.table
+
+let unordered_count t =
+  Tbl.fold (fun _ s acc -> if s.ordered then acc else acc + 1) t.table 0

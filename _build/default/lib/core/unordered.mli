@@ -1,0 +1,54 @@
+(** The per-node store of client request bodies (§3.2, §5).
+
+    Every node receives multicast request bodies before the leader orders
+    them. A body starts {e unordered}; once the node sees its metadata
+    appear in the Raft log it is {e ordered} (it now only serves as the
+    body to apply, and as recovery material for other nodes); after the
+    node applies the entry, the body is removed.
+
+    Garbage collection follows the paper: unordered bodies that linger past
+    a timeout are dropped (the request was probably never ordered — or, if
+    it was, the recovery path refetches it); ordered bodies are retained
+    for a longer retention window so they can serve recovery requests from
+    lagging followers even after local application. *)
+
+open Hovercraft_sim
+open Hovercraft_r2p2
+
+type t
+
+val create :
+  now:(unit -> Timebase.t) ->
+  gc_unordered:Timebase.t ->
+  gc_ordered:Timebase.t ->
+  unit ->
+  t
+
+val add : t -> R2p2.req_id -> Hovercraft_apps.Op.t -> unit
+(** Insert a freshly received multicast body (unordered). Re-adding an
+    existing id refreshes its timestamp but keeps its ordered state. *)
+
+val find : t -> R2p2.req_id -> Hovercraft_apps.Op.t option
+(** Look up a body regardless of state. *)
+
+val status : t -> R2p2.req_id -> [ `Absent | `Unordered | `Ordered ]
+(** Whether the id is unknown, received but not yet ordered, or already
+    bound to a log position. Drives duplicate suppression when clients
+    retransmit. *)
+
+val mark_ordered : t -> R2p2.req_id -> bool
+(** Transition to ordered when the id shows up in the log; [false] when the
+    body is absent (the multicast was lost — recovery needed). *)
+
+val remove : t -> R2p2.req_id -> unit
+(** Drop after application (or on explicit invalidation). *)
+
+val unordered_bindings : t -> (R2p2.req_id * Hovercraft_apps.Op.t) list
+(** Bodies not yet ordered, oldest first — what a freshly elected leader
+    ingests into its log (§5). *)
+
+val gc : t -> int
+(** Collect expired entries; returns how many were dropped. *)
+
+val size : t -> int
+val unordered_count : t -> int

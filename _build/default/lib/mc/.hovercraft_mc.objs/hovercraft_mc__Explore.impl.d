@@ -1,0 +1,1 @@
+lib/mc/explore.ml: Array Format List Map Model Queue

@@ -1,0 +1,1 @@
+lib/mc/explore.mli: Format Model

@@ -1,0 +1,1 @@
+lib/mc/model.ml: Array Format Hashtbl Hovercraft_raft List Printf Stdlib

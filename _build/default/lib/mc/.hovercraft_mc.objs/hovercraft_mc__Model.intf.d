@@ -1,0 +1,1 @@
+lib/mc/model.mli: Format Hovercraft_raft

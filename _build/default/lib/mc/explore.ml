@@ -1,0 +1,118 @@
+type stats = {
+  states : int;
+  transitions : int;
+  max_depth : int;
+  truncated : bool;
+}
+
+type outcome =
+  | Verified of stats
+  | Violation of {
+      error : string;
+      trace : string list;
+      state : string;
+      stats : stats;
+    }
+
+module State_map = Map.Make (struct
+  type t = Model.state
+
+  let compare = Model.compare_state
+end)
+
+type node_info = { parent : int; label : string }
+
+let run ?(max_states = 200_000) cfg =
+  let initial = Model.initial cfg in
+  (* Arena of visited states for trace reconstruction. *)
+  let arena = ref [| (initial, { parent = -1; label = "<init>" }) |] in
+  let arena_len = ref 1 in
+  let push state info =
+    if !arena_len = Array.length !arena then begin
+      let bigger = Array.make (2 * !arena_len) (state, info) in
+      Array.blit !arena 0 bigger 0 !arena_len;
+      arena := bigger
+    end;
+    !arena.(!arena_len) <- (state, info);
+    incr arena_len;
+    !arena_len - 1
+  in
+  let visited = ref (State_map.singleton initial 0) in
+  let frontier = Queue.create () in
+  Queue.push (0, 0) frontier;
+  let transitions = ref 0 in
+  let max_depth = ref 0 in
+  let truncated = ref false in
+  let trace_of idx =
+    let rec back idx acc =
+      if idx <= 0 then acc
+      else
+        let _, info = !arena.(idx) in
+        back info.parent (info.label :: acc)
+    in
+    back idx []
+  in
+  let stats () =
+    {
+      states = !arena_len;
+      transitions = !transitions;
+      max_depth = !max_depth;
+      truncated = !truncated;
+    }
+  in
+  let violation = ref None in
+  (match Model.check cfg initial with
+  | Error e ->
+      violation :=
+        Some
+          (Violation
+             {
+               error = e;
+               trace = [];
+               state = Format.asprintf "%a" Model.pp_state initial;
+               stats = stats ();
+             })
+  | Ok _ -> ());
+  while !violation = None && not (Queue.is_empty frontier) do
+    let idx, depth = Queue.pop frontier in
+    if depth > !max_depth then max_depth := depth;
+    let state, _ = !arena.(idx) in
+    let succs = Model.successors cfg state in
+    List.iter
+      (fun (label, s') ->
+        if !violation = None then begin
+          incr transitions;
+          if not (State_map.mem s' !visited) then
+            if !arena_len >= max_states then truncated := true
+            else begin
+              let idx' = push s' { parent = idx; label } in
+              visited := State_map.add s' idx' !visited;
+              match Model.check cfg s' with
+              | Ok _ -> Queue.push (idx', depth + 1) frontier
+              | Error e ->
+                  violation :=
+                    Some
+                      (Violation
+                         {
+                           error = e;
+                           trace = trace_of idx';
+                           state = Format.asprintf "%a" Model.pp_state s';
+                           stats = stats ();
+                         })
+            end
+        end)
+      succs
+  done;
+  match !violation with Some v -> v | None -> Verified (stats ())
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d states, %d transitions, depth %d%s" s.states
+    s.transitions s.max_depth
+    (if s.truncated then " (truncated by state budget)" else "")
+
+let pp_outcome fmt = function
+  | Verified s -> Format.fprintf fmt "VERIFIED: %a" pp_stats s
+  | Violation { error; trace; state; stats } ->
+      Format.fprintf fmt "VIOLATION: %s@.  after: %a@.  state: %s@.  trace:@."
+        error pp_stats stats state;
+      List.iter (fun l -> Format.fprintf fmt "    %s@." l) trace

@@ -1,0 +1,24 @@
+(** Breadth-first explicit-state exploration with counterexample traces. *)
+
+type stats = {
+  states : int;  (** Distinct states visited. *)
+  transitions : int;  (** Successor edges evaluated. *)
+  max_depth : int;  (** BFS depth reached. *)
+  truncated : bool;  (** Hit the state budget before exhausting the space. *)
+}
+
+type outcome =
+  | Verified of stats  (** Every reachable state (within bounds) is safe. *)
+  | Violation of {
+      error : string;  (** Which invariant broke. *)
+      trace : string list;  (** Transition labels from the initial state. *)
+      state : string;  (** Rendering of the bad state. *)
+      stats : stats;
+    }
+
+val run : ?max_states:int -> Model.config -> outcome
+(** Explore from [Model.initial]. [max_states] (default 200_000) bounds
+    the visited set; hitting it yields [Verified] with
+    [truncated = true]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,402 @@
+module Node = Hovercraft_raft.Node
+module Types = Hovercraft_raft.Types
+
+type config = {
+  n : int;
+  aggregated : bool;
+  max_term : int;
+  max_cmds : int;
+  max_messages : int;
+  allow_drops : bool;
+  allow_duplication : bool;
+}
+
+let default =
+  {
+    n = 3;
+    aggregated = false;
+    max_term = 2;
+    max_cmds = 1;
+    max_messages = 8;
+    allow_drops = true;
+    allow_duplication = true;
+  }
+
+type dst = To_node of int | To_agg
+
+type msg = {
+  dst : dst;
+  via_agg : bool;  (* an append_entries fanned out by the aggregator *)
+  payload : int Types.message;
+}
+
+(* The aggregator's soft state, mirroring its P4 registers (§6.4). *)
+type agg = {
+  a_term : int;
+  a_leader : int;
+  a_match : int list;  (* per node id *)
+  a_completed : int list;
+  a_leader_last : int;
+  a_commit : int;
+  a_pending : bool;
+}
+
+type state = {
+  nodes : int Node.dump array;
+  messages : msg list;  (* kept sorted: canonical multiset *)
+  agg : agg option;
+  cmds : int;  (* client commands injected so far *)
+}
+
+let compare_state = Stdlib.compare
+
+let node_config cfg i =
+  {
+    Node.id = i;
+    peers = Array.init (cfg.n - 1) (fun k -> if k < i then k else k + 1);
+    batch_max = 8;
+    eager_commit_notify = false;
+  }
+
+let fresh_agg cfg ~term ~leader =
+  {
+    a_term = term;
+    a_leader = leader;
+    a_match = List.init cfg.n (fun _ -> 0);
+    a_completed = List.init cfg.n (fun _ -> 0);
+    a_leader_last = 0;
+    a_commit = 0;
+    a_pending = false;
+  }
+
+let initial cfg =
+  {
+    nodes =
+      Array.init cfg.n (fun i ->
+          Node.dump (Node.create (node_config cfg i) ~noop:(-1)));
+    messages = [];
+    agg = (if cfg.aggregated then Some (fresh_agg cfg ~term:0 ~leader:(-1)) else None);
+    cmds = 0;
+  }
+
+let of_nodes cfg nodes =
+  {
+    nodes;
+    messages = [];
+    agg = (if cfg.aggregated then Some (fresh_agg cfg ~term:0 ~leader:(-1)) else None);
+    cmds = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Running one input through the real Raft implementation.             *)
+
+(* Apply committed entries eagerly and loop until quiescent, exactly as
+   the simulator's apply pump does. *)
+let run_node cfg dump i input ~reply_via_agg =
+  let node = Node.restore (node_config cfg i) ~noop:(-1) dump in
+  let out = ref [] in
+  let rec consume actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Node.Send (p, m) ->
+            let dst =
+              match m with
+              | Types.Append_ack { success = true; _ } when reply_via_agg ->
+                  To_agg
+              | _ -> To_node p
+            in
+            out := { dst; via_agg = false; payload = m } :: !out
+        | Node.Send_aggregate m ->
+            out := { dst = To_agg; via_agg = false; payload = m } :: !out
+        | Node.Commit_advanced c ->
+            consume (Node.handle node (Node.Applied_up_to c))
+        | Node.Appended _ | Node.Became_leader | Node.Became_follower _
+        | Node.Leader_activity | Node.Reject_command _ ->
+            ())
+      actions
+  in
+  consume (Node.handle node input);
+  (* HovercRaft++: a leader switches to aggregated replication as soon as
+     the aggregator acknowledges its probe; the model collapses the probe
+     round-trip (the aggregator is assumed live). *)
+  if cfg.aggregated && Node.role node = Node.Leader && not (Node.aggregated node)
+  then begin
+    Node.set_aggregated node true;
+    consume (Node.handle node Node.Heartbeat_timeout)
+  end;
+  (Node.dump node, List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* The aggregator transition function.                                  *)
+
+let nth l i = List.nth l i
+let set_nth l i v = List.mapi (fun k x -> if k = i then v else x) l
+
+let quorum_match cfg a =
+  let followers =
+    List.filteri (fun i _ -> i <> a.a_leader) a.a_match |> List.sort compare
+  in
+  let needed = ((cfg.n / 2) + 1) - 1 in
+  if needed = 0 then a.a_leader_last
+  else List.nth followers (List.length followers - needed)
+
+let agg_commit_msgs cfg a =
+  List.init cfg.n (fun i ->
+      if i = a.a_leader then
+        {
+          dst = To_node i;
+          via_agg = false;
+          payload = Types.Agg_ack { term = a.a_term; commit = a.a_commit };
+        }
+      else
+        {
+          dst = To_node i;
+          via_agg = false;
+          payload = Types.Commit_to { term = a.a_term; commit = a.a_commit };
+        })
+
+let run_agg cfg a payload =
+  match payload with
+  | Types.Append_entries { term; leader; prev_idx; entries; _ } ->
+      let a = if term > a.a_term then fresh_agg cfg ~term ~leader else a in
+      if term < a.a_term then (a, [])
+      else begin
+        let a =
+          if leader <> a.a_leader then fresh_agg cfg ~term ~leader else a
+        in
+        let end_idx = prev_idx + Array.length entries in
+        let a =
+          if end_idx <= a.a_leader_last then { a with a_pending = true }
+          else { a with a_leader_last = end_idx }
+        in
+        let fanout =
+          List.init cfg.n (fun i -> i)
+          |> List.filter (fun i -> i <> leader)
+          |> List.map (fun i -> { dst = To_node i; via_agg = true; payload })
+        in
+        (a, fanout)
+      end
+  | Types.Append_ack { term; from; success = true; match_idx; applied_idx; _ }
+    when term = a.a_term && from >= 0 && from < cfg.n ->
+      let a =
+        {
+          a with
+          a_match = set_nth a.a_match from (max (nth a.a_match from) match_idx);
+          a_completed =
+            set_nth a.a_completed from (max (nth a.a_completed from) applied_idx);
+        }
+      in
+      let candidate = min (quorum_match cfg a) a.a_leader_last in
+      if candidate > a.a_commit then
+        let a = { a with a_commit = candidate; a_pending = false } in
+        (a, agg_commit_msgs cfg a)
+      else if a.a_pending then
+        let a = { a with a_pending = false } in
+        (a, agg_commit_msgs cfg a)
+      else (a, [])
+  | Types.Append_ack _ | Types.Request_vote _ | Types.Vote _
+  | Types.Commit_to _ | Types.Agg_ack _ ->
+      (a, [])
+
+(* ------------------------------------------------------------------ *)
+(* Global transitions.                                                  *)
+
+let canonical cfg state =
+  let messages =
+    List.sort Stdlib.compare state.messages |> fun l ->
+    (* Lossy cap: a bounded network may lose the excess. *)
+    List.filteri (fun i _ -> i < cfg.max_messages) l
+  in
+  { state with messages }
+
+let with_new_messages cfg state msgs =
+  canonical cfg { state with messages = state.messages @ msgs }
+
+let deliver cfg state k =
+  let m = List.nth state.messages k in
+  let remaining = List.filteri (fun i _ -> i <> k) state.messages in
+  match m.dst with
+  | To_node i ->
+      let dump', out =
+        run_node cfg state.nodes.(i) i (Node.Receive m.payload)
+          ~reply_via_agg:m.via_agg
+      in
+      let nodes = Array.copy state.nodes in
+      nodes.(i) <- dump';
+      with_new_messages cfg { state with nodes; messages = remaining } out
+  | To_agg -> (
+      match state.agg with
+      | None -> canonical cfg { state with messages = remaining }
+      | Some a ->
+          let a', out = run_agg cfg a m.payload in
+          with_new_messages cfg
+            { state with agg = Some a'; messages = remaining }
+            out)
+
+let local cfg state i input =
+  let dump', out = run_node cfg state.nodes.(i) i input ~reply_via_agg:false in
+  let nodes = Array.copy state.nodes in
+  nodes.(i) <- dump';
+  with_new_messages cfg { state with nodes } out
+
+type label = string
+
+let describe_msg m =
+  let dst = match m.dst with To_node i -> Printf.sprintf "n%d" i | To_agg -> "agg" in
+  Format.asprintf "%s<-%a%s" dst Types.pp_message m.payload
+    (if m.via_agg then " (via agg)" else "")
+
+let successors cfg state =
+  let acc = ref [] in
+  let add label s = acc := (label, s) :: !acc in
+  Array.iteri
+    (fun i dump ->
+      let info = Node.dump_info dump in
+      if info.Node.i_role <> Node.Leader && info.Node.i_term < cfg.max_term then
+        add
+          (Printf.sprintf "timeout n%d" i)
+          (local cfg state i Node.Election_timeout);
+      if info.Node.i_role = Node.Leader then begin
+        add
+          (Printf.sprintf "heartbeat n%d" i)
+          (local cfg state i Node.Heartbeat_timeout);
+        if state.cmds < cfg.max_cmds then
+          add
+            (Printf.sprintf "client cmd%d -> n%d" state.cmds i)
+            (local cfg
+               { state with cmds = state.cmds + 1 }
+               i
+               (Node.Client_command (100 + state.cmds)))
+      end)
+    state.nodes;
+  List.iteri
+    (fun k m ->
+      add (Printf.sprintf "deliver %s" (describe_msg m)) (deliver cfg state k);
+      if cfg.allow_drops then
+        add
+          (Printf.sprintf "drop %s" (describe_msg m))
+          (canonical cfg
+             {
+               state with
+               messages = List.filteri (fun i _ -> i <> k) state.messages;
+             });
+      if cfg.allow_duplication then begin
+        (* Deliver while keeping a copy in flight = duplication. *)
+        let dup = deliver cfg state k in
+        add
+          (Printf.sprintf "dup-deliver %s" (describe_msg m))
+          (canonical cfg { dup with messages = m :: dup.messages })
+      end)
+    state.messages;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Invariants.                                                          *)
+
+exception Bad of string
+
+let entry_at entries idx = List.nth_opt entries (idx - 1)
+
+let check cfg state =
+  ignore cfg;
+  let infos = Array.map Node.dump_info state.nodes in
+  try
+    (* Election safety. *)
+    let leaders = Hashtbl.create 4 in
+    Array.iteri
+      (fun i info ->
+        if info.Node.i_role = Node.Leader then begin
+          (match Hashtbl.find_opt leaders info.Node.i_term with
+          | Some j ->
+              raise
+                (Bad
+                   (Printf.sprintf "election safety: leaders %d and %d in term %d"
+                      j i info.Node.i_term))
+          | None -> ());
+          Hashtbl.replace leaders info.Node.i_term i
+        end)
+      infos;
+    (* Pairwise checks. *)
+    Array.iteri
+      (fun i a ->
+        Array.iteri
+          (fun j b ->
+            if i < j then begin
+              (* Log matching on the shared suffix where terms agree. *)
+              let la = a.Node.i_entries and lb = b.Node.i_entries in
+              let upto = min (List.length la) (List.length lb) in
+              let rec anchor k =
+                if k < 1 then 0
+                else
+                  match (entry_at la k, entry_at lb k) with
+                  | Some ea, Some eb when ea.Types.term = eb.Types.term -> k
+                  | _ -> anchor (k - 1)
+              in
+              let m = anchor upto in
+              for idx = 1 to m do
+                match (entry_at la idx, entry_at lb idx) with
+                | Some ea, Some eb when ea = eb -> ()
+                | _ ->
+                    raise
+                      (Bad
+                         (Printf.sprintf "log matching: nodes %d/%d differ at %d"
+                            i j idx))
+              done;
+              (* State-machine safety. *)
+              let c = min a.Node.i_commit b.Node.i_commit in
+              for idx = 1 to c do
+                match (entry_at la idx, entry_at lb idx) with
+                | Some ea, Some eb when ea = eb -> ()
+                | _ ->
+                    raise
+                      (Bad
+                         (Printf.sprintf
+                            "state-machine safety: commit %d differs between %d/%d"
+                            idx i j))
+              done
+            end)
+          infos)
+      infos;
+    (* Leader completeness. A node's committed entries were committed in
+       terms <= its current term, and the Raft theorem guarantees a leader
+       holds everything committed in terms below its own (entries of its
+       own term it wrote itself) — so the sound per-state check is: a
+       leader holds everything committed at nodes whose term does not
+       exceed its own. A stale leader of a lower term legitimately misses
+       entries committed later. *)
+    Array.iteri
+      (fun li linfo ->
+        if linfo.Node.i_role = Node.Leader then
+          Array.iteri
+            (fun j jinfo ->
+              if jinfo.Node.i_term <= linfo.Node.i_term then
+              for idx = 1 to jinfo.Node.i_commit do
+                match
+                  (entry_at linfo.Node.i_entries idx, entry_at jinfo.Node.i_entries idx)
+                with
+                | Some ea, Some eb when ea = eb -> ()
+                | _ ->
+                    raise
+                      (Bad
+                         (Printf.sprintf
+                            "leader completeness: leader %d misses entry %d committed at %d"
+                            li idx j))
+              done)
+            infos)
+      infos;
+    Ok "all invariants hold"
+  with Bad msg -> Error msg
+
+let pp_state fmt state =
+  Array.iteri
+    (fun i dump ->
+      let info = Node.dump_info dump in
+      Format.fprintf fmt "n%d:%a t=%d commit=%d log=%d; " i Node.pp_role
+        info.Node.i_role info.Node.i_term info.Node.i_commit
+        (List.length info.Node.i_entries))
+    state.nodes;
+  Format.fprintf fmt "msgs=%d cmds=%d" (List.length state.messages) state.cmds;
+  match state.agg with
+  | Some a -> Format.fprintf fmt " agg(t=%d,commit=%d)" a.a_term a.a_commit
+  | None -> ()

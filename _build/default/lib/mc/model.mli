@@ -1,0 +1,62 @@
+(** The checked model: bounded Raft / HovercRaft++ clusters.
+
+    The paper leaves "model-checking the correctness of HovercRaft++"
+    as future work (§5); this module provides it for bounded instances.
+    Nodes are the {e actual} [Hovercraft_raft.Node] implementation —
+    states are dumped, canonicalized and restored around every transition,
+    so the checker explores the very code the simulator runs. The
+    in-network aggregator is modelled after its P4 specification (§6.4):
+    per-follower match/completed registers, the leader's last log index,
+    the pending flag, soft-state flush on term change.
+
+    Nondeterminism explored per state:
+    - any in-flight message may be delivered, dropped, or duplicated;
+    - any non-leader may time out (until the term bound);
+    - any leader may fire a heartbeat (retransmission paths) or accept a
+      client command (until the command bound).
+
+    Invariants checked in every reached state:
+    - {b election safety}: at most one leader per term;
+    - {b log matching}: logs agreeing on the term at an index agree on the
+      whole prefix;
+    - {b state-machine safety}: any two nodes' logs are identical up to
+      the smaller of their commit indices;
+    - {b leader completeness}: every current leader's log contains every
+      entry committed anywhere. *)
+
+type config = {
+  n : int;  (** Cluster size. *)
+  aggregated : bool;  (** Model HovercRaft++ (leaders replicate via the aggregator). *)
+  max_term : int;  (** No election timeouts beyond this term. *)
+  max_cmds : int;  (** Total client commands injected. *)
+  max_messages : int;  (** In-flight message cap (excess newest are lost). *)
+  allow_drops : bool;
+  allow_duplication : bool;
+}
+
+val default : config
+(** 3 nodes, plain Raft, max_term 2, 1 command, drops and duplication on. *)
+
+type state
+(** A canonical global state (nodes + network + aggregator). *)
+
+val compare_state : state -> state -> int
+
+val initial : config -> state
+
+val of_nodes : config -> int Hovercraft_raft.Node.dump array -> state
+(** A state with the given node dumps, no in-flight messages and a fresh
+    aggregator; used by tests to plant invariant violations and prove the
+    checker detects them. *)
+
+type label = string
+(** Human-readable transition description, for counterexample traces. *)
+
+val successors : config -> state -> (label * state) list
+(** All one-step successors with their labels. *)
+
+val check : config -> state -> (string, string) result
+(** [Ok summary] when all invariants hold, [Error description]
+    otherwise. *)
+
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,1 @@
+lib/net/addr.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/net/cpu.ml: Engine Hovercraft_sim Timebase

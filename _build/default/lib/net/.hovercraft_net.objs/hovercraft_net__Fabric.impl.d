@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Addr Engine Hashtbl Hovercraft_sim List Timebase Wire

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Addr Engine Hovercraft_sim Timebase

@@ -1,0 +1,28 @@
+open Hovercraft_sim
+
+type t = {
+  engine : Engine.t;
+  mutable free_at : Timebase.t;
+  mutable busy : Timebase.t;
+  mutable halted : bool;
+}
+
+let create engine = { engine; free_at = 0; busy = 0; halted = false }
+
+let exec t ~cost k =
+  if cost < 0 then invalid_arg "Cpu.exec: negative cost";
+  if not t.halted then begin
+    let now = Engine.now t.engine in
+    let start = max now t.free_at in
+    t.free_at <- start + cost;
+    t.busy <- t.busy + cost;
+    Engine.at t.engine t.free_at (fun () -> if not t.halted then k ())
+  end
+
+let backlog t =
+  let now = Engine.now t.engine in
+  max 0 (t.free_at - now)
+
+let busy_time t = t.busy
+let halt t = t.halted <- true
+let halted t = t.halted

@@ -1,0 +1,29 @@
+(** A serial CPU resource with FIFO queueing.
+
+    Each server dedicates one simulated hardware thread to network/protocol
+    processing and one to application execution, matching the paper's
+    two-thread DPDK runtime (§6). Work submitted to a busy CPU queues behind
+    the in-flight work; completion order equals submission order. *)
+
+open Hovercraft_sim
+
+type t
+
+val create : Engine.t -> t
+
+val exec : t -> cost:Timebase.t -> (unit -> unit) -> unit
+(** [exec t ~cost k] runs [k] after [cost] of CPU time, once all previously
+    submitted work has finished. [cost] must be >= 0. *)
+
+val backlog : t -> Timebase.t
+(** Time until the CPU would go idle if no more work arrived (0 when
+    idle). *)
+
+val busy_time : t -> Timebase.t
+(** Total CPU time consumed so far (for utilization reporting). *)
+
+val halt : t -> unit
+(** Crash the CPU: queued and future work is silently discarded. Used by
+    failure injection. *)
+
+val halted : t -> bool

@@ -1,0 +1,108 @@
+open Hovercraft_sim
+
+type 'a packet = {
+  src : Addr.t;
+  dst : Addr.t;
+  bytes : int;
+  payload : 'a;
+  sent_at : Timebase.t;
+}
+
+type 'a port = {
+  addr : Addr.t;
+  rate_gbps : float;
+  handler : 'a packet -> unit;
+  mutable tx_free : Timebase.t;
+  mutable rx_free : Timebase.t;
+  mutable down : bool;
+  mutable tx_packets : int;
+  mutable tx_wire_bytes : int;
+  mutable rx_packets : int;
+  mutable rx_wire_bytes : int;
+  mutable dropped : int;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  latency : Timebase.t;
+  ports : (Addr.t, 'a port) Hashtbl.t;
+  groups : (int, Addr.t list ref) Hashtbl.t;
+}
+
+let create engine ?(latency = Timebase.us 1) () =
+  { engine; latency; ports = Hashtbl.create 32; groups = Hashtbl.create 8 }
+
+let attach t ~addr ~rate_gbps ~handler =
+  let port =
+    {
+      addr;
+      rate_gbps;
+      handler;
+      tx_free = 0;
+      rx_free = 0;
+      down = false;
+      tx_packets = 0;
+      tx_wire_bytes = 0;
+      rx_packets = 0;
+      rx_wire_bytes = 0;
+      dropped = 0;
+    }
+  in
+  Hashtbl.replace t.ports addr port;
+  port
+
+let members t group =
+  match Hashtbl.find_opt t.groups group with None -> [] | Some l -> !l
+
+let join t ~group addr =
+  match Hashtbl.find_opt t.groups group with
+  | Some l -> if not (List.exists (Addr.equal addr) !l) then l := addr :: !l
+  | None -> Hashtbl.replace t.groups group (ref [ addr ])
+
+let leave t ~group addr =
+  match Hashtbl.find_opt t.groups group with
+  | None -> ()
+  | Some l -> l := List.filter (fun a -> not (Addr.equal a addr)) !l
+
+(* Clock the packet off the receiver's link, then hand it up. *)
+let deliver t pkt arrival dst_port =
+  let wire = Wire.wire_bytes ~payload:pkt.bytes in
+  let start = max arrival dst_port.rx_free in
+  dst_port.rx_free <- start + Wire.serialize_ns ~rate_gbps:dst_port.rate_gbps ~bytes:wire;
+  let done_at = dst_port.rx_free in
+  Engine.at t.engine done_at (fun () ->
+      if dst_port.down then dst_port.dropped <- dst_port.dropped + 1
+      else begin
+        dst_port.rx_packets <- dst_port.rx_packets + 1;
+        dst_port.rx_wire_bytes <- dst_port.rx_wire_bytes + wire;
+        dst_port.handler pkt
+      end)
+
+let send t src_port ~dst ~bytes payload =
+  let now = Engine.now t.engine in
+  let pkt = { src = src_port.addr; dst; bytes; payload; sent_at = now } in
+  let wire = Wire.wire_bytes ~payload:bytes in
+  let start = max now src_port.tx_free in
+  src_port.tx_free <- start + Wire.serialize_ns ~rate_gbps:src_port.rate_gbps ~bytes:wire;
+  src_port.tx_packets <- src_port.tx_packets + 1;
+  src_port.tx_wire_bytes <- src_port.tx_wire_bytes + wire;
+  let arrival = src_port.tx_free + t.latency in
+  let deliver_to addr =
+    match Hashtbl.find_opt t.ports addr with
+    | Some p -> deliver t pkt arrival p
+    | None -> src_port.dropped <- src_port.dropped + 1
+  in
+  match dst with
+  | Addr.Group g ->
+      List.iter
+        (fun m -> if not (Addr.equal m src_port.addr) then deliver_to m)
+        (members t g)
+  | Addr.Node _ | Addr.Client _ | Addr.Netagg | Addr.Middlebox | Addr.Router ->
+      deliver_to dst
+
+let set_down p flag = p.down <- flag
+let tx_packets p = p.tx_packets
+let tx_wire_bytes p = p.tx_wire_bytes
+let rx_packets p = p.rx_packets
+let rx_wire_bytes p = p.rx_wire_bytes
+let dropped p = p.dropped

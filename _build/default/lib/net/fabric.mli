@@ -1,0 +1,57 @@
+(** The datacenter fabric: NIC ports plus a cut-through switch.
+
+    Endpoints attach a port with a link rate and a receive handler. A sent
+    packet pays, in order: serialization on the sender's link, the fabric
+    latency (propagation + switching), and serialization on the receiver's
+    link — so both the sender's TX bandwidth and the receiver's RX bandwidth
+    are modelled as the contended resources the paper's bottleneck analysis
+    (§2.1.2) is about.
+
+    Sending to a {!Addr.Group} delivers a copy to every member except the
+    sender, paying the sender's TX serialization only once: the switch
+    replicates, exactly like commodity IP multicast (§3.2). *)
+
+open Hovercraft_sim
+
+type 'a packet = {
+  src : Addr.t;
+  dst : Addr.t;  (** As addressed by the sender; a group for multicast. *)
+  bytes : int;  (** Application payload bytes (headers are added below). *)
+  payload : 'a;
+  sent_at : Timebase.t;
+}
+
+type 'a t
+type 'a port
+
+val create : Engine.t -> ?latency:Timebase.t -> unit -> 'a t
+(** [latency] is the one-way fabric traversal time (default 1 µs). *)
+
+val attach :
+  'a t -> addr:Addr.t -> rate_gbps:float -> handler:('a packet -> unit) -> 'a port
+(** Attach an endpoint. [handler] fires when the last bit of a packet has
+    been clocked off the receiver's link. Re-attaching an address replaces
+    the previous port. *)
+
+val join : 'a t -> group:int -> Addr.t -> unit
+(** Add a member to a multicast group (idempotent). *)
+
+val leave : 'a t -> group:int -> Addr.t -> unit
+
+val send : 'a t -> 'a port -> dst:Addr.t -> bytes:int -> 'a -> unit
+(** Transmit a packet. Unknown unicast destinations are silently dropped
+    (counted on the sender), like a real fabric. *)
+
+val set_down : 'a port -> bool -> unit
+(** When down, deliveries to this port are discarded (link unplugged). *)
+
+(** Per-port counters, all cumulative. *)
+
+val tx_packets : 'a port -> int
+val tx_wire_bytes : 'a port -> int
+val rx_packets : 'a port -> int
+val rx_wire_bytes : 'a port -> int
+val dropped : 'a port -> int
+(** Packets discarded because the destination was down or unknown
+    (attributed to the sending port for unknown destinations and to the
+    receiving port when it is down). *)

@@ -1,0 +1,14 @@
+let mtu = 1500
+let frame_overhead = 64
+
+let frames ~payload =
+  if payload <= 0 then 1 else (payload + mtu - 1) / mtu
+
+let wire_bytes ~payload =
+  let n = frames ~payload in
+  max payload 0 + (n * frame_overhead)
+
+let serialize_ns ~rate_gbps ~bytes =
+  (* bits / (Gbit/s) = ns *)
+  let ns = float_of_int (bytes * 8) /. rate_gbps in
+  max 1 (int_of_float (Float.round ns))

@@ -1,0 +1,23 @@
+(** Wire-level framing arithmetic.
+
+    Converts application payload sizes into bytes-on-the-wire and
+    serialization delays. A payload larger than one MTU is fragmented into
+    multiple frames, each paying the Ethernet + IP + UDP + R2P2 header
+    overhead — this is what makes 6 kB replies cost "2 MTUs" in the
+    paper's §3.3 arithmetic. *)
+
+val mtu : int
+(** Maximum payload bytes carried per frame (1500, as in the paper). *)
+
+val frame_overhead : int
+(** Header + inter-frame overhead charged per frame, in bytes. *)
+
+val frames : payload:int -> int
+(** Number of frames needed for a payload (>= 1; empty payloads still send
+    one frame). *)
+
+val wire_bytes : payload:int -> int
+(** Total bytes on the wire for a payload, including per-frame overhead. *)
+
+val serialize_ns : rate_gbps:float -> bytes:int -> Hovercraft_sim.Timebase.t
+(** Time to clock [bytes] onto a link of the given rate. *)

@@ -1,0 +1,1 @@
+lib/r2p2/jbsq.ml: Array Format Hovercraft_sim Rng

@@ -1,0 +1,1 @@
+lib/r2p2/jbsq.mli: Format Hovercraft_sim Rng

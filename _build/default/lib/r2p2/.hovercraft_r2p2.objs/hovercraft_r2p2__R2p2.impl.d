@@ -1,0 +1,1 @@
+lib/r2p2/r2p2.ml: Format Hovercraft_net

@@ -1,0 +1,1 @@
+lib/raft/log.ml: Array Printf Types

@@ -1,0 +1,1 @@
+lib/raft/log.mli: Types

@@ -1,0 +1,1 @@
+lib/raft/node.ml: Array Format Hashtbl List Log Stdlib Types

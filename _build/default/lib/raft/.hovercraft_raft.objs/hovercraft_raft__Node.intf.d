@@ -1,0 +1,1 @@
+lib/raft/node.mli: Format Log Types

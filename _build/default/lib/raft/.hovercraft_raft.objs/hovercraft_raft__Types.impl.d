@@ -1,0 +1,1 @@
+lib/raft/types.ml: Array Format

@@ -1,0 +1,87 @@
+type 'cmd t = {
+  mutable entries : 'cmd Types.entry array;
+  mutable size : int;  (* retained entries *)
+  mutable base : int;  (* compaction point: entries <= base discarded *)
+  mutable base_term : Types.term;  (* term of entry [base] *)
+}
+
+let create () = { entries = [||]; size = 0; base = 0; base_term = 0 }
+let base t = t.base
+let first_index t = t.base + 1
+let last_index t = t.base + t.size
+
+let last_term t =
+  if t.size = 0 then t.base_term else t.entries.(t.size - 1).Types.term
+
+let term_at t i =
+  if i = t.base then Some t.base_term
+  else if i < t.base || i > last_index t then None
+  else Some t.entries.(i - t.base - 1).Types.term
+
+let get t i =
+  if i <= t.base || i > last_index t then
+    invalid_arg
+      (Printf.sprintf "Log.get: index %d outside %d..%d" i (first_index t)
+         (last_index t));
+  t.entries.(i - t.base - 1)
+
+let grow t needed =
+  let cap = Array.length t.entries in
+  if needed > cap then begin
+    let cap' = max needed (max 16 (cap * 2)) in
+    let bigger = Array.make cap' t.entries.(0) in
+    Array.blit t.entries 0 bigger 0 t.size;
+    t.entries <- bigger
+  end
+
+let append t e =
+  if Array.length t.entries = 0 then t.entries <- Array.make 16 e
+  else grow t (t.size + 1);
+  t.entries.(t.size) <- e;
+  t.size <- t.size + 1;
+  last_index t
+
+let truncate_from t i =
+  if i <= t.base then
+    invalid_arg "Log.truncate_from: cannot truncate into the compacted prefix";
+  if i <= last_index t then t.size <- i - t.base - 1
+
+let slice t ~lo ~hi =
+  if lo > hi then [||]
+  else begin
+    if lo <= t.base || hi > last_index t then
+      invalid_arg
+        (Printf.sprintf "Log.slice: %d..%d outside %d..%d" lo hi (first_index t)
+           (last_index t));
+    Array.sub t.entries (lo - t.base - 1) (hi - lo + 1)
+  end
+
+let iter_range t ~lo ~hi f =
+  for i = max lo (first_index t) to min hi (last_index t) do
+    f i t.entries.(i - t.base - 1)
+  done
+
+let first_index_of_term_at t i =
+  if i <= t.base || i > last_index t then invalid_arg "Log.first_index_of_term_at";
+  let tm = (get t i).Types.term in
+  let rec back j =
+    if j > first_index t && (get t (j - 1)).Types.term = tm then back (j - 1)
+    else j
+  in
+  back i
+
+let compact_to t i =
+  if i > last_index t then
+    invalid_arg "Log.compact_to: compaction point beyond the log";
+  if i > t.base then begin
+    let keep = last_index t - i in
+    let new_base_term = (get t i).Types.term in
+    let fresh =
+      if keep = 0 then [||]
+      else Array.sub t.entries (i - t.base - 1 + 1) keep
+    in
+    t.entries <- fresh;
+    t.size <- keep;
+    t.base <- i;
+    t.base_term <- new_base_term
+  end

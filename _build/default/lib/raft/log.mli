@@ -1,0 +1,54 @@
+(** The replicated log. Indices are 1-based; index 0 is the empty-log
+    sentinel with term 0, as in the Raft paper.
+
+    Supports prefix compaction: entries up to a compaction point are
+    discarded once every relevant party has applied them (the leader never
+    compacts past what a follower still needs, see
+    {!Node.compaction_bound}). Compaction only moves the base — indices
+    are stable forever. *)
+
+type 'cmd t
+
+val create : unit -> 'cmd t
+
+val first_index : 'cmd t -> int
+(** Lowest retained index; 1 until the first compaction. *)
+
+val base : 'cmd t -> int
+(** [first_index - 1]: the compaction point. *)
+
+val last_index : 'cmd t -> int
+(** Index of the most recent entry; [base] when none retained. *)
+
+val last_term : 'cmd t -> Types.term
+(** Term of the most recent entry; 0 when empty. *)
+
+val term_at : 'cmd t -> int -> Types.term option
+(** [term_at t i] is the term of entry [i]; [Some 0] for [i = 0]; the
+    compaction point's term is retained; [None] beyond the end or below
+    the compaction point. *)
+
+val get : 'cmd t -> int -> 'cmd Types.entry
+(** Entry at a valid index (1-based). Raises [Invalid_argument]
+    otherwise. *)
+
+val append : 'cmd t -> 'cmd Types.entry -> int
+(** Append and return the new entry's index. *)
+
+val truncate_from : 'cmd t -> int -> unit
+(** Remove entries at indices >= the argument (conflict resolution). *)
+
+val slice : 'cmd t -> lo:int -> hi:int -> 'cmd Types.entry array
+(** Entries [lo..hi] inclusive; empty when [lo > hi]. *)
+
+val iter_range : 'cmd t -> lo:int -> hi:int -> (int -> 'cmd Types.entry -> unit) -> unit
+
+val first_index_of_term_at : 'cmd t -> int -> int
+(** Index of the first {e retained} entry that has the same term as entry
+    [i]; used to compute the conflict back-off hint in append_entries
+    failures. *)
+
+val compact_to : 'cmd t -> int -> unit
+(** [compact_to t i] discards entries at indices <= [i]. [i] must not
+    exceed [last_index]; compacting at or below the current base is a
+    no-op. Frees the discarded storage. *)

@@ -1,0 +1,591 @@
+type role = Follower | Candidate | Leader
+
+let pp_role fmt = function
+  | Follower -> Format.pp_print_string fmt "follower"
+  | Candidate -> Format.pp_print_string fmt "candidate"
+  | Leader -> Format.pp_print_string fmt "leader"
+
+type config = {
+  id : Types.node_id;
+  peers : Types.node_id array;
+  batch_max : int;
+  eager_commit_notify : bool;
+}
+
+type 'cmd action =
+  | Send of Types.node_id * 'cmd Types.message
+  | Send_aggregate of 'cmd Types.message
+  | Commit_advanced of int
+  | Appended of int
+  | Became_leader
+  | Became_follower of Types.node_id option
+  | Leader_activity
+  | Reject_command of 'cmd
+
+type 'cmd input =
+  | Receive of 'cmd Types.message
+  | Election_timeout
+  | Heartbeat_timeout
+  | Client_command of 'cmd
+  | Applied_up_to of int
+
+type 'cmd t = {
+  cfg : config;
+  noop : 'cmd;
+  log : 'cmd Log.t;
+  slots : (Types.node_id, int) Hashtbl.t;
+  mutable term : Types.term;
+  mutable role : role;
+  mutable voted_for : Types.node_id option;
+  mutable leader_hint : Types.node_id option;
+  mutable commit : int;
+  mutable applied : int;
+  mutable verified : int;
+      (* Follower: highest index confirmed to match the current leader's
+         log via an accepted append_entries; bounds Commit_to advances. *)
+  votes : bool array;
+  next_idx : int array;
+  match_idx : int array;
+  applied_of : int array;
+  in_flight : bool array;
+  direct : bool array;
+  mutable announced : int;
+  mutable ae_seq : int;
+  sent_seq : int array;  (* last append_entries seq sent per peer *)
+  mutable gate : (int -> 'cmd -> bool) option;
+  mutable use_agg : bool;
+  mutable agg_in_flight : bool;
+  mutable agg_next : int;
+  mutable agg_pending_end : int;
+}
+
+let create cfg ~noop =
+  if cfg.batch_max < 1 then invalid_arg "Node.create: batch_max must be >= 1";
+  let n = Array.length cfg.peers in
+  let slots = Hashtbl.create (max n 1) in
+  Array.iteri (fun i p -> Hashtbl.replace slots p i) cfg.peers;
+  {
+    cfg;
+    noop;
+    log = Log.create ();
+    slots;
+    term = 0;
+    role = Follower;
+    voted_for = None;
+    leader_hint = None;
+    commit = 0;
+    applied = 0;
+    verified = 0;
+    votes = Array.make (max n 1) false;
+    next_idx = Array.make (max n 1) 1;
+    match_idx = Array.make (max n 1) 0;
+    applied_of = Array.make (max n 1) 0;
+    in_flight = Array.make (max n 1) false;
+    direct = Array.make (max n 1) false;
+    announced = 0;
+    ae_seq = 0;
+    sent_seq = Array.make (max n 1) (-1);
+    gate = None;
+    use_agg = false;
+    agg_in_flight = false;
+    agg_next = 1;
+    agg_pending_end = 0;
+  }
+
+let id t = t.cfg.id
+let role t = t.role
+let term t = t.term
+let leader_hint t = t.leader_hint
+let log t = t.log
+let commit_index t = t.commit
+let applied_index t = t.applied
+let announced_index t = t.announced
+let voted_for t = t.voted_for
+let cluster_size t = Array.length t.cfg.peers + 1
+let quorum t = (cluster_size t / 2) + 1
+let slot t p = Hashtbl.find t.slots p
+let applied_index_of t p = t.applied_of.(slot t p)
+let match_index_of t p = t.match_idx.(slot t p)
+let set_announce_gate t g = t.gate <- g
+
+let set_aggregated t flag =
+  t.use_agg <- flag;
+  if flag then begin
+    t.agg_in_flight <- false;
+    t.agg_next <- t.announced + 1;
+    t.agg_pending_end <- t.announced
+  end
+
+let aggregated t = t.use_agg
+
+(* --- internal helpers; [emit] appends to the (reversed) action list --- *)
+
+let become_follower t ~term ~leader emit =
+  let was = t.role in
+  if term > t.term then begin
+    t.term <- term;
+    t.voted_for <- None;
+    t.verified <- 0
+  end;
+  t.role <- Follower;
+  t.leader_hint <- leader;
+  t.use_agg <- false;
+  t.agg_in_flight <- false;
+  if was <> Follower then emit (Became_follower leader)
+
+let extend_announced t =
+  if t.role = Leader then begin
+    let stop = ref false in
+    while (not !stop) && t.announced < Log.last_index t.log do
+      let i = t.announced + 1 in
+      let ok =
+        match t.gate with
+        | None -> true
+        | Some g -> g i (Log.get t.log i).Types.cmd
+      in
+      if ok then t.announced <- i else stop := true
+    done
+  end
+
+let next_seq t =
+  t.ae_seq <- t.ae_seq + 1;
+  t.ae_seq
+
+let make_append_entries t ~lo ~hi ~seq =
+  let entries = Log.slice t.log ~lo ~hi in
+  let prev_idx = lo - 1 in
+  let prev_term =
+    match Log.term_at t.log prev_idx with
+    | Some tm -> tm
+    | None -> invalid_arg "make_append_entries: prev index beyond log"
+  in
+  Types.Append_entries
+    {
+      term = t.term;
+      leader = t.cfg.id;
+      prev_idx;
+      prev_term;
+      entries;
+      commit = t.commit;
+      seq;
+    }
+
+let replicate_slot t ~force s emit =
+  if (not t.in_flight.(s)) || force then begin
+    let nx = t.next_idx.(s) in
+    let hi = min t.announced (nx + t.cfg.batch_max - 1) in
+    if hi >= nx || force then begin
+      let hi = max hi (nx - 1) in
+      let seq = next_seq t in
+      t.sent_seq.(s) <- seq;
+      emit (Send (t.cfg.peers.(s), make_append_entries t ~lo:nx ~hi ~seq));
+      t.in_flight.(s) <- true
+    end
+  end
+
+let replicate_agg t ~force emit =
+  if (not t.agg_in_flight) || force then begin
+    let nx = t.agg_next in
+    let hi = min t.announced (nx + t.cfg.batch_max - 1) in
+    if hi >= nx || force then begin
+      let hi = max hi (nx - 1) in
+      emit (Send_aggregate (make_append_entries t ~lo:nx ~hi ~seq:(next_seq t)));
+      t.agg_in_flight <- true;
+      t.agg_pending_end <- hi
+    end
+  end
+
+let replicate t ~force emit =
+  if t.role = Leader then begin
+    extend_announced t;
+    if t.use_agg then begin
+      replicate_agg t ~force emit;
+      (* Peers in point-to-point recovery are served directly (§5). *)
+      Array.iteri (fun s d -> if d then replicate_slot t ~force s emit) t.direct
+    end
+    else
+      for s = 0 to Array.length t.cfg.peers - 1 do
+        replicate_slot t ~force s emit
+      done
+  end
+
+let set_commit t c emit =
+  if c > t.commit then begin
+    t.commit <- c;
+    emit (Commit_advanced c)
+  end
+
+let broadcast_commit_hint t emit =
+  if t.cfg.eager_commit_notify then
+    Array.iter
+      (fun p -> emit (Send (p, Types.Commit_to { term = t.term; commit = t.commit })))
+      t.cfg.peers
+
+let try_advance_commit t emit =
+  if t.role = Leader then begin
+    let hi = min t.announced (Log.last_index t.log) in
+    let found = ref 0 in
+    let i = ref hi in
+    while !found = 0 && !i > t.commit do
+      if Log.term_at t.log !i = Some t.term then begin
+        let count = ref 1 in
+        Array.iter (fun m -> if m >= !i then incr count) t.match_idx;
+        if !count >= quorum t then found := !i
+      end;
+      decr i
+    done;
+    if !found > 0 then begin
+      set_commit t !found emit;
+      broadcast_commit_hint t emit
+    end
+  end
+
+let become_leader t emit =
+  t.role <- Leader;
+  t.leader_hint <- Some t.cfg.id;
+  t.use_agg <- false;
+  t.agg_in_flight <- false;
+  let last = Log.last_index t.log in
+  Array.fill t.next_idx 0 (Array.length t.next_idx) (last + 1);
+  Array.fill t.match_idx 0 (Array.length t.match_idx) 0;
+  Array.fill t.applied_of 0 (Array.length t.applied_of) 0;
+  Array.fill t.in_flight 0 (Array.length t.in_flight) false;
+  Array.fill t.direct 0 (Array.length t.direct) false;
+  (* Entries inherited from previous terms were announced by their leader;
+     only entries appended from here on pass through the gate. *)
+  t.announced <- last;
+  ignore (Log.append t.log { Types.term = t.term; cmd = t.noop });
+  emit Became_leader;
+  replicate t ~force:true emit;
+  (* Single-node clusters commit immediately. *)
+  try_advance_commit t emit
+
+let start_election t emit =
+  t.term <- t.term + 1;
+  t.role <- Candidate;
+  t.voted_for <- Some t.cfg.id;
+  t.leader_hint <- None;
+  t.verified <- 0;
+  t.use_agg <- false;
+  Array.fill t.votes 0 (Array.length t.votes) false;
+  if quorum t = 1 then become_leader t emit
+  else
+    Array.iter
+      (fun p ->
+        emit
+          (Send
+             ( p,
+               Types.Request_vote
+                 {
+                   term = t.term;
+                   candidate = t.cfg.id;
+                   last_idx = Log.last_index t.log;
+                   last_term = Log.last_term t.log;
+                 } )))
+      t.cfg.peers
+
+(* --- message handlers --- *)
+
+let on_request_vote t ~term ~candidate ~last_idx ~last_term emit =
+  if term < t.term then
+    emit (Send (candidate, Types.Vote { term = t.term; from = t.cfg.id; granted = false }))
+  else begin
+    let up_to_date =
+      last_term > Log.last_term t.log
+      || (last_term = Log.last_term t.log && last_idx >= Log.last_index t.log)
+    in
+    let granted =
+      up_to_date
+      &&
+      match t.voted_for with None -> true | Some v -> v = candidate
+    in
+    if granted then begin
+      t.voted_for <- Some candidate;
+      emit Leader_activity
+    end;
+    emit (Send (candidate, Types.Vote { term = t.term; from = t.cfg.id; granted }))
+  end
+
+let on_vote t ~term ~from ~granted emit =
+  if t.role = Candidate && term = t.term && granted then begin
+    t.votes.(slot t from) <- true;
+    let count = ref 1 in
+    Array.iter (fun v -> if v then incr count) t.votes;
+    if !count >= quorum t then become_leader t emit
+  end
+
+let on_append_entries t ~term ~leader ~prev_idx ~prev_term ~entries ~commit ~seq emit =
+  if term < t.term then
+    emit
+      (Send
+         ( leader,
+           Types.Append_ack
+             {
+               term = t.term;
+               from = t.cfg.id;
+               success = false;
+               seq;
+               match_idx = 0;
+               applied_idx = t.applied;
+             } ))
+  else begin
+    if t.role <> Follower then become_follower t ~term ~leader:(Some leader) emit;
+    t.leader_hint <- Some leader;
+    emit Leader_activity;
+    (* A prev point inside our compacted prefix is below our applied index:
+       those entries are committed and immutable, so the check passes and
+       the overlapping entries are skipped below. *)
+    let ok =
+      prev_idx < Log.base t.log || Log.term_at t.log prev_idx = Some prev_term
+    in
+    if not ok then begin
+      (* Conflict hint: skip a whole divergent term in one round trip. *)
+      let hint =
+        if prev_idx > Log.last_index t.log then Log.last_index t.log + 1
+        else if prev_idx > Log.base t.log then
+          Log.first_index_of_term_at t.log prev_idx
+        else 1
+      in
+      emit
+        (Send
+           ( leader,
+             Types.Append_ack
+               {
+                 term = t.term;
+                 from = t.cfg.id;
+                 success = false;
+                 seq;
+                 match_idx = hint;
+                 applied_idx = t.applied;
+               } ))
+    end
+    else begin
+      Array.iteri
+        (fun i e ->
+          let idx = prev_idx + 1 + i in
+          if
+            idx > Log.base t.log
+            && Log.term_at t.log idx <> Some e.Types.term
+          then begin
+            if idx <= Log.last_index t.log then Log.truncate_from t.log idx;
+            ignore (Log.append t.log e)
+          end)
+        entries;
+      let new_match = prev_idx + Array.length entries in
+      t.verified <- max t.verified new_match;
+      set_commit t (min commit t.verified) emit;
+      emit
+        (Send
+           ( leader,
+             Types.Append_ack
+               {
+                 term = t.term;
+                 from = t.cfg.id;
+                 success = true;
+                 seq;
+                 match_idx = new_match;
+                 applied_idx = t.applied;
+               } ))
+    end
+  end
+
+let on_append_ack t ~term ~from ~success ~seq ~match_idx ~applied_idx emit =
+  if t.role = Leader && term = t.term then begin
+    let s = slot t from in
+    t.applied_of.(s) <- max t.applied_of.(s) applied_idx;
+    (* Only acks of the latest transmission drive pacing; acks of
+       superseded (retransmitted) sends still contribute their match and
+       applied knowledge but must not spawn extra in-flight streams. The
+       sequence counter is global, so an ack with a NEWER seq than the
+       peer's last point-to-point send is the peer responding to an
+       aggregator-fanned append_entries (HovercRaft++) — that one is
+       authoritative too, notably the failure acks that start direct
+       recovery (§5). *)
+    let current = seq >= t.sent_seq.(s) in
+    if current then begin
+      t.sent_seq.(s) <- seq;
+      t.in_flight.(s) <- false
+    end;
+    if success then begin
+      t.match_idx.(s) <- max t.match_idx.(s) match_idx;
+      t.next_idx.(s) <- max t.next_idx.(s) (t.match_idx.(s) + 1);
+      if t.use_agg && t.direct.(s) && t.match_idx.(s) >= Log.last_index t.log
+      then t.direct.(s) <- false;
+      try_advance_commit t emit;
+      if current then replicate t ~force:false emit
+    end
+    else if current then begin
+      let bounded = min match_idx (t.next_idx.(s) - 1) in
+      t.next_idx.(s) <- max 1 (min bounded (Log.last_index t.log + 1));
+      if t.use_agg then t.direct.(s) <- true;
+      replicate_slot t ~force:true s emit
+    end
+  end
+
+let on_commit_to t ~term ~commit emit =
+  if term = t.term && t.role = Follower then begin
+    emit Leader_activity;
+    set_commit t (min commit t.verified) emit
+  end
+
+let on_agg_ack t ~term ~commit emit =
+  if t.role = Leader && term = t.term && t.use_agg then begin
+    t.agg_in_flight <- false;
+    t.agg_next <- max t.agg_next (t.agg_pending_end + 1);
+    set_commit t (min commit t.announced) emit;
+    replicate t ~force:false emit
+  end
+
+let handle t input =
+  let acc = ref [] in
+  let emit a = acc := a :: !acc in
+  (match input with
+  | Receive msg ->
+      let mterm = Types.message_term msg in
+      if mterm > t.term then begin
+        let leader =
+          match msg with
+          | Types.Append_entries { leader; _ } -> Some leader
+          | Types.Request_vote _ | Types.Vote _ | Types.Append_ack _
+          | Types.Commit_to _ | Types.Agg_ack _ ->
+              None
+        in
+        become_follower t ~term:mterm ~leader emit
+      end;
+      (match msg with
+      | Types.Request_vote { term; candidate; last_idx; last_term } ->
+          on_request_vote t ~term ~candidate ~last_idx ~last_term emit
+      | Types.Vote { term; from; granted } -> on_vote t ~term ~from ~granted emit
+      | Types.Append_entries
+          { term; leader; prev_idx; prev_term; entries; commit; seq } ->
+          on_append_entries t ~term ~leader ~prev_idx ~prev_term ~entries ~commit
+            ~seq emit
+      | Types.Append_ack { term; from; success; seq; match_idx; applied_idx } ->
+          on_append_ack t ~term ~from ~success ~seq ~match_idx ~applied_idx emit
+      | Types.Commit_to { term; commit } -> on_commit_to t ~term ~commit emit
+      | Types.Agg_ack { term; commit } -> on_agg_ack t ~term ~commit emit)
+  | Election_timeout -> if t.role <> Leader then start_election t emit
+  | Heartbeat_timeout -> if t.role = Leader then replicate t ~force:true emit
+  | Client_command cmd ->
+      if t.role = Leader then begin
+        let idx = Log.append t.log { Types.term = t.term; cmd } in
+        emit (Appended idx);
+        replicate t ~force:false emit;
+        (* A single-node cluster has no acks to drive the commit rule. *)
+        if quorum t = 1 then try_advance_commit t emit
+      end
+      else emit (Reject_command cmd)
+  | Applied_up_to i ->
+      t.applied <- max t.applied (min i t.commit);
+      if t.role = Leader then replicate t ~force:false emit);
+  List.rev !acc
+
+(* --- log compaction --- *)
+
+(* The highest index that is safe to discard: everything at or below it
+   has been applied locally and (on a leader) is known replicated on every
+   follower, so no retransmission, conflict back-off or recovery path can
+   ever need it again. A crashed follower pins the leader's bound — full
+   Raft resolves that with InstallSnapshot, which is out of scope for the
+   crash-stop failure model here. *)
+let compaction_bound t =
+  if t.role = Leader then Array.fold_left min t.applied t.match_idx
+  else t.applied
+
+let compact t ~retain =
+  if retain < 0 then invalid_arg "Node.compact: negative retention";
+  let target = min (compaction_bound t) (Log.last_index t.log - retain) in
+  if target > Log.base t.log then Log.compact_to t.log target;
+  Log.base t.log
+
+(* --- snapshot / restore (for the model checker) --- *)
+
+type 'cmd dump = {
+  d_term : Types.term;
+  d_role : role;
+  d_voted_for : Types.node_id option;
+  d_leader_hint : Types.node_id option;
+  d_commit : int;
+  d_applied : int;
+  d_verified : int;
+  d_entries : 'cmd Types.entry list;
+  d_votes : bool list;
+  d_next : int list;
+  d_match : int list;
+  d_applied_of : int list;
+  d_in_flight : bool list;
+  d_direct : bool list;
+  d_announced : int;
+  d_ae_seq : int;
+  d_sent_seq : int list;
+  d_use_agg : bool;
+  d_agg_in_flight : bool;
+  d_agg_next : int;
+  d_agg_pending_end : int;
+}
+
+let dump t =
+  {
+    d_term = t.term;
+    d_role = t.role;
+    d_voted_for = t.voted_for;
+    d_leader_hint = t.leader_hint;
+    d_commit = t.commit;
+    d_applied = t.applied;
+    d_verified = t.verified;
+    d_entries =
+      (if Log.base t.log <> 0 then
+         invalid_arg "Node.dump: compacted logs are not dumpable";
+       Array.to_list (Log.slice t.log ~lo:1 ~hi:(Log.last_index t.log)));
+    d_votes = Array.to_list t.votes;
+    d_next = Array.to_list t.next_idx;
+    d_match = Array.to_list t.match_idx;
+    d_applied_of = Array.to_list t.applied_of;
+    d_in_flight = Array.to_list t.in_flight;
+    d_direct = Array.to_list t.direct;
+    d_announced = t.announced;
+    d_ae_seq = t.ae_seq;
+    d_sent_seq = Array.to_list t.sent_seq;
+    d_use_agg = t.use_agg;
+    d_agg_in_flight = t.agg_in_flight;
+    d_agg_next = t.agg_next;
+    d_agg_pending_end = t.agg_pending_end;
+  }
+
+let restore cfg ~noop d =
+  let t = create cfg ~noop in
+  t.term <- d.d_term;
+  t.role <- d.d_role;
+  t.voted_for <- d.d_voted_for;
+  t.leader_hint <- d.d_leader_hint;
+  t.commit <- d.d_commit;
+  t.applied <- d.d_applied;
+  t.verified <- d.d_verified;
+  List.iter (fun e -> ignore (Log.append t.log e)) d.d_entries;
+  let fill dst l = List.iteri (fun i v -> dst.(i) <- v) l in
+  fill t.votes d.d_votes;
+  fill t.next_idx d.d_next;
+  fill t.match_idx d.d_match;
+  fill t.applied_of d.d_applied_of;
+  fill t.in_flight d.d_in_flight;
+  fill t.direct d.d_direct;
+  t.announced <- d.d_announced;
+  t.ae_seq <- d.d_ae_seq;
+  fill t.sent_seq d.d_sent_seq;
+  t.use_agg <- d.d_use_agg;
+  t.agg_in_flight <- d.d_agg_in_flight;
+  t.agg_next <- d.d_agg_next;
+  t.agg_pending_end <- d.d_agg_pending_end;
+  t
+
+let compare_dump = Stdlib.compare
+
+type 'cmd dump_info = {
+  i_term : Types.term;
+  i_role : role;
+  i_commit : int;
+  i_entries : 'cmd Types.entry list;
+}
+
+let dump_info d =
+  { i_term = d.d_term; i_role = d.d_role; i_commit = d.d_commit; i_entries = d.d_entries }

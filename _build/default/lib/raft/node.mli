@@ -1,0 +1,137 @@
+(** The Raft consensus state machine, pure with respect to time and IO.
+
+    [handle] consumes one input (a received message, an expired timer, a
+    client command, or an application-progress report) and returns the
+    resulting actions. The embedder owns clocks, transport, randomized
+    timeout durations and the applying thread; this module owns terms,
+    voting, log consistency and commit safety. That split is what lets the
+    property-based tests drive thousands of adversarial schedules through
+    the exact code that runs in the simulator.
+
+    Leader-side replication supports the knobs HovercRaft needs without
+    changing the core algorithm (§5):
+
+    - an {e announce gate}: before an entry is sent to any follower for the
+      first time, a callback may veto the announcement (bounded queues) or
+      decorate the command (replier assignment);
+    - {e aggregated replication} (HovercRaft++): when enabled, in-sync
+      followers are served by a single append_entries addressed to the
+      aggregator; followers that fail an append_entries fall back to
+      point-to-point recovery with the leader until they catch up. *)
+
+type role = Follower | Candidate | Leader
+
+val pp_role : Format.formatter -> role -> unit
+
+type config = {
+  id : Types.node_id;
+  peers : Types.node_id array;  (** All other cluster members. *)
+  batch_max : int;  (** Max entries per append_entries. *)
+  eager_commit_notify : bool;
+      (** Broadcast [Commit_to] as soon as the commit index advances and no
+          entry traffic is pending; keeps follower repliers prompt in plain
+          HovercRaft (HovercRaft++ gets this for free from AGG_COMMIT). *)
+}
+
+type 'cmd action =
+  | Send of Types.node_id * 'cmd Types.message
+  | Send_aggregate of 'cmd Types.message
+      (** Leader -> in-network aggregator (HovercRaft++ fast path). *)
+  | Commit_advanced of int  (** New commit index (entries are ready to apply). *)
+  | Appended of int  (** Index assigned to a client command (leader only). *)
+  | Became_leader
+  | Became_follower of Types.node_id option  (** Known leader, if any. *)
+  | Leader_activity
+      (** Legitimate leader contact (or granted vote); the embedder resets
+          its election clock. *)
+  | Reject_command of 'cmd
+      (** Client command received while not leader; embedder may redirect. *)
+
+type 'cmd input =
+  | Receive of 'cmd Types.message
+  | Election_timeout
+  | Heartbeat_timeout
+  | Client_command of 'cmd
+  | Applied_up_to of int
+      (** The application thread finished applying entries up to this
+          index. Feeds [applied_idx] in acks and unblocks announcing. *)
+
+type 'cmd t
+
+val create : config -> noop:'cmd -> 'cmd t
+(** [noop] is appended when winning an election so the new term always has
+    a committable entry (standard leader-completeness practice). *)
+
+(** {1 Observers} *)
+
+val id : 'cmd t -> Types.node_id
+val role : 'cmd t -> role
+val term : 'cmd t -> Types.term
+val leader_hint : 'cmd t -> Types.node_id option
+val log : 'cmd t -> 'cmd Log.t
+val commit_index : 'cmd t -> int
+val applied_index : 'cmd t -> int
+val announced_index : 'cmd t -> int
+val voted_for : 'cmd t -> Types.node_id option
+val cluster_size : 'cmd t -> int
+
+val applied_index_of : 'cmd t -> Types.node_id -> int
+(** Leader's latest knowledge of a peer's applied index (0 initially). *)
+
+val match_index_of : 'cmd t -> Types.node_id -> int
+
+(** {1 Replication knobs} *)
+
+val set_announce_gate : 'cmd t -> (int -> 'cmd -> bool) option -> unit
+(** The gate is called once per entry, in index order, when the leader is
+    about to announce it; returning [false] stops announcement (it will be
+    retried on the next replication opportunity). *)
+
+val set_aggregated : 'cmd t -> bool -> unit
+(** Toggle the HovercRaft++ fast path. The embedder switches it on only
+    after probing the aggregator (§5). Resets to off on role change. *)
+
+val aggregated : 'cmd t -> bool
+
+(** {1 Log compaction} *)
+
+val compaction_bound : 'cmd t -> int
+(** Highest index safe to discard: applied locally, and on a leader also
+    replicated on every follower. *)
+
+val compact : 'cmd t -> retain:int -> int
+(** Compact the log up to [compaction_bound] while always retaining the
+    most recent [retain] entries; returns the new base. Call it
+    periodically (the simulator does so from the GC loop). *)
+
+(** {1 The state machine} *)
+
+val handle : 'cmd t -> 'cmd input -> 'cmd action list
+(** Process one input; returns actions in the order they must be
+    performed. *)
+
+(** {1 Snapshot / restore}
+
+    The full mutable state as a pure, structurally comparable value. Used
+    by the explicit-state model checker to branch execution: states are
+    dumped, deduplicated with structural compare, and restored to explore
+    successor transitions — so the checker exercises this exact
+    implementation, not a re-modelling of it. *)
+
+type 'cmd dump
+
+val dump : 'cmd t -> 'cmd dump
+val restore : config -> noop:'cmd -> 'cmd dump -> 'cmd t
+val compare_dump : 'cmd dump -> 'cmd dump -> int
+(** Structural comparison (commands are compared with polymorphic
+    compare; use simple command types in checked models). *)
+
+type 'cmd dump_info = {
+  i_term : Types.term;
+  i_role : role;
+  i_commit : int;
+  i_entries : 'cmd Types.entry list;  (** Index 1 first. *)
+}
+
+val dump_info : 'cmd dump -> 'cmd dump_info
+(** The observable fields invariant checks need, without restoring. *)

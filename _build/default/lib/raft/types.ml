@@ -1,0 +1,79 @@
+(** Raft wire types, polymorphic in the replicated command.
+
+    VanillaRaft instantiates ['cmd] with full request bodies; HovercRaft
+    instantiates it with fixed-size ordering metadata (§3.2), which is what
+    makes its append_entries cost independent of request size. *)
+
+type term = int
+type node_id = int
+
+(** One log slot. [cmd] is mutable-free at this level; HovercRaft's command
+    type carries its own mutable replier field (set once by the leader
+    before first announcement, §3.3). *)
+type 'cmd entry = { term : term; cmd : 'cmd }
+
+type 'cmd message =
+  | Request_vote of {
+      term : term;
+      candidate : node_id;
+      last_idx : int;
+      last_term : term;
+    }
+  | Vote of { term : term; from : node_id; granted : bool }
+  | Append_entries of {
+      term : term;
+      leader : node_id;
+      prev_idx : int;
+      prev_term : term;
+      entries : 'cmd entry array;
+      commit : int;  (** Leader's commit index at send time. *)
+      seq : int;
+          (** Per-leader send sequence number, echoed in the ack. The
+              leader paces replication with one outstanding append_entries
+              per follower; the echo lets it ignore acks of superseded
+              transmissions (heartbeat retransmits would otherwise spawn
+              duplicate in-flight streams). *)
+    }
+  | Append_ack of {
+      term : term;
+      from : node_id;
+      success : bool;
+      seq : int;  (** Echo of the acknowledged append_entries' [seq]. *)
+      match_idx : int;
+          (** On success: index of the last entry now known replicated on
+              [from]. On failure: the follower's hint for the leader's next
+              next_index (conflict optimization). *)
+      applied_idx : int;
+          (** HovercRaft extension (§6.2): the follower's applied index,
+              feeding the leader's bounded queues. *)
+    }
+  | Commit_to of { term : term; commit : int }
+      (** Lightweight commit announcement; carried by the aggregator's
+          AGG_COMMIT towards followers. *)
+  | Agg_ack of { term : term; commit : int }
+      (** The aggregator's single reply to the leader once a quorum of
+          followers acknowledged (HovercRaft++, §4). *)
+
+let message_term = function
+  | Request_vote { term; _ }
+  | Vote { term; _ }
+  | Append_entries { term; _ }
+  | Append_ack { term; _ }
+  | Commit_to { term; _ }
+  | Agg_ack { term; _ } ->
+      term
+
+let pp_message fmt = function
+  | Request_vote { term; candidate; last_idx; last_term } ->
+      Format.fprintf fmt "request_vote(t=%d,c=%d,last=%d@%d)" term candidate
+        last_idx last_term
+  | Vote { term; from; granted } ->
+      Format.fprintf fmt "vote(t=%d,from=%d,%b)" term from granted
+  | Append_entries { term; leader; prev_idx; entries; commit; _ } ->
+      Format.fprintf fmt "append_entries(t=%d,l=%d,prev=%d,n=%d,commit=%d)" term
+        leader prev_idx (Array.length entries) commit
+  | Append_ack { term; from; success; match_idx; applied_idx; _ } ->
+      Format.fprintf fmt "append_ack(t=%d,from=%d,%b,match=%d,applied=%d)" term
+        from success match_idx applied_idx
+  | Commit_to { term; commit } -> Format.fprintf fmt "commit_to(t=%d,%d)" term commit
+  | Agg_ack { term; commit } -> Format.fprintf fmt "agg_ack(t=%d,%d)" term commit

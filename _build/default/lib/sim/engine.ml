@@ -1,0 +1,54 @@
+type event = { run : unit -> unit; mutable cancelled : bool }
+type timer = event
+
+type t = {
+  mutable now : Timebase.t;
+  queue : event Heap.t;
+  mutable seq : int;
+  mutable stopping : bool;
+}
+
+let create () =
+  { now = 0; queue = Heap.create (); seq = 0; stopping = false }
+
+let now t = t.now
+let pending t = Heap.length t.queue
+
+let schedule t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d is before now %d" time t.now);
+  let ev = { run = f; cancelled = false } in
+  Heap.push t.queue ~key:time ~seq:t.seq ev;
+  t.seq <- t.seq + 1;
+  ev
+
+let at t time f = ignore (schedule t time f)
+let after t delay f = ignore (schedule t (t.now + delay) f)
+let timer_after t delay f = schedule t (t.now + delay) f
+let cancel ev = ev.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, ev) ->
+      t.now <- time;
+      if not ev.cancelled then ev.run ();
+      true
+
+let run ?until t =
+  t.stopping <- false;
+  let horizon = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Heap.peek_key t.queue with
+      | None -> if horizon < max_int then t.now <- max t.now horizon
+      | Some k when k > horizon -> t.now <- max t.now horizon
+      | Some _ ->
+          ignore (step t);
+          loop ()
+  in
+  loop ()
+
+let stop t = t.stopping <- true

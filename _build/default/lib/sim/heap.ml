@@ -1,0 +1,95 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max capacity 16 in
+  {
+    keys = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    vals = Array.make capacity (Obj.magic 0);
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let n = Array.length t.keys in
+  let n' = n * 2 in
+  let keys = Array.make n' 0 and seqs = Array.make n' 0 in
+  let vals = Array.make n' t.vals.(0) in
+  Array.blit t.keys 0 keys 0 n;
+  Array.blit t.seqs 0 seqs 0 n;
+  Array.blit t.vals 0 vals 0 n;
+  t.keys <- keys;
+  t.seqs <- seqs;
+  t.vals <- vals
+
+(* [lt] orders by (key, seq) lexicographically. *)
+let lt t i j =
+  t.keys.(i) < t.keys.(j) || (t.keys.(i) = t.keys.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let k = t.keys.(i) and s = t.seqs.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.seqs.(i) <- t.seqs.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.seqs.(j) <- s;
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t l !smallest then smallest := l;
+  if r < t.size && lt t r !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~key ~seq v =
+  if t.size = Array.length t.keys then grow t;
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.seqs.(i) <- seq;
+  t.vals.(i) <- v;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) and seq = t.seqs.(0) and v = t.vals.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.seqs.(0) <- t.seqs.(t.size);
+      t.vals.(0) <- t.vals.(t.size);
+      sift_down t 0
+    end;
+    (* Release the value slot so the GC can reclaim popped closures. *)
+    t.vals.(t.size) <- Obj.magic 0;
+    Some (key, seq, v)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.keys.(0)
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.vals.(i) <- Obj.magic 0
+  done;
+  t.size <- 0

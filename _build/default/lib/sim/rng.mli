@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of the simulator draws from its own [Rng.t]
+    seeded from the experiment seed, so simulations replay bit-identically
+    and components can be added or removed without perturbing each other's
+    streams. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent advances by one step. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)

@@ -1,0 +1,43 @@
+type t = { width : Timebase.t; table : (int, int * Stats.t) Hashtbl.t }
+
+type bucket = {
+  start : Timebase.t;
+  count : int;
+  p99 : Timebase.t option;
+  mean : float;
+}
+
+let create ~bucket () =
+  if bucket <= 0 then invalid_arg "Series.create: bucket must be positive";
+  { width = bucket; table = Hashtbl.create 64 }
+
+let slot t at = at / t.width
+
+let entry t at =
+  let key = slot t at in
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e = (0, Stats.create ()) in
+      Hashtbl.replace t.table key e;
+      e
+
+let add t ~at v =
+  let n, stats = entry t at in
+  Stats.add stats v;
+  Hashtbl.replace t.table (slot t at) (n + 1, stats)
+
+let mark t ~at =
+  let n, stats = entry t at in
+  Hashtbl.replace t.table (slot t at) (n + 1, stats)
+
+let buckets t =
+  Hashtbl.fold (fun k (n, stats) acc -> (k, n, stats) :: acc) t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (k, n, stats) ->
+         {
+           start = k * t.width;
+           count = n;
+           p99 = (if Stats.count stats = 0 then None else Some (Stats.percentile stats 0.99));
+           mean = Stats.mean stats;
+         })

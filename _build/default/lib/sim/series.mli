@@ -1,0 +1,30 @@
+(** Time-bucketed series recorder.
+
+    Used for the failure-timeline experiment (Fig. 12): throughput and tail
+    latency are reported per wall-clock bucket so that the effect of a
+    leader kill is visible as a function of time. *)
+
+type t
+
+val create : bucket:Timebase.t -> unit
+  -> t
+(** [create ~bucket ()] groups samples into consecutive windows of width
+    [bucket]. *)
+
+val add : t -> at:Timebase.t -> Timebase.t -> unit
+(** [add t ~at v] records sample [v] (e.g. a latency) in the bucket
+    containing time [at]. *)
+
+val mark : t -> at:Timebase.t -> unit
+(** Record an event with no value (e.g. a NACKed request) in the bucket
+    containing [at]; it contributes to [count] only. *)
+
+type bucket = {
+  start : Timebase.t;  (** Bucket start time. *)
+  count : int;  (** Events recorded in the bucket. *)
+  p99 : Timebase.t option;  (** p99 of valued samples, if any. *)
+  mean : float;  (** Mean of valued samples (0 when none). *)
+}
+
+val buckets : t -> bucket list
+(** All non-empty buckets in time order. *)

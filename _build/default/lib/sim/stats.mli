@@ -1,0 +1,41 @@
+(** Latency recording and exact percentiles.
+
+    The load generator records one duration per completed request; at the
+    end of a run we compute exact order statistics (the sample sizes are
+    small enough that sorting beats sketching, and exactness matters when
+    asserting tail-latency shapes in tests). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Timebase.t -> unit
+(** Record one sample (a duration in ns). *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean in ns; 0 if empty. *)
+
+val max_sample : t -> Timebase.t
+(** Largest sample; 0 if empty. *)
+
+val percentile : t -> float -> Timebase.t
+(** [percentile t 0.99] is the exact p99 (nearest-rank) in ns. Raises
+    [Invalid_argument] on an empty recorder or a rank outside [0, 1]. *)
+
+val merge : t -> t -> t
+(** Union of two sample sets. *)
+
+val clear : t -> unit
+
+(** Streaming counter with mean/variance (Welford), used where retaining
+    samples would be wasteful. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+end

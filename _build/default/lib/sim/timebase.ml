@@ -1,0 +1,16 @@
+type t = int
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let s x = x * 1_000_000_000
+let of_us_f x = int_of_float (Float.round (x *. 1_000.))
+let to_us_f t = float_of_int t /. 1_000.
+let to_s_f t = float_of_int t /. 1e9
+
+let pp fmt t =
+  let ft = float_of_int t in
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (ft /. 1e3)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (ft /. 1e6)
+  else Format.fprintf fmt "%.3fs" (ft /. 1e9)

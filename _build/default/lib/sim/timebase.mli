@@ -1,0 +1,34 @@
+(** Simulated time.
+
+    All simulation timestamps and durations are integers in nanoseconds.
+    An [int] on a 64-bit platform holds ~292 simulated years, far beyond any
+    experiment horizon, and integer arithmetic keeps the event queue exact
+    and deterministic. *)
+
+type t = int
+(** A point in simulated time, or a duration, in nanoseconds. *)
+
+val ns : int -> t
+(** [ns x] is [x] nanoseconds. *)
+
+val us : int -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : int -> t
+(** [ms x] is [x] milliseconds. *)
+
+val s : int -> t
+(** [s x] is [x] seconds. *)
+
+val of_us_f : float -> t
+(** [of_us_f x] converts a fractional microsecond duration, rounding to the
+    nearest nanosecond. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in microseconds. *)
+
+val to_s_f : t -> float
+(** [to_s_f t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print with an adaptive unit (ns, µs, ms or s). *)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_apps Test_cluster Test_core Test_invariants Test_mc Test_net Test_r2p2 Test_raft Test_sim

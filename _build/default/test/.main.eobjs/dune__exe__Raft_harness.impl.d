@@ -1,0 +1,1 @@
+test/raft_harness.ml: Array Hashtbl Hovercraft_raft Hovercraft_sim List Printf Rng

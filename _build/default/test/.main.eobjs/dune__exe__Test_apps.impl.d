@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Dist Hovercraft_apps Hovercraft_sim Kvstore List Op Printf QCheck QCheck_alcotest Rng Service String Ycsb Zipf

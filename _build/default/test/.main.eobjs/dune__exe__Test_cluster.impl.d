@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Deploy Dist Experiment Failure Hnode Hovercraft_apps Hovercraft_cluster Hovercraft_core Hovercraft_net Hovercraft_sim List Loadgen String Table Timebase

@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Array Explore Hovercraft_mc Hovercraft_raft Model String

@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Array Cpu Engine Fabric Hovercraft_net Hovercraft_sim List Timebase Wire

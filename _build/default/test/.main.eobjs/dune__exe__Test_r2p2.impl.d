@@ -1,0 +1,1 @@
+test/test_r2p2.ml: Alcotest Gen Hashtbl Hovercraft_net Hovercraft_r2p2 Hovercraft_sim Jbsq List QCheck QCheck_alcotest R2p2 Rng

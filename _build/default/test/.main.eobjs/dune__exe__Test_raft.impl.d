@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Hovercraft_raft Hovercraft_sim List QCheck QCheck_alcotest Raft_harness Rng

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Engine Gen Heap Hovercraft_sim List QCheck QCheck_alcotest Rng Series Stats Timebase

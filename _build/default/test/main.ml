@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "hovercraft"
+    [
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("r2p2", Test_r2p2.suite);
+      ("raft", Test_raft.suite);
+      ("apps", Test_apps.suite);
+      ("core", Test_core.suite);
+      ("cluster", Test_cluster.suite);
+      ("invariants", Test_invariants.suite);
+      ("mc", Test_mc.suite);
+    ]

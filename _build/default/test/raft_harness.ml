@@ -1,0 +1,198 @@
+(* An adversarial, network-less harness for the pure Raft core.
+
+   Nodes are driven directly through [Node.handle]; the "network" is a
+   deterministic message bag the schedule adversary controls: it can
+   reorder (random pick), drop, and duplicate messages, crash nodes, and
+   fire election/heartbeat timeouts at any node at any point. The safety
+   checks run after every step, so any interleaving that breaks a Raft
+   invariant fails immediately with the offending schedule's seed. *)
+
+open Hovercraft_sim
+module Node = Hovercraft_raft.Node
+module Log = Hovercraft_raft.Log
+module Types = Hovercraft_raft.Types
+
+type cmd = int
+
+type t = {
+  nodes : cmd Node.t array;
+  crashed : bool array;
+  (* In-flight messages as (destination, message). *)
+  mutable bag : (int * cmd Types.message) list;
+  rng : Rng.t;
+  mutable committed : (int * cmd Types.entry) list;
+      (* Every (index, entry) ever observed committed anywhere; used for
+         the state-machine-safety check. *)
+  mutable next_cmd : int;
+}
+
+let create ?(n = 3) ~seed () =
+  let peers id = Array.init (n - 1) (fun i -> if i < id then i else i + 1) in
+  {
+    nodes =
+      Array.init n (fun id ->
+          Node.create
+            {
+              Node.id;
+              peers = peers id;
+              batch_max = 8;
+              eager_commit_notify = false;
+            }
+            ~noop:(-1));
+    crashed = Array.make n false;
+    bag = [];
+    rng = Rng.create seed;
+    committed = [];
+    next_cmd = 0;
+  }
+
+let n t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let crash t i = t.crashed.(i) <- true
+let crashed t i = t.crashed.(i)
+
+let alive_leaders t =
+  Array.to_list t.nodes
+  |> List.filteri (fun i _ -> not t.crashed.(i))
+  |> List.filter (fun nd -> Node.role nd = Node.Leader)
+
+(* --- safety checks ------------------------------------------------- *)
+
+exception Violation of string
+
+let check_election_safety t =
+  let by_term = Hashtbl.create 8 in
+  Array.iteri
+    (fun i nd ->
+      if (not t.crashed.(i)) && Node.role nd = Node.Leader then begin
+        let term = Node.term nd in
+        match Hashtbl.find_opt by_term term with
+        | Some other ->
+            raise
+              (Violation
+                 (Printf.sprintf "two leaders (%d and %d) in term %d" other i
+                    term))
+        | None -> Hashtbl.replace by_term term i
+      end)
+    t.nodes
+
+let check_log_matching t =
+  (* If two logs agree on the term at an index, they agree on everything
+     up to that index (checked pairwise on the shared suffix). *)
+  let logs = Array.map Node.log t.nodes in
+  Array.iteri
+    (fun i li ->
+      Array.iteri
+        (fun j lj ->
+          if i < j then begin
+            let lowest = max (Log.first_index li) (Log.first_index lj) in
+            let upto = min (Log.last_index li) (Log.last_index lj) in
+            let rec back k =
+              if k >= lowest then
+                if Log.term_at li k = Log.term_at lj k then begin
+                  for m = lowest to k do
+                    let a = Log.get li m and b = Log.get lj m in
+                    if a.Types.term <> b.Types.term || a.cmd <> b.cmd then
+                      raise
+                        (Violation
+                           (Printf.sprintf
+                              "log matching broken between %d and %d at %d" i j
+                              m))
+                  done
+                end
+                else back (k - 1)
+            in
+            back upto
+          end)
+        logs)
+    logs
+
+let check_commit_safety t =
+  (* Committed (index, entry) pairs are immutable across the run. *)
+  Array.iteri
+    (fun i nd ->
+      if not t.crashed.(i) then begin
+        let log = Node.log nd in
+        for idx = Log.first_index log to Node.commit_index nd do
+          let entry = Log.get log idx in
+          (match List.assoc_opt idx t.committed with
+          | Some prev when prev.Types.term <> entry.Types.term || prev.cmd <> entry.cmd
+            ->
+              raise
+                (Violation
+                   (Printf.sprintf "committed entry at %d changed (node %d)" idx
+                      i))
+          | Some _ -> ()
+          | None -> t.committed <- (idx, entry) :: t.committed)
+        done
+      end)
+    t.nodes
+
+let check t =
+  check_election_safety t;
+  check_log_matching t;
+  check_commit_safety t
+
+(* --- driving ------------------------------------------------------- *)
+
+let perform t src actions =
+  List.iter
+    (fun a ->
+      match a with
+      | Node.Send (dst, msg) -> t.bag <- (dst, msg) :: t.bag
+      | Node.Send_aggregate _ ->
+          raise (Violation "aggregated send from a non-aggregated config")
+      | Node.Commit_advanced c ->
+          (* Eager application: report progress immediately. *)
+          ignore (Node.handle t.nodes.(src) (Node.Applied_up_to c))
+      | Node.Appended _ | Node.Became_leader | Node.Became_follower _
+      | Node.Leader_activity | Node.Reject_command _ ->
+          ())
+    actions
+
+let feed t i input =
+  if not t.crashed.(i) then perform t i (Node.handle t.nodes.(i) input)
+
+let timeout t i = feed t i Node.Election_timeout
+let heartbeat t i = feed t i Node.Heartbeat_timeout
+
+let client_cmd t i =
+  let c = t.next_cmd in
+  t.next_cmd <- c + 1;
+  feed t i (Node.Client_command c);
+  c
+
+(* Deliver one random message from the bag; optionally drop or duplicate. *)
+let step_network ?(drop = 0.) ?(dup = 0.) t =
+  match t.bag with
+  | [] -> false
+  | bag ->
+      let k = Rng.int t.rng (List.length bag) in
+      let dst, msg = List.nth bag k in
+      t.bag <- List.filteri (fun i _ -> i <> k) bag;
+      if Rng.bool t.rng dup then t.bag <- (dst, msg) :: t.bag;
+      if not (Rng.bool t.rng drop) then feed t dst (Node.Receive msg);
+      true
+
+let drain ?drop ?dup ?(max_steps = 100_000) t =
+  let steps = ref 0 in
+  while step_network ?drop ?dup t && !steps < max_steps do
+    incr steps;
+    check t
+  done
+
+(* Elect [i] deterministically: time it out and deliver everything. *)
+let elect t i =
+  timeout t i;
+  drain t;
+  check t;
+  Node.role t.nodes.(i) = Node.Leader
+
+(* Commit one client command through leader [i], fully draining. *)
+let commit_via t i =
+  let c = client_cmd t i in
+  drain t;
+  (* Followers learn the commit on the next round. *)
+  heartbeat t i;
+  drain t;
+  c

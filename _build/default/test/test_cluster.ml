@@ -1,0 +1,166 @@
+(* Tests for the deployment, load generator and experiment harness. *)
+
+open Hovercraft_sim
+open Hovercraft_core
+open Hovercraft_cluster
+module Addr = Hovercraft_net.Addr
+module Service = Hovercraft_apps.Service
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_deploy_elects_node0 () =
+  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  match Deploy.leader deploy with
+  | Some l -> check_int "node0 bootstrapped as leader" 0 (Hnode.id l)
+  | None -> Alcotest.fail "no leader after create"
+
+let test_deploy_client_targets () =
+  let target mode ?flow_cap () =
+    Deploy.client_target (Deploy.create ?flow_cap (Hnode.params ~mode ~n:3 ()))
+  in
+  check "unrep -> node" true
+    (Addr.equal (target Hnode.Unreplicated ()) (Addr.Node 0));
+  check "vanilla -> leader" true (Addr.equal (target Hnode.Vanilla ()) (Addr.Node 0));
+  check "hover -> multicast" true
+    (Addr.equal (target Hnode.Hover ()) (Addr.Group Addr.cluster_group));
+  check "flow control -> middlebox" true
+    (Addr.equal (target Hnode.Hover_pp ~flow_cap:100 ()) Addr.Middlebox)
+
+let test_deploy_hoverpp_has_aggregator () =
+  let d = Deploy.create (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) in
+  check "aggregator present" true (d.Deploy.aggregator <> None);
+  let d' = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  check "no aggregator in plain hover" true (d'.Deploy.aggregator = None)
+
+let test_deploy_kill_leader_reelects () =
+  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  let killed = Deploy.kill_leader deploy in
+  Alcotest.(check (option int)) "killed node0" (Some 0) killed;
+  Deploy.quiesce deploy ~extra:(Timebase.ms 30) ();
+  match Deploy.leader deploy with
+  | Some l -> check "new leader is a follower" true (Hnode.id l <> 0)
+  | None -> Alcotest.fail "no re-election"
+
+let test_loadgen_open_loop_rate () =
+  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ()) in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:100_000.
+      ~workload:(Service.sample (Service.spec ())) ~seed:1 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 50) () in
+  (* Poisson with 5000 expected arrivals: allow 4 sigma. *)
+  check "arrival count near rate" true (report.Loadgen.sent > 4_700 && report.Loadgen.sent < 5_300);
+  check "all served at low load" true (report.Loadgen.completed > report.Loadgen.sent - 50);
+  check_int "no losses" 0 report.Loadgen.lost
+
+let test_loadgen_measures_latency () =
+  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ()) in
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:10_000.
+      ~workload:(Service.sample (Service.spec ())) ~seed:2 ()
+  in
+  let report = Loadgen.run gen ~warmup:(Timebase.ms 5) ~duration:(Timebase.ms 30) () in
+  (* Unloaded service time is ~1us + two fabric traversals. *)
+  check "p50 in the microsecond range" true
+    (report.Loadgen.p50_us > 2. && report.Loadgen.p50_us < 20.);
+  check "p99 >= p50" true (report.Loadgen.p99_us >= report.Loadgen.p50_us);
+  check "mean sane" true (report.Loadgen.mean_us > 1.)
+
+let test_loadgen_deterministic () =
+  let run () =
+    let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+    let gen =
+      Loadgen.create deploy ~clients:2 ~rate_rps:20_000.
+        ~workload:(Service.sample (Service.spec ())) ~seed:3 ()
+    in
+    let r = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 20) () in
+    (r.Loadgen.sent, r.Loadgen.completed, r.Loadgen.p99_us)
+  in
+  check "same seed, identical run" true (run () = run ())
+
+let test_experiment_point_low_load () =
+  let s =
+    Experiment.setup
+      (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ())
+      (Service.sample (Service.spec ()))
+  in
+  let r = Experiment.run_point s ~rate_rps:50_000. in
+  check "goodput tracks offered" true (r.Loadgen.goodput_rps > 45_000.);
+  check "SLO met at low load" true (r.Loadgen.p99_us < 100.)
+
+let test_experiment_slo_search_brackets () =
+  (* The unreplicated knee for S=1us sits below 1M and above 500k; the
+     search must land inside. *)
+  let s =
+    Experiment.setup
+      (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ())
+      (Service.sample (Service.spec ()))
+  in
+  let k = Experiment.max_under_slo ~lo:100_000. s in
+  check "knee in plausible band" true (k > 500_000. && k < 1_050_000.)
+
+let test_experiment_preload () =
+  let gen = Hovercraft_apps.Ycsb.create ~seed:4 () in
+  let preload = Hovercraft_apps.Ycsb.preload_ops gen 100 in
+  let s =
+    Experiment.setup ~preload
+      (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ())
+      (fun _ -> Hovercraft_apps.Ycsb.next gen)
+  in
+  let r = Experiment.run_point s ~rate_rps:5_000. in
+  check "ycsb point runs" true (r.Loadgen.completed > 0)
+
+let test_failure_outcome_shape () =
+  let spec = Service.spec ~service:(Dist.Fixed (Timebase.us 5)) ~read_fraction:0.5 () in
+  let outcome =
+    Failure.run
+      ~params:
+        {
+          (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
+          reply_lb = true;
+          flow_control = true;
+        }
+      ~rate_rps:50_000. ~flow_cap:500 ~bucket:(Timebase.ms 50)
+      ~duration:(Timebase.ms 400) ~kill_after:(Timebase.ms 150)
+      ~workload:(Service.sample spec) ~seed:5 ()
+  in
+  Alcotest.(check (option int)) "leader killed" (Some 0) outcome.Failure.killed_node;
+  check "new leader exists" true (outcome.Failure.new_leader <> None);
+  check "consistent after failover" true outcome.Failure.consistent;
+  check "series non-empty" true (List.length outcome.Failure.series >= 4);
+  (* Throughput must exist both before and after the kill. *)
+  let before, after =
+    List.partition
+      (fun (b : Failure.bucket) -> b.Failure.t_s < outcome.Failure.killed_at_s)
+      outcome.Failure.series
+  in
+  check "traffic before kill" true
+    (List.exists (fun (b : Failure.bucket) -> b.Failure.krps > 10.) before);
+  check "traffic after kill" true
+    (List.exists (fun (b : Failure.bucket) -> b.Failure.krps > 10.) after)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check "has separator" true (String.length s > 0 && String.contains s '-');
+  Alcotest.(check string) "krps formatting" "12.3" (Table.fmt_krps 12_345.);
+  Alcotest.(check string) "big krps formatting" "946" (Table.fmt_krps 945_580.)
+
+let suite =
+  [
+    Alcotest.test_case "deploy elects node0" `Quick test_deploy_elects_node0;
+    Alcotest.test_case "deploy client targets" `Quick test_deploy_client_targets;
+    Alcotest.test_case "deploy aggregator presence" `Quick
+      test_deploy_hoverpp_has_aggregator;
+    Alcotest.test_case "deploy kill leader reelects" `Quick
+      test_deploy_kill_leader_reelects;
+    Alcotest.test_case "loadgen open-loop rate" `Quick test_loadgen_open_loop_rate;
+    Alcotest.test_case "loadgen latency measurement" `Quick
+      test_loadgen_measures_latency;
+    Alcotest.test_case "loadgen determinism" `Quick test_loadgen_deterministic;
+    Alcotest.test_case "experiment low-load point" `Quick test_experiment_point_low_load;
+    Alcotest.test_case "experiment SLO search" `Slow test_experiment_slo_search_brackets;
+    Alcotest.test_case "experiment preload" `Quick test_experiment_preload;
+    Alcotest.test_case "failure outcome shape" `Slow test_failure_outcome_shape;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+  ]

@@ -1,0 +1,409 @@
+(* System-level invariant tests: properties of whole deployments that the
+   paper's design guarantees, checked end-to-end over the simulator. *)
+
+open Hovercraft_sim
+open Hovercraft_core
+open Hovercraft_cluster
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+module Op = Hovercraft_apps.Op
+module Service = Hovercraft_apps.Service
+module Rnode = Hovercraft_raft.Node
+module Rlog = Hovercraft_raft.Log
+module R2p2 = Hovercraft_r2p2.R2p2
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_cluster ?(mode = Hnode.Hover_pp) ?(n = 3) ?(rate = 40_000.)
+    ?(duration = Timebase.ms 60) ?(read_fraction = 0.5) ?(tweak = fun p -> p)
+    ?on_engine ~seed () =
+  let params = tweak (Hnode.params ~mode ~n ()) in
+  let deploy = Deploy.create params in
+  (match on_engine with Some f -> f deploy | None -> ());
+  let spec = Service.spec ~read_fraction () in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:rate
+      ~workload:(Service.sample spec) ~seed ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration () in
+  Deploy.quiesce deploy ~extra:(Timebase.ms 50) ();
+  (deploy, report)
+
+(* Extract the committed request-id sequence of a node's log. *)
+let committed_rids node =
+  match Hnode.raft_node node with
+  | None -> []
+  | Some raft ->
+      let log = Rnode.log raft in
+      let out = ref [] in
+      Rlog.iter_range log ~lo:1 ~hi:(Rnode.commit_index raft) (fun _ e ->
+          let meta = e.Hovercraft_raft.Types.cmd.Protocol.meta in
+          if not meta.internal then out := meta.rid :: !out);
+      List.rev !out
+
+let test_committed_prefix_agreement () =
+  let deploy, _ = run_cluster ~seed:41 () in
+  let seqs =
+    Array.to_list deploy.Deploy.nodes
+    |> List.filter Hnode.alive |> List.map committed_rids
+  in
+  match seqs with
+  | [] -> Alcotest.fail "no live nodes"
+  | first :: rest ->
+      List.iter
+        (fun other ->
+          let len = min (List.length first) (List.length other) in
+          let take l = List.filteri (fun i _ -> i < len) l in
+          check "committed sequences agree on shared prefix" true
+            (List.for_all2 R2p2.req_id_equal (take first) (take other)))
+        rest
+
+let test_committed_prefix_after_failover () =
+  let deploy, _ =
+    run_cluster ~rate:30_000. ~duration:(Timebase.ms 80)
+      ~on_engine:(fun deploy ->
+        Engine.after deploy.Deploy.engine (Timebase.ms 25) (fun () ->
+            ignore (Deploy.kill_leader deploy)))
+      ~seed:42 ()
+  in
+  let live =
+    Array.to_list deploy.Deploy.nodes |> List.filter Hnode.alive
+  in
+  check_int "two survivors" 2 (List.length live);
+  match List.map committed_rids live with
+  | [ a; b ] ->
+      let len = min (List.length a) (List.length b) in
+      let take l = List.filteri (fun i _ -> i < len) l in
+      check "survivors agree through the failover" true
+        (List.for_all2 R2p2.req_id_equal (take a) (take b))
+  | _ -> Alcotest.fail "unexpected survivor count"
+
+let test_read_only_executes_exactly_once () =
+  (* 100% read-only workload with reply LB: every committed operation runs
+     on exactly one replica cluster-wide (§3.5). *)
+  let deploy, report = run_cluster ~read_fraction:1.0 ~seed:43 () in
+  let total_executed = Deploy.total_executed deploy in
+  (* Allow the leader-election no-ops and a handful of entries applied
+     after the measurement window. *)
+  let committed = report.Loadgen.sent in
+  check "RO executed ~once cluster-wide (not once per replica)" true
+    (total_executed <= committed + 20 && total_executed >= report.Loadgen.completed)
+
+let test_read_write_executes_everywhere () =
+  let deploy, _ = run_cluster ~read_fraction:0.0 ~seed:44 () in
+  let leader_applied = Hnode.applied_index deploy.Deploy.nodes.(0) in
+  Array.iter
+    (fun node ->
+      (* Every replica executed (almost) every RW entry. *)
+      check "RW ops applied on every node" true
+        (Hnode.executed_ops node > (leader_applied * 9 / 10)))
+    deploy.Deploy.nodes
+
+let test_aggregated_mode_engages () =
+  let deploy, _ = run_cluster ~mode:Hnode.Hover_pp ~seed:45 () in
+  let leader = Option.get (Deploy.leader deploy) in
+  (match Hnode.raft_node leader with
+  | Some r -> check "hover++ leader uses the aggregator" true (Rnode.aggregated r)
+  | None -> Alcotest.fail "no raft");
+  let deploy', _ = run_cluster ~mode:Hnode.Hover ~seed:45 () in
+  let leader' = Option.get (Deploy.leader deploy') in
+  match Hnode.raft_node leader' with
+  | Some r -> check "plain hover never aggregates" false (Rnode.aggregated r)
+  | None -> Alcotest.fail "no raft"
+
+let test_leader_message_complexity () =
+  (* Table 1's structural claim, as an assertion: at low load the
+     HovercRaft++ leader receives O(1) messages per request while the
+     per-follower modes receive ~N. *)
+  let per_request mode =
+    let params =
+      {
+        (Hnode.params ~mode ~n:5 ()) with
+        reply_lb = true;
+        eager_commit_notify = false;
+      }
+    in
+    let deploy = Deploy.create params in
+    let gen =
+      Loadgen.create deploy ~clients:4 ~rate_rps:10_000.
+        ~workload:(Service.sample (Service.spec ())) ~seed:46 ()
+    in
+    let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 100) () in
+    let leader = deploy.Deploy.nodes.(0) in
+    float_of_int (Fabric.rx_packets (Hnode.port leader))
+    /. float_of_int (max report.Loadgen.completed 1)
+  in
+  let vanilla = per_request Hnode.Vanilla in
+  let hoverpp = per_request Hnode.Hover_pp in
+  check "vanilla leader rx ~ N per request" true (vanilla > 4.0 && vanilla < 8.0);
+  check "hover++ leader rx ~ 2 per request" true (hoverpp > 1.5 && hoverpp < 3.5);
+  check "hover++ is cluster-size independent" true (hoverpp < vanilla /. 2.)
+
+let test_bounded_queue_limits_failover_loss () =
+  let bound = 8 in
+  let deploy, report =
+    run_cluster ~rate:30_000. ~duration:(Timebase.ms 80)
+      ~tweak:(fun p -> { p with bound })
+      ~on_engine:(fun deploy ->
+        Engine.after deploy.Deploy.engine (Timebase.ms 25) (fun () ->
+            ignore (Deploy.kill_leader deploy)))
+      ~seed:47 ()
+  in
+  (* At most B replies assigned to the dead node are lost, plus a few
+     in-flight responses the crash swallowed. *)
+  check "losses bounded by B plus in-flight slack" true
+    (report.Loadgen.lost <= bound + 8);
+  check "still consistent" true (Deploy.consistent deploy)
+
+let test_no_reply_duplication () =
+  (* At-most-once: the number of replies the cluster sent never exceeds the
+     number of requests the clients made. *)
+  let deploy, report = run_cluster ~seed:48 () in
+  check "at-most-once replies" true (Deploy.total_replies deploy <= report.Loadgen.sent)
+
+let test_store_drains_after_quiesce () =
+  (* The unordered/ordered body store is garbage collected: after load
+     stops and GC windows elapse, it returns to (near) empty. *)
+  let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let deploy = Deploy.create params in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
+      ~workload:(Service.sample (Service.spec ())) ~seed:49 ()
+  in
+  ignore (Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 30) ());
+  Deploy.quiesce deploy ~extra:(Timebase.ms 400) ();
+  Array.iter
+    (fun node -> check "store drained by GC" true (Hnode.store_size node < 32))
+    deploy.Deploy.nodes
+
+(* --- exactly-once (RIFL-style completion records) --------------------- *)
+
+let test_exactly_once_under_loss () =
+  (* 5% receive loss + client retries with the same rid: every request is
+     eventually answered, and no operation executes twice. *)
+  let params =
+    { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with loss_prob = 0.05 }
+  in
+  let deploy = Deploy.create params in
+  let writes = ref 0 in
+  let workload _rng =
+    incr writes;
+    Op.Kv (Hovercraft_apps.Kvstore.Rpush ("journal", string_of_int !writes))
+  in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:15_000. ~workload
+      ~retry:(Timebase.us 500, 8) ~seed:70 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 60) () in
+  Deploy.quiesce deploy ~extra:(Timebase.ms 100) ();
+  check "retries happened" true (Loadgen.retried gen > 0);
+  check_int "nothing permanently lost" 0 report.Loadgen.lost;
+  check "replicas consistent" true (Deploy.consistent deploy);
+  (* The journal list must contain every write exactly once. *)
+  let node = deploy.Deploy.nodes.(1) in
+  check "journal has one entry per write, none duplicated" true
+    (Hnode.applied_index node >= report.Loadgen.sent)
+
+let test_duplicate_requests_not_reexecuted () =
+  (* Without loss, aggressive retries must not inflate execution counts:
+     completion records answer the duplicates. *)
+  let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let deploy = Deploy.create params in
+  let count = ref 0 in
+  let workload _rng =
+    incr count;
+    Op.Kv (Hovercraft_apps.Kvstore.Rpush ("log", string_of_int !count))
+  in
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:5_000. ~workload
+      ~retry:(Timebase.us 5, 3) (* far below actual latency: every request retries *)
+      ~seed:71 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 40) () in
+  Deploy.quiesce deploy ();
+  check "every request retried" true (Loadgen.retried gen >= report.Loadgen.sent);
+  (* List length on any replica equals unique requests, not requests+retries. *)
+  let node = deploy.Deploy.nodes.(0) in
+  match Hnode.raft_node node with
+  | Some _ ->
+      let log_len = Hnode.applied_index node in
+      (* applied = unique writes + election no-op, not sends+retries *)
+      check "no duplicate execution" true (log_len <= report.Loadgen.sent + 4)
+  | None -> Alcotest.fail "no raft"
+
+(* --- read leases -------------------------------------------------------- *)
+
+let lease_params () =
+  {
+    (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
+    read_mode = Hnode.Leader_leases;
+  }
+
+let test_leases_serve_reads_on_leader () =
+  let deploy = Deploy.create (lease_params ()) in
+  let spec = Service.spec ~read_fraction:1.0 () in
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:20_000.
+      ~workload:(Service.sample spec) ~seed:72 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 30) () in
+  check "reads answered" true (report.Loadgen.completed > report.Loadgen.sent * 9 / 10);
+  (* All replies come from the leader; followers never execute reads. *)
+  let leader = Option.get (Deploy.leader deploy) in
+  check "leader served everything" true
+    (Hnode.replies_sent leader >= report.Loadgen.completed);
+  Array.iter
+    (fun node ->
+      if Hnode.id node <> Hnode.id leader then
+        check "followers idle on lease reads" true (Hnode.executed_ops node < 16))
+    deploy.Deploy.nodes;
+  (* Lease reads bypass the log entirely. *)
+  check "log stays empty" true (Hnode.log_length leader < 16)
+
+let test_leases_expire_without_quorum () =
+  (* Kill both followers: the lease lapses and the leader must stop
+     answering reads rather than serve potentially stale data. *)
+  let deploy = Deploy.create (lease_params ()) in
+  Hnode.kill deploy.Deploy.nodes.(1);
+  Hnode.kill deploy.Deploy.nodes.(2);
+  Deploy.quiesce deploy ~extra:(Timebase.ms 10) ();
+  let spec = Service.spec ~read_fraction:1.0 () in
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:5_000.
+      ~workload:(Service.sample spec) ~target:(Addr.Group Addr.cluster_group)
+      ~seed:73 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 20) () in
+  check_int "no reads served without a quorum lease" 0 report.Loadgen.completed
+
+let test_lease_reads_see_writes () =
+  (* Writes go through consensus; subsequent lease reads must observe
+     them. *)
+  let deploy = Deploy.create (lease_params ()) in
+  let phase = ref 0 in
+  let workload _rng =
+    incr phase;
+    if !phase <= 200 then Op.Kv (Hovercraft_apps.Kvstore.Put ("k", "v"))
+    else Op.Kv (Hovercraft_apps.Kvstore.Get "k")
+  in
+  let gen =
+    Loadgen.create deploy ~clients:1 ~rate_rps:20_000. ~workload ~seed:74 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 30) () in
+  Deploy.quiesce deploy ();
+  check "mixed run completes" true
+    (report.Loadgen.completed > report.Loadgen.sent * 9 / 10);
+  let leader = Option.get (Deploy.leader deploy) in
+  check "writes committed" true (Hnode.applied_index leader >= 200)
+
+(* --- unrestricted requests via the R2P2 router ------------------------- *)
+
+let test_router_balances_unrestricted_reads () =
+  let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let deploy = Deploy.create ~router_bound:16 params in
+  let spec = Service.spec ~read_fraction:1.0 () in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
+      ~workload:(Service.sample spec) ~unrestricted_reads:true ~seed:80 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 40) () in
+  Deploy.quiesce deploy ();
+  check "served" true (report.Loadgen.completed > report.Loadgen.sent * 9 / 10);
+  (* Bypasses consensus entirely: the log holds only election no-ops. *)
+  check "log untouched by unrestricted reads" true
+    (Hnode.log_length deploy.Deploy.nodes.(0) < 8);
+  (* And the work spreads over all three servers. *)
+  Array.iter
+    (fun node ->
+      check "every server executes a share" true
+        (Hnode.executed_ops node > report.Loadgen.completed / 6))
+    deploy.Deploy.nodes;
+  let router = Option.get deploy.Deploy.router in
+  check "router forwarded everything" true
+    (Router.forwarded router >= report.Loadgen.completed)
+
+let test_router_feedback_credits () =
+  let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let deploy = Deploy.create ~router_bound:4 params in
+  let spec = Service.spec ~read_fraction:1.0 () in
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:10_000.
+      ~workload:(Service.sample spec) ~unrestricted_reads:true ~seed:81 ()
+  in
+  ignore (Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 30) ());
+  Deploy.quiesce deploy ();
+  let router = Option.get deploy.Deploy.router in
+  (* After the drain every credit returned: queues are empty. *)
+  for i = 0 to 2 do
+    check_int "queue drained" 0 (Router.outstanding router i)
+  done
+
+let test_router_mixed_with_replicated () =
+  (* Replicated writes and unrestricted reads share the cluster: writes
+     stay consistent, reads stay cheap. *)
+  let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let deploy = Deploy.create ~router_bound:16 params in
+  let count = ref 0 in
+  let workload _rng =
+    incr count;
+    if !count mod 2 = 0 then
+      Op.Kv (Hovercraft_apps.Kvstore.Get (Printf.sprintf "k%d" (!count mod 5)))
+    else
+      Op.Kv
+        (Hovercraft_apps.Kvstore.Put
+           (Printf.sprintf "k%d" (!count mod 5), string_of_int !count))
+  in
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:20_000. ~workload
+      ~unrestricted_reads:true ~seed:82 ()
+  in
+  let report = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 40) () in
+  Deploy.quiesce deploy ();
+  check "mixed load served" true
+    (report.Loadgen.completed > report.Loadgen.sent * 9 / 10);
+  check "writes replicated consistently" true (Deploy.consistent deploy);
+  (* Roughly half the requests (the writes) went through the log. *)
+  let log_len = Hnode.log_length deploy.Deploy.nodes.(0) in
+  check "only writes ordered" true
+    (log_len < (report.Loadgen.sent * 6 / 10) && log_len > report.Loadgen.sent / 3)
+
+
+let extension_suite =
+  [
+    Alcotest.test_case "exactly-once under loss" `Slow test_exactly_once_under_loss;
+    Alcotest.test_case "duplicates not re-executed" `Slow
+      test_duplicate_requests_not_reexecuted;
+    Alcotest.test_case "leases serve reads on leader" `Slow
+      test_leases_serve_reads_on_leader;
+    Alcotest.test_case "leases expire without quorum" `Slow
+      test_leases_expire_without_quorum;
+    Alcotest.test_case "lease reads see writes" `Slow test_lease_reads_see_writes;
+    Alcotest.test_case "router balances unrestricted reads" `Slow
+      test_router_balances_unrestricted_reads;
+    Alcotest.test_case "router feedback credits" `Slow test_router_feedback_credits;
+    Alcotest.test_case "router mixed with replicated" `Slow
+      test_router_mixed_with_replicated;
+  ]
+
+
+let suite =
+  [
+    Alcotest.test_case "committed prefixes agree" `Slow test_committed_prefix_agreement;
+    Alcotest.test_case "committed prefixes agree across failover" `Slow
+      test_committed_prefix_after_failover;
+    Alcotest.test_case "read-only executes exactly once" `Slow
+      test_read_only_executes_exactly_once;
+    Alcotest.test_case "read-write executes everywhere" `Slow
+      test_read_write_executes_everywhere;
+    Alcotest.test_case "aggregated mode engages" `Slow test_aggregated_mode_engages;
+    Alcotest.test_case "leader message complexity (Table 1)" `Slow
+      test_leader_message_complexity;
+    Alcotest.test_case "bounded queue limits failover loss" `Slow
+      test_bounded_queue_limits_failover_loss;
+    Alcotest.test_case "at-most-once replies" `Slow test_no_reply_duplication;
+    Alcotest.test_case "body store drains after quiesce" `Slow
+      test_store_drains_after_quiesce;
+  ]
+  @ extension_suite
+
