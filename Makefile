@@ -1,0 +1,21 @@
+# Convenience targets; CI runs `make check`.
+
+.PHONY: all build test check snapshot clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check: build test
+
+# End-to-end observability smoke: a lossy HovercRaft run that must
+# converge and emit hovercraft_snapshot.json.
+snapshot:
+	dune exec bench/main.exe -- snapshot
+
+clean:
+	dune clean

@@ -177,6 +177,51 @@ let microbenchmarks () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Observability snapshot: a short lossy HovercRaft run whose JSON
+   roll-up (per-node metrics, latency histograms, recovery counters,
+   fabric link stats, trace ring) is written next to the bench output.
+   Doubles as an end-to-end smoke test of the obs layer: the run loses
+   multicast deliveries on purpose and must still converge. *)
+
+let obs_snapshot ~file () =
+  let params =
+    { (Core.Hnode.params ~mode:Core.Hnode.Hover ~n:3 ()) with
+      Core.Hnode.loss_prob = 0.02;
+      seed = 7;
+    }
+  in
+  let deploy = Deploy.create params in
+  let spec =
+    Hovercraft_apps.Service.spec ~service:(Dist.Fixed (Timebase.us 1)) ()
+  in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:50_000.
+      ~workload:(Hovercraft_apps.Service.sample spec)
+      ~retry:(Timebase.ms 2, 8) ~seed:7 ()
+  in
+  let report =
+    Loadgen.run gen ~warmup:(Timebase.ms 2) ~duration:(Timebase.ms 20) ()
+  in
+  Deploy.quiesce deploy ();
+  let json =
+    match Deploy.snapshot deploy with
+    | Hovercraft_obs.Json.Obj fields ->
+        Hovercraft_obs.Json.Obj (fields @ [ ("loadgen", Loadgen.snapshot gen) ])
+    | other -> other
+  in
+  let oc = open_out file in
+  output_string oc (Hovercraft_obs.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\n=== Observability snapshot ===\n\
+    \  lossy run: %d sent, %d completed, %d lost, %d client retries\n\
+    \  pending recoveries after quiesce: %d (must be 0)\n\
+    \  written to %s\n"
+    report.Loadgen.sent report.Loadgen.completed report.Loadgen.lost
+    (Loadgen.retried gen)
+    (Deploy.total_pending_recoveries deploy)
+    file
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -184,13 +229,15 @@ let () =
     if List.mem "--full" args then Experiment.Full else Experiment.Fast
   in
   let args = List.filter (fun a -> a <> "--full") args in
-  let wanted_figures, want_micro =
+  let wanted_figures, want_micro, want_snapshot =
     match args with
-    | [] -> (Figures.names |> List.filter (fun n -> n <> "all"), true)
-    | [ "micro" ] -> ([], true)
+    | [] -> (Figures.names |> List.filter (fun n -> n <> "all"), true, true)
+    | [ "micro" ] -> ([], true, false)
+    | [ "snapshot" ] -> ([], false, true)
     | names ->
-        ( List.filter (fun n -> n <> "micro") names,
-          List.mem "micro" names )
+        ( List.filter (fun n -> n <> "micro" && n <> "snapshot") names,
+          List.mem "micro" names,
+          List.mem "snapshot" names )
   in
   List.iter
     (fun name ->
@@ -198,6 +245,7 @@ let () =
       | Some run -> run ~quality ()
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
-            (String.concat ", " ("micro" :: Figures.names)))
+            (String.concat ", " ("micro" :: "snapshot" :: Figures.names)))
     wanted_figures;
+  if want_snapshot then obs_snapshot ~file:"hovercraft_snapshot.json" ();
   if want_micro then microbenchmarks ()

@@ -84,6 +84,63 @@ let flow_cap_arg =
   let doc = "Enable the flow-control middlebox with this many in-flight requests." in
   Arg.(value & opt (some int) None & info [ "flow-cap" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write a JSON observability snapshot (per-node metrics, per-link fabric \
+     counters, the protocol-event trace) to $(docv) after the run; use - for \
+     stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let trace_conv =
+  let parse s =
+    match Hovercraft_obs.Trace.severity_of_string s with
+    | Some sev -> Ok sev
+    | None -> Error (`Msg (Printf.sprintf "unknown trace level %S" s))
+  in
+  let print fmt sev =
+    Format.pp_print_string fmt (Hovercraft_obs.Trace.severity_to_string sev)
+  in
+  Arg.conv (parse, print)
+
+let trace_arg =
+  let doc =
+    "Record protocol events at $(docv) (debug, info, warn or error) and print \
+     the trace ring after the run."
+  in
+  Arg.(value & opt (some trace_conv) None & info [ "trace" ] ~doc ~docv:"LEVEL")
+
+let emit_snapshot ~metrics_out ~trace_level (deploy : Deploy.t) extra =
+  (match trace_level with
+  | None -> ()
+  | Some _ ->
+      Printf.printf "--- trace (%d events recorded) ---\n"
+        (Hovercraft_obs.Trace.recorded (Deploy.trace deploy));
+      List.iter
+        (fun ev -> Format.printf "%a@." Hovercraft_obs.Trace.pp_event ev)
+        (Hovercraft_obs.Trace.events (Deploy.trace deploy)));
+  match metrics_out with
+  | None -> ()
+  | Some file ->
+      let json =
+        match (Deploy.snapshot deploy, extra) with
+        | Hovercraft_obs.Json.Obj fields, extra ->
+            Hovercraft_obs.Json.Obj (fields @ extra)
+        | other, _ -> other
+      in
+      let text = Hovercraft_obs.Json.to_string_pretty json in
+      if file = "-" then print_endline text
+      else begin
+        try
+          let oc = open_out file in
+          output_string oc text;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "metrics snapshot written to %s\n" file
+        with Sys_error e ->
+          Printf.eprintf "hovercraft: cannot write metrics snapshot: %s\n" e
+      end
+
 let make_params mode n no_lb random_lb bound flow_cap seed =
   {
     (Hnode.params ~mode ~n:(if mode = Hnode.Unreplicated then max n 1 else n) ())
@@ -142,13 +199,20 @@ let print_nodes (deploy : Deploy.t) =
 
 let run_cmd =
   let action mode n rate duration_ms seed service_us read_fraction req_bytes
-      rep_bytes bimodal ycsb no_lb random_lb bound flow_cap =
+      rep_bytes bimodal ycsb no_lb random_lb bound flow_cap metrics_out
+      trace_level =
     let params = make_params mode n no_lb random_lb bound flow_cap seed in
     let workload, preload =
       make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
         ~rep_bytes ~seed
     in
-    let deploy = Deploy.create ?flow_cap params in
+    let trace =
+      Hovercraft_obs.Trace.create
+        ~level:
+          (Option.value trace_level ~default:Hovercraft_obs.Trace.Info)
+        ()
+    in
+    let deploy = Deploy.create ?flow_cap ~trace params in
     if preload <> [] then
       Array.iter (fun nd -> Hnode.preload nd preload) deploy.Deploy.nodes;
     let gen = Loadgen.create deploy ~clients:8 ~rate_rps:rate ~workload ~seed () in
@@ -157,14 +221,16 @@ let run_cmd =
     Deploy.quiesce deploy ();
     Format.printf "mode %a, %d node(s)@." Hnode.pp_mode mode params.Hnode.n;
     print_report report;
-    print_nodes deploy
+    print_nodes deploy;
+    emit_snapshot ~metrics_out ~trace_level deploy
+      [ ("loadgen", Loadgen.snapshot gen) ]
   in
   let term =
     Term.(
       const action $ mode_arg $ nodes_arg $ rate_arg $ duration_arg $ seed_arg
       $ service_us_arg $ read_fraction_arg $ req_bytes_arg $ rep_bytes_arg
       $ bimodal_arg $ ycsb_arg $ no_lb_arg $ random_lb_arg $ bound_arg
-      $ flow_cap_arg)
+      $ flow_cap_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive one deployment at a fixed load.") term
 

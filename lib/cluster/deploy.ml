@@ -2,6 +2,8 @@ open Hovercraft_sim
 open Hovercraft_core
 module Addr = Hovercraft_net.Addr
 module Fabric = Hovercraft_net.Fabric
+module Trace = Hovercraft_obs.Trace
+module Json = Hovercraft_obs.Json
 
 type t = {
   engine : Engine.t;
@@ -11,6 +13,7 @@ type t = {
   flow : Flow_control.t option;
   router : Router.t option;
   params : Hnode.params;
+  trace : Trace.t;
 }
 
 let followers_group = 1
@@ -21,11 +24,18 @@ let leader t =
   |> fun s -> Seq.uncons s |> Option.map fst
 
 let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
-    ?(switch_gbps = 100.) (params : Hnode.params) =
+    ?(switch_gbps = 100.) ?trace (params : Hnode.params) =
   let engine = Engine.create () in
   let fabric = Fabric.create engine ~latency:fabric_latency () in
+  (* One shared ring for the whole cluster: events from every node
+     interleave in simulated-time order, which is what you want when
+     reading a failure timeline. *)
+  let trace =
+    match trace with Some tr -> tr | None -> Trace.create ~level:Trace.Info ()
+  in
   let nodes =
-    Array.init params.Hnode.n (fun id -> Hnode.create engine fabric params ~id)
+    Array.init params.Hnode.n (fun id ->
+        Hnode.create ~trace engine fabric params ~id)
   in
   let aggregator =
     match params.Hnode.mode with
@@ -52,7 +62,7 @@ let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
              ~rate_gbps:switch_gbps ())
     | None -> None
   in
-  let t = { engine; fabric; nodes; aggregator; flow; router; params } in
+  let t = { engine; fabric; nodes; aggregator; flow; router; params; trace } in
   (match params.Hnode.mode with
   | Hnode.Unreplicated -> ()
   | Hnode.Vanilla | Hnode.Hover | Hnode.Hover_pp ->
@@ -95,3 +105,25 @@ let kill_leader t =
       Hnode.kill n;
       Some (Hnode.id n)
   | None -> None
+
+let total_pending_recoveries t =
+  Array.fold_left (fun acc n -> acc + Hnode.pending_recoveries n) 0 t.nodes
+
+let trace t = t.trace
+
+let snapshot t =
+  Json.Obj
+    [
+      ("at_ns", Json.Int (Engine.now t.engine));
+      ("mode", Json.String (Format.asprintf "%a" Hnode.pp_mode t.params.Hnode.mode));
+      ("n", Json.Int t.params.Hnode.n);
+      ( "leader",
+        match leader t with
+        | Some n -> Json.Int (Hnode.id n)
+        | None -> Json.Null );
+      ("consistent", Json.Bool (consistent t));
+      ( "nodes",
+        Json.List (Array.to_list (Array.map Hnode.snapshot t.nodes)) );
+      ("fabric", Fabric.snapshot t.fabric);
+      ("trace", Trace.snapshot t.trace);
+    ]

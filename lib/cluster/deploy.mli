@@ -15,6 +15,8 @@ type t = {
   flow : Flow_control.t option;  (** Present when [flow_cap] was given. *)
   router : Router.t option;  (** Present when [router_bound] was given. *)
   params : Hnode.params;
+  trace : Hovercraft_obs.Trace.t;
+      (** Shared by all nodes: one cluster-wide event timeline. *)
 }
 
 val followers_group : int
@@ -25,6 +27,7 @@ val create :
   ?flow_cap:int ->
   ?router_bound:int ->
   ?switch_gbps:float ->
+  ?trace:Hovercraft_obs.Trace.t ->
   Hnode.params ->
   t
 (** Build the deployment. Node 0 is bootstrapped as the initial leader and
@@ -54,3 +57,14 @@ val quiesce : t -> ?extra:Timebase.t -> unit -> unit
 val kill_node : t -> int -> unit
 val kill_leader : t -> int option
 (** Kill the current leader; returns its id. *)
+
+val total_pending_recoveries : t -> int
+(** Bodies the cluster is still trying to recover; zero after a clean
+    quiesce — a stuck rid here is exactly the wedge the recovery
+    escalation path exists to prevent. *)
+
+val trace : t -> Hovercraft_obs.Trace.t
+
+val snapshot : t -> Hovercraft_obs.Json.t
+(** Cluster-wide roll-up: per-node {!Hnode.snapshot}s, per-link fabric
+    counters and the shared trace ring. *)

@@ -4,6 +4,7 @@ open Hovercraft_core
 module Addr = Hovercraft_net.Addr
 module Fabric = Hovercraft_net.Fabric
 module Op = Hovercraft_apps.Op
+module Metrics = Hovercraft_obs.Metrics
 
 module Rid_tbl = Hashtbl.Make (struct
   type t = R2p2.req_id
@@ -44,12 +45,15 @@ type t = {
   rng : Rng.t;
   outstanding : Timebase.t Rid_tbl.t;
   stats : Stats.t;
+  metrics : Metrics.t;
+  c_sent : Metrics.counter;
+  c_completed : Metrics.counter;
+  c_nacked : Metrics.counter;
+  c_retried : Metrics.counter;
+  c_lost : Metrics.counter;
+  h_latency_ns : Metrics.histogram;
   mutable measure_from : Timebase.t;
   mutable measure_to : Timebase.t;
-  mutable sent : int;
-  mutable completed : int;
-  mutable nacked : int;
-  mutable retried : int;
   mutable next_endpoint : int;
 }
 
@@ -63,22 +67,29 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
       | Some sent_at ->
           Rid_tbl.remove t.outstanding rid;
           let latency = now - sent_at in
-          if sent_at >= t.measure_from && now <= t.measure_to then begin
-            t.completed <- t.completed + 1;
+          (* Window membership is decided by when the request was SENT, not
+             when the reply arrived: replies landing after measure_to (e.g.
+             during drain) still belong to the run. Gating on arrival would
+             silently drop exactly the slowest completions and bias every
+             tail percentile downward. *)
+          if sent_at >= t.measure_from && sent_at <= t.measure_to then begin
+            Metrics.incr t.c_completed;
             Stats.add t.stats latency;
+            Metrics.observe t.h_latency_ns latency;
             match t.on_reply with
             | Some f -> f ~sent_at ~latency
             | None -> ()
           end
       | None -> () (* duplicate or out-of-window reply *))
-  | Protocol.Nack { rid } ->
-      if Rid_tbl.mem t.outstanding rid then begin
-        Rid_tbl.remove t.outstanding rid;
-        if Engine.now t.engine >= t.measure_from then begin
-          t.nacked <- t.nacked + 1;
-          match t.on_nack with Some f -> f ~at:now | None -> ()
-        end
-      end
+  | Protocol.Nack { rid } -> (
+      match Rid_tbl.find_opt t.outstanding rid with
+      | Some sent_at ->
+          Rid_tbl.remove t.outstanding rid;
+          if sent_at >= t.measure_from && sent_at <= t.measure_to then begin
+            Metrics.incr t.c_nacked;
+            match t.on_nack with Some f -> f ~at:now | None -> ()
+          end
+      | None -> ())
   | Protocol.Request _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
   | Protocol.Agg_commit _ | Protocol.Feedback _ ->
@@ -89,6 +100,7 @@ let create deploy ~clients ~rate_rps ~workload ?target
   if clients <= 0 then invalid_arg "Loadgen.create: need at least one client";
   if rate_rps <= 0. then invalid_arg "Loadgen.create: rate must be positive";
   let engine = deploy.Deploy.engine in
+  let metrics = Metrics.create () in
   let t =
     {
       deploy;
@@ -104,12 +116,15 @@ let create deploy ~clients ~rate_rps ~workload ?target
       rng = Rng.create seed;
       outstanding = Rid_tbl.create 4096;
       stats = Stats.create ();
+      metrics;
+      c_sent = Metrics.counter metrics "sent";
+      c_completed = Metrics.counter metrics "completed";
+      c_nacked = Metrics.counter metrics "nacked";
+      c_retried = Metrics.counter metrics "retried";
+      c_lost = Metrics.counter metrics "lost";
+      h_latency_ns = Metrics.histogram metrics "latency_ns";
       measure_from = max_int;
       measure_to = max_int;
-      sent = 0;
-      completed = 0;
-      nacked = 0;
-      retried = 0;
       next_endpoint = 0;
     }
   in
@@ -148,7 +163,7 @@ let rec arm_retry t ep rid op attempts_left =
   | Some (timeout, _) ->
       Engine.after t.engine timeout (fun () ->
           if Rid_tbl.mem t.outstanding rid && attempts_left > 0 then begin
-            t.retried <- t.retried + 1;
+            Metrics.incr t.c_retried;
             transmit t ep rid op;
             arm_retry t ep rid op (attempts_left - 1)
           end)
@@ -159,7 +174,7 @@ let send_one t =
   let op = t.workload t.rng in
   let rid = R2p2.Id_source.next ep.ids in
   Rid_tbl.replace t.outstanding rid (Engine.now t.engine);
-  t.sent <- t.sent + 1;
+  Metrics.incr t.c_sent;
   transmit t ep rid op;
   match t.retry with
   | Some (_, attempts) -> arm_retry t ep rid op attempts
@@ -184,21 +199,24 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   Engine.after t.engine (interarrival t) arrival;
   Engine.run ~until:(stop_at + drain) t.engine;
   (* Anything still outstanding that was sent inside the measurement window
-     never got an answer. *)
+     never got an answer: report it as lost instead of pretending the
+     window was clean. *)
   let lost = ref 0 in
   Rid_tbl.iter
     (fun _ sent_at ->
       if sent_at >= t.measure_from && sent_at <= t.measure_to then incr lost)
     t.outstanding;
+  Metrics.add t.c_lost !lost;
+  let completed = Metrics.value t.c_completed in
   let window_s = Timebase.to_s_f (t.measure_to - t.measure_from) in
   let pct p = if Stats.count t.stats = 0 then 0. else Timebase.to_us_f (Stats.percentile t.stats p) in
   {
     offered_rps = t.rate_rps;
-    sent = t.sent;
-    completed = t.completed;
-    nacked = t.nacked;
+    sent = Metrics.value t.c_sent;
+    completed;
+    nacked = Metrics.value t.c_nacked;
     lost = !lost;
-    goodput_rps = (if window_s > 0. then float_of_int t.completed /. window_s else 0.);
+    goodput_rps = (if window_s > 0. then float_of_int completed /. window_s else 0.);
     mean_us = Stats.mean t.stats /. 1e3;
     p50_us = pct 0.5;
     p99_us = pct 0.99;
@@ -206,4 +224,6 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   }
 
 let stats t = t.stats
-let retried t = t.retried
+let retried t = Metrics.value t.c_retried
+let metrics t = t.metrics
+let snapshot t = Metrics.snapshot t.metrics

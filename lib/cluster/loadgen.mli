@@ -13,9 +13,12 @@ type t
 type report = {
   offered_rps : float;
   sent : int;
-  completed : int;  (** Replies received inside the measurement window. *)
-  nacked : int;  (** Flow-control rejections. *)
-  lost : int;  (** Requests never answered (measured at drain). *)
+  completed : int;
+      (** Replies to requests {e sent} inside the measurement window,
+          wherever the reply lands (late replies arriving during drain
+          count — excluding them would bias the tail downward). *)
+  nacked : int;  (** Flow-control rejections of in-window requests. *)
+  lost : int;  (** In-window requests never answered (measured at drain). *)
   goodput_rps : float;  (** Completed / measurement window. *)
   mean_us : float;
   p50_us : float;
@@ -56,3 +59,9 @@ val run :
     arrivals and let the system drain before counting losses. *)
 
 val stats : t -> Stats.t
+
+val metrics : t -> Hovercraft_obs.Metrics.t
+(** Client-side counters ([sent], [completed], [nacked], [retried],
+    [lost]) and the [latency_ns] histogram of measured completions. *)
+
+val snapshot : t -> Hovercraft_obs.Json.t

@@ -7,6 +7,9 @@ module Op = Hovercraft_apps.Op
 module Rnode = Hovercraft_raft.Node
 module Rtypes = Hovercraft_raft.Types
 module Rlog = Hovercraft_raft.Log
+module Metrics = Hovercraft_obs.Metrics
+module Trace = Hovercraft_obs.Trace
+module Json = Hovercraft_obs.Json
 
 type mode = Unreplicated | Vanilla | Hover | Hover_pp
 type read_mode = Replicated_reads | Leader_leases
@@ -53,6 +56,7 @@ type params = {
   gc_ordered : Timebase.t;
   log_retain : int;
   recovery_timeout : Timebase.t;
+  recovery_retry_max : int;
   probe_timeout : Timebase.t;
   loss_prob : float;
   seed : int;
@@ -88,6 +92,7 @@ let params ?(mode = Hover) ?(n = 3) () =
     gc_ordered = Timebase.ms 100;
     log_retain = 8192;
     recovery_timeout = Timebase.us 200;
+    recovery_retry_max = 100;
     probe_timeout = Timebase.ms 1;
     loss_prob = 0.;
     seed = 42;
@@ -119,7 +124,7 @@ type t = {
   mutable hb_gen : int;  (* invalidates stale heartbeat loops *)
   mutable apply_busy : bool;
   mutable applied_ptr : int;
-  pending_recovery : int Rid_tbl.t;  (* rid -> retries *)
+  pending_recovery : (int * Timebase.t) Rid_tbl.t;  (* rid -> retries, issued-at *)
   lease_heard : Timebase.t array;  (* leader: last contact per node *)
   completions : (Op.result * Timebase.t) Rid_tbl.t;
       (* RIFL-style completion records, built deterministically during
@@ -128,12 +133,24 @@ type t = {
   completion_fifo : (R2p2.req_id * Timebase.t) Queue.t;
   mutable ack_override : Addr.t option;
   mutable probe_sent_term : int;
-  (* counters *)
-  mutable replies : int;
-  mutable recoveries : int;
-  mutable rejected : int;
-  mutable lost_rx : int;
-  rx_census : (string, int) Hashtbl.t;
+  (* Observability. The registry owns every counter; the [c_*] handles are
+     pre-resolved so the hot paths never pay a by-name lookup. *)
+  metrics : Metrics.t;
+  trace : Trace.t;
+  c_replies : Metrics.counter;
+  c_recoveries : Metrics.counter;
+  c_recovery_escalations : Metrics.counter;
+  c_recoveries_resolved : Metrics.counter;
+  c_rejected : Metrics.counter;
+  c_lost_rx : Metrics.counter;
+  c_elections : Metrics.counter;
+  c_gate_blocked : Metrics.counter;
+  c_gate_rekicks : Metrics.counter;
+  h_recovery_ns : Metrics.histogram;
+  mutable announce_stalled : bool;
+      (* The announce gate returned None (every replier queue full): nothing
+         will be announced until [note_applied] drains a queue and re-kicks
+         replication (the gated-announce stall fix). *)
 }
 
 let debug_recovery = ref false
@@ -162,6 +179,31 @@ let transmit_on t cpu ~dst ~bytes ~extra payload =
 let transmit_net t ~dst ?(extra = 0) payload =
   let bytes = Protocol.payload_bytes ~with_bodies:(with_bodies t) payload in
   transmit_on t t.net ~dst ~bytes ~extra payload
+
+(* ------------------------------------------------------------------ *)
+(* Observability helpers                                               *)
+
+(* [detail] is a thunk so that filtered-out events never pay for string
+   formatting — tracing must stay cheap enough to leave on. *)
+let tr t sev ~kind detail =
+  if Trace.enabled t.trace ~node:t.id sev then
+    Trace.record t.trace ~at:(Engine.now t.engine) ~node:t.id sev ~kind
+      ~detail:(detail ())
+
+(* A pending recovery is resolved by whichever copy of the body arrives
+   first: a recovery_response, a client retransmission, or a duplicate
+   multicast delivery. All paths funnel through here so issued = resolved +
+   still-pending always holds. *)
+let resolve_recovery t rid =
+  match Rid_tbl.find_opt t.pending_recovery rid with
+  | None -> ()
+  | Some (retries, issued_at) ->
+      Rid_tbl.remove t.pending_recovery rid;
+      Metrics.incr t.c_recoveries_resolved;
+      Metrics.observe t.h_recovery_ns (Engine.now t.engine - issued_at);
+      tr t Trace.Info ~kind:"recovery_resolved" (fun () ->
+          Format.asprintf "%a after %d retries, %dns" R2p2.pp_req_id rid retries
+            (Engine.now t.engine - issued_at))
 
 (* ------------------------------------------------------------------ *)
 (* Raft plumbing                                                       *)
@@ -213,8 +255,20 @@ and perform t action =
         | Rtypes.Append_ack { success = true; _ }, Some src -> src
         | _, _ -> Addr.Node peer
       in
+      (match msg with
+      | Rtypes.Append_entries { entries; prev_idx; _ } ->
+          tr t Trace.Debug ~kind:"ae_sent" (fun () ->
+              Printf.sprintf "to=%d prev=%d entries=%d" peer prev_idx
+                (Array.length entries))
+      | _ -> ());
       transmit_net t ~dst ~extra:(raft_send_extra t msg) (Protocol.Raft msg)
   | Rnode.Send_aggregate msg ->
+      (match msg with
+      | Rtypes.Append_entries { entries; prev_idx; _ } ->
+          tr t Trace.Debug ~kind:"ae_sent" (fun () ->
+              Printf.sprintf "to=agg prev=%d entries=%d" prev_idx
+                (Array.length entries))
+      | _ -> ());
       transmit_net t ~dst:Addr.Netagg ~extra:(raft_send_extra t msg)
         (Protocol.Raft msg)
   | Rnode.Commit_advanced _ -> pump t
@@ -222,7 +276,7 @@ and perform t action =
   | Rnode.Became_leader -> on_became_leader t
   | Rnode.Became_follower _ -> on_became_follower t
   | Rnode.Leader_activity -> t.last_activity <- Engine.now t.engine
-  | Rnode.Reject_command _ -> t.rejected <- t.rejected + 1
+  | Rnode.Reject_command _ -> Metrics.incr t.c_rejected
 
 and on_appended t idx =
   (* The leader just ordered a request: its body is now bound to the log. *)
@@ -249,11 +303,27 @@ and gate t idx (cmd : Protocol.cmd) =
         true
     | None -> false
 
+(* Every applied-index update on the leader goes through here: when the
+   announce gate had vetoed (all replier queues at the bound) and a queue
+   just drained, replication must be re-kicked immediately — otherwise the
+   pipeline sits idle until the next heartbeat even though commit could
+   advance (the gated-announce stall). *)
+and note_applied t ~node ~applied =
+  Replier.note_applied t.replier ~node ~applied;
+  if t.announce_stalled && is_leader t && Replier.any_eligible t.replier then begin
+    t.announce_stalled <- false;
+    Metrics.incr t.c_gate_rekicks;
+    tr t Trace.Debug ~kind:"announce_rekick" (fun () ->
+        Printf.sprintf "node=%d applied=%d" node applied);
+    feed_raft t Rnode.Announce_kick
+  end
+
 and on_became_leader t =
   match t.raft with
   | None -> ()
   | Some raft ->
       Replier.reset t.replier;
+      t.announce_stalled <- false;
       Replier.note_applied t.replier ~node:t.id ~applied:t.applied_ptr;
       (match t.p.mode with
       | Hover | Hover_pp ->
@@ -274,6 +344,7 @@ and on_became_leader t =
 and on_became_follower t =
   t.hb_gen <- t.hb_gen + 1;
   t.probe_sent_term <- -1;
+  t.announce_stalled <- false;
   t.last_activity <- Engine.now t.engine
 
 and start_heartbeats t =
@@ -356,7 +427,7 @@ and apply_one t idx (cmd : Protocol.cmd) op =
         end
       end;
       if should_reply then begin
-        t.replies <- t.replies + 1;
+        Metrics.incr t.c_replies;
         (match t.port with
         | Some port when t.alive ->
             Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
@@ -375,10 +446,9 @@ and apply_one t idx (cmd : Protocol.cmd) op =
          ordered-retention window reclaims them (§5). *)
       (match t.p.mode with
       | Hover | Hover_pp ->
-          if not meta.internal then Rid_tbl.remove t.pending_recovery meta.rid
+          if not meta.internal then resolve_recovery t meta.rid
       | Vanilla | Unreplicated -> ());
-      if is_leader t then
-        Replier.note_applied t.replier ~node:t.id ~applied:idx;
+      if is_leader t then note_applied t ~node:t.id ~applied:idx;
       feed_raft t (Rnode.Applied_up_to idx);
       t.apply_busy <- false;
       pump t)
@@ -388,15 +458,18 @@ and apply_one t idx (cmd : Protocol.cmd) op =
 
 and recovery_target t retries =
   (* First ask the leader; on retries ask a random other node, since any
-     group member may hold the body. *)
-  match (leader_addr t, retries) with
-  | Some l, 0 when not (Addr.equal l (Addr.Node t.id)) -> l
-  | _ ->
-      let rec draw () =
-        let i = Rng.int t.rng t.p.n in
-        if i = t.id then draw () else Addr.Node i
-      in
-      if t.p.n <= 1 then Addr.Node t.id else draw ()
+     group member may hold the body. With no peers there is nobody to ask:
+     the body can only come back via client retransmission. *)
+  if t.p.n <= 1 then None
+  else
+    match (leader_addr t, retries) with
+    | Some l, 0 when not (Addr.equal l (Addr.Node t.id)) -> Some l
+    | _ ->
+        let rec draw () =
+          let i = Rng.int t.rng t.p.n in
+          if i = t.id then draw () else Addr.Node i
+        in
+        Some (draw ())
 
 and request_recovery t rid =
   if !debug_recovery then
@@ -404,20 +477,41 @@ and request_recovery t rid =
       (Engine.now t.engine / 1000) t.id R2p2.pp_req_id rid
       (Unordered.size t.store) t.applied_ptr (commit_index_internal t);
   if not (Rid_tbl.mem t.pending_recovery rid) then begin
-    Rid_tbl.replace t.pending_recovery rid 0;
+    Rid_tbl.replace t.pending_recovery rid (0, Engine.now t.engine);
+    tr t Trace.Info ~kind:"recovery_issued" (fun () ->
+        Format.asprintf "%a applied=%d commit=%d" R2p2.pp_req_id rid
+          t.applied_ptr (commit_index_internal t));
     send_recovery t rid 0
   end
 
+(* Keep asking until the body turns up: the apply loop is wedged on this
+   rid, so giving up would wedge it forever (commit advances past the hole
+   never). Unicast probes walk the group; once the retry budget is spent we
+   escalate to a cluster-group broadcast, which reaches every node that
+   could possibly hold the body in one shot. *)
 and send_recovery t rid retries =
-  if t.alive && retries < 100 && Rid_tbl.mem t.pending_recovery rid then begin
-    t.recoveries <- t.recoveries + 1;
-    transmit_net t
-      ~dst:(recovery_target t retries)
-      (Protocol.Recovery_request { rid; asker = t.id });
+  if t.alive && Rid_tbl.mem t.pending_recovery rid then begin
+    let escalated = retries >= t.p.recovery_retry_max in
+    if escalated && retries = t.p.recovery_retry_max then begin
+      Metrics.incr t.c_recovery_escalations;
+      tr t Trace.Warn ~kind:"recovery_escalated" (fun () ->
+          Format.asprintf "%a after %d unicast retries" R2p2.pp_req_id rid
+            retries)
+    end;
+    let dst =
+      if escalated then
+        if t.p.n <= 1 then None else Some (Addr.Group Addr.cluster_group)
+      else recovery_target t retries
+    in
+    (match dst with
+    | Some dst ->
+        Metrics.incr t.c_recoveries;
+        transmit_net t ~dst (Protocol.Recovery_request { rid; asker = t.id })
+    | None -> ());
     Engine.after t.engine t.p.recovery_timeout (fun () ->
         match Rid_tbl.find_opt t.pending_recovery rid with
-        | Some r when r = retries ->
-            Rid_tbl.replace t.pending_recovery rid (retries + 1);
+        | Some (r, issued_at) when r = retries ->
+            Rid_tbl.replace t.pending_recovery rid (retries + 1, issued_at);
             send_recovery t rid (retries + 1)
         | Some _ | None -> ())
   end
@@ -467,7 +561,7 @@ let execute_locally ?feedback t rid op =
     t.p.app_per_op_ns + exec_cost + tx_cost t ~bytes:reply_bytes ~extra:0
   in
   Cpu.exec t.app ~cost (fun () ->
-      t.replies <- t.replies + 1;
+      Metrics.incr t.c_replies;
       match t.port with
       | Some port when t.alive -> (
           Fabric.send t.fabric port ~dst:rid.R2p2.src_addr ~bytes:reply_bytes
@@ -549,11 +643,11 @@ and on_client_request_ordered t rid op =
   | Vanilla ->
       if is_leader t then
         feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op))
-      else t.rejected <- t.rejected + 1
+      else Metrics.incr t.c_rejected
   | Hover | Hover_pp ->
       let already_ordered = Unordered.status t.store rid = `Ordered in
       Unordered.add t.store rid op;
-      Rid_tbl.remove t.pending_recovery rid;
+      resolve_recovery t rid;
       if is_leader t then begin
         (* Duplicate suppression: a retransmission of a request that is
            already in the log must not be ordered twice. *)
@@ -584,7 +678,7 @@ let on_agg_commit t ~term ~commit ~applied =
     (* A quorum acknowledged through the aggregator: the lease renews. *)
     Array.iteri (fun node _ -> lease_note_contact t node) applied;
     Array.iteri
-      (fun node a -> if node <> t.id then Replier.note_applied t.replier ~node ~applied:a)
+      (fun node a -> if node <> t.id then note_applied t ~node ~applied:a)
       applied;
     feed_raft t (Rnode.Receive (Rtypes.Agg_ack { term; commit }))
   end
@@ -604,10 +698,13 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
           bind_bodies t ~prev_idx entries;
           pump t
       | Rtypes.Append_ack { from; applied_idx; _ } ->
+          tr t Trace.Debug ~kind:"ae_acked" (fun () ->
+              Printf.sprintf "from=%d applied=%d" from applied_idx);
           (* Followers piggyback their applied index on every ack (§6.2);
-             it feeds the leader's bounded queues and the read lease. *)
+             it feeds the leader's bounded queues and the read lease — and
+             may un-stall a gated announce. *)
           if is_leader t then begin
-            Replier.note_applied t.replier ~node:from ~applied:applied_idx;
+            note_applied t ~node:from ~applied:applied_idx;
             lease_note_contact t from
           end;
           feed_raft t (Rnode.Receive msg);
@@ -624,9 +721,9 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
       | None -> ())
   | Protocol.Recovery_response { rid; op } ->
       if Rid_tbl.mem t.pending_recovery rid then begin
-        Rid_tbl.remove t.pending_recovery rid;
         Unordered.add t.store rid op;
         ignore (Unordered.mark_ordered t.store rid);
+        resolve_recovery t rid;
         pump t
       end
   | Protocol.Probe_reply { term } -> (
@@ -646,11 +743,10 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
 let on_packet t pkt =
   if t.alive then begin
     if t.p.loss_prob > 0. && Rng.bool t.rng t.p.loss_prob then
-      t.lost_rx <- t.lost_rx + 1
+      Metrics.incr t.c_lost_rx
     else begin
       let tag = Protocol.describe pkt.Fabric.payload in
-      Hashtbl.replace t.rx_census tag
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.rx_census tag));
+      Metrics.incr (Metrics.counter t.metrics ("rx." ^ tag));
       Cpu.exec t.net ~cost:(rx_cost t pkt) (fun () -> dispatch t pkt)
     end
   end
@@ -658,8 +754,11 @@ let on_packet t pkt =
 (* ------------------------------------------------------------------ *)
 (* Election clock and housekeeping                                     *)
 
+(* Uniform over the closed interval [election_min, election_max]. The
+   upper bound is inclusive so that election_min = election_max degenerates
+   to a constant timeout rather than an out-of-range draw. *)
 let draw_timeout t =
-  t.p.election_min + Rng.int t.rng (max 1 (t.p.election_max - t.p.election_min))
+  t.p.election_min + Rng.int t.rng (t.p.election_max - t.p.election_min + 1)
 
 let start_election_clock t =
   let rec arm deadline =
@@ -705,8 +804,37 @@ let start_gc_loop t =
 
 (* ------------------------------------------------------------------ *)
 
-let create engine fabric p ~id =
+(* Raft-internal events surface here as metrics and trace entries; the
+   observer is strictly one-way except for the gate veto, which arms the
+   re-kick machinery. *)
+let on_raft_event t = function
+  | Rnode.Obs_election_started term ->
+      Metrics.incr t.c_elections;
+      tr t Trace.Info ~kind:"election_started" (fun () ->
+          Printf.sprintf "term=%d" term)
+  | Rnode.Obs_leadership_won term ->
+      tr t Trace.Info ~kind:"leadership_won" (fun () ->
+          Printf.sprintf "term=%d" term)
+  | Rnode.Obs_leadership_lost term ->
+      tr t Trace.Warn ~kind:"leadership_lost" (fun () ->
+          Printf.sprintf "term=%d" term)
+  | Rnode.Obs_commit_advanced c ->
+      tr t Trace.Debug ~kind:"commit_advanced" (fun () ->
+          Printf.sprintf "commit=%d" c)
+  | Rnode.Obs_announced_to i ->
+      tr t Trace.Debug ~kind:"announced" (fun () -> Printf.sprintf "upto=%d" i)
+  | Rnode.Obs_announce_gated i ->
+      Metrics.incr t.c_gate_blocked;
+      t.announce_stalled <- true;
+      tr t Trace.Debug ~kind:"announce_gated" (fun () ->
+          Printf.sprintf "at=%d" i)
+
+let create ?trace engine fabric p ~id =
   if id < 0 || id >= p.n then invalid_arg "Hnode.create: id outside cluster";
+  if p.election_min <= 0 || p.election_min > p.election_max then
+    invalid_arg "Hnode.create: need 0 < election_min <= election_max";
+  if p.recovery_retry_max < 0 then
+    invalid_arg "Hnode.create: recovery_retry_max must be non-negative";
   let rng = Rng.create (p.seed + (id * 7919)) in
   let raft =
     match p.mode with
@@ -727,6 +855,10 @@ let create engine fabric p ~id =
              ~noop:Protocol.internal_noop)
   in
   let now () = Engine.now engine in
+  let metrics = Metrics.create () in
+  let trace =
+    match trace with Some tr -> tr | None -> Trace.create ~level:Trace.Info ()
+  in
   let t =
     {
       p;
@@ -755,13 +887,24 @@ let create engine fabric p ~id =
       completion_fifo = Queue.create ();
       ack_override = None;
       probe_sent_term = -1;
-      replies = 0;
-      recoveries = 0;
-      rejected = 0;
-      lost_rx = 0;
-      rx_census = Hashtbl.create 16;
+      metrics;
+      trace;
+      c_replies = Metrics.counter metrics "replies_sent";
+      c_recoveries = Metrics.counter metrics "recoveries_sent";
+      c_recovery_escalations = Metrics.counter metrics "recovery_escalations";
+      c_recoveries_resolved = Metrics.counter metrics "recoveries_resolved";
+      c_rejected = Metrics.counter metrics "rejected";
+      c_lost_rx = Metrics.counter metrics "lost_rx";
+      c_elections = Metrics.counter metrics "elections_started";
+      c_gate_blocked = Metrics.counter metrics "gate_blocked";
+      c_gate_rekicks = Metrics.counter metrics "gate_rekicks";
+      h_recovery_ns = Metrics.histogram metrics "recovery_latency_ns";
+      announce_stalled = false;
     }
   in
+  (match t.raft with
+  | Some raft -> Rnode.set_observer raft (Some (on_raft_event t))
+  | None -> ());
   t.election_timeout <- draw_timeout t;
   let port =
     Fabric.attach fabric ~addr:(Addr.Node id) ~rate_gbps:p.link_gbps
@@ -792,21 +935,65 @@ let log_length t =
 
 let app_fingerprint t = Op.fingerprint t.app_state
 let executed_ops t = Op.executed t.app_state
-let replies_sent t = t.replies
+let replies_sent t = Metrics.value t.c_replies
 let store_size t = Unordered.size t.store
-let recoveries_sent t = t.recoveries
+let recoveries_sent t = Metrics.value t.c_recoveries
+let recovery_escalations t = Metrics.value t.c_recovery_escalations
+let pending_recoveries t = Rid_tbl.length t.pending_recovery
 let port t = Option.get t.port
 let net_busy_time t = Cpu.busy_time t.net
 let app_busy_time t = Cpu.busy_time t.app
 let raft_node t = t.raft
+let metrics t = t.metrics
+let trace t = t.trace
+let election_timeout t = t.election_timeout
+let redraw_election_timeout t = draw_timeout t
 
 let bootstrap t = feed_raft t Rnode.Election_timeout
 
 let preload t ops = List.iter (fun op -> ignore (Op.apply t.app_state op)) ops
 
+(* Receive census, kept as an accessor over the "rx.<tag>" counters. *)
 let rx_census t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.rx_census []
-  |> List.sort compare
+  List.filter_map
+    (fun (name, v) ->
+      if String.length name > 3 && String.sub name 0 3 = "rx." then
+        Some (String.sub name 3 (String.length name - 3), v)
+      else None)
+    (Metrics.counters t.metrics)
+
+let snapshot t =
+  let gauges =
+    [
+      ("id", Json.Int t.id);
+      ("alive", Json.Bool t.alive);
+      ("leader", Json.Bool (is_leader t));
+      ("term", Json.Int (term t));
+      ("commit", Json.Int (commit_index t));
+      ("applied", Json.Int t.applied_ptr);
+      ("log_length", Json.Int (log_length t));
+      ("store_size", Json.Int (Unordered.size t.store));
+      ("pending_recoveries", Json.Int (Rid_tbl.length t.pending_recovery));
+      ("net_busy_ns", Json.Int (Cpu.busy_time t.net));
+      ("app_busy_ns", Json.Int (Cpu.busy_time t.app));
+    ]
+  in
+  let replier =
+    if is_leader t && t.p.reply_lb then
+      [
+        ( "replier",
+          Json.Obj
+            [
+              ("bound", Json.Int (Replier.bound t.replier));
+              ( "depths",
+                Json.List
+                  (List.init t.p.n (fun i -> Json.Int (Replier.depth t.replier i)))
+              );
+            ] );
+      ]
+    else []
+  in
+  Json.Obj (gauges @ replier @ [ ("metrics", Metrics.snapshot t.metrics) ])
 
 let kill t =
   t.alive <- false;

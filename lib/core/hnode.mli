@@ -77,6 +77,10 @@ type params = {
       (** Minimum log suffix each node retains; older entries compact away
           once applied everywhere. *)
   recovery_timeout : Timebase.t;
+  recovery_retry_max : int;
+      (** Unicast recovery attempts before escalating the request to a
+          cluster-wide broadcast. Retries never stop while the body is
+          missing — giving up would wedge the apply loop forever. *)
   probe_timeout : Timebase.t;
   loss_prob : float;  (** Random per-packet receive loss (tests). *)
   seed : int;
@@ -89,10 +93,17 @@ val params : ?mode:mode -> ?n:int -> unit -> params
 type t
 
 val create :
+  ?trace:Hovercraft_obs.Trace.t ->
   Engine.t -> Protocol.payload Fabric.t -> params -> id:int -> t
 (** Attach node [id] (address [Node id]) to the fabric and start its
     election clock and GC loops. Nodes join the cluster multicast group
-    themselves. *)
+    themselves. [trace] is the event ring protocol events are recorded
+    into — pass one ring to every node of a cluster for an interleaved
+    timeline (each node creates a private ring otherwise).
+
+    Raises [Invalid_argument] if [id] is outside the cluster, if
+    [election_min] is non-positive or exceeds [election_max], or if
+    [recovery_retry_max] is negative. *)
 
 (** {1 Observers} *)
 
@@ -109,6 +120,15 @@ val executed_ops : t -> int
 val replies_sent : t -> int
 val store_size : t -> int
 val recoveries_sent : t -> int
+
+val recovery_escalations : t -> int
+(** Recoveries that exhausted their unicast retry budget and fell back to
+    a cluster-wide broadcast. *)
+
+val pending_recoveries : t -> int
+(** Bodies this node is still trying to fetch. A healthy converged cluster
+    quiesces to zero. *)
+
 val port : t -> Protocol.payload Fabric.port
 
 val rx_census : t -> (string * int) list
@@ -118,6 +138,27 @@ val net_busy_time : t -> Timebase.t
 val app_busy_time : t -> Timebase.t
 val raft_node : t -> Protocol.cmd Hovercraft_raft.Node.t option
 (** The embedded consensus state machine ([None] when unreplicated). *)
+
+val metrics : t -> Hovercraft_obs.Metrics.t
+(** The node's counter/gauge/histogram registry. Counters include
+    [replies_sent], [recoveries_sent], [recovery_escalations],
+    [recoveries_resolved], [rejected], [lost_rx], [elections_started],
+    [gate_blocked], [gate_rekicks] and per-payload [rx.<tag>]; histogram
+    [recovery_latency_ns] tracks issue-to-resolution time. *)
+
+val trace : t -> Hovercraft_obs.Trace.t
+(** The protocol-event ring this node records into. *)
+
+val snapshot : t -> Hovercraft_obs.Json.t
+(** Point-in-time JSON roll-up: role, indices, store and recovery state,
+    replier queue depths (leader only) and the full metrics registry. *)
+
+val election_timeout : t -> Timebase.t
+(** The currently armed election timeout. *)
+
+val redraw_election_timeout : t -> Timebase.t
+(** Sample a fresh election timeout from [[election_min, election_max]]
+    (inclusive); exposed for statistical tests of the draw. *)
 
 (** {1 Control} *)
 

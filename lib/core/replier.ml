@@ -45,6 +45,10 @@ let applied_of t i = t.applied.(i)
 let depth t i = Queue.length t.assigned.(i)
 let eligible t i = (not t.excluded.(i)) && depth t i < t.bound
 
+let any_eligible t =
+  let rec go i = i < n t && (eligible t i || go (i + 1)) in
+  go 0
+
 let pick t () =
   match t.policy with
   | Jbsq.Random_choice ->

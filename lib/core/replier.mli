@@ -26,6 +26,10 @@ val note_applied : t -> node:int -> applied:int -> unit
 val applied_of : t -> int -> int
 val depth : t -> int -> int
 
+val any_eligible : t -> bool
+(** Whether at least one node could receive an assignment right now; used
+    to decide when a blocked announce gate is worth re-kicking. *)
+
 val pick : t -> unit -> int option
 (** Choose a replier for the next entry to announce, or [None] when no
     node is eligible. Does not record the assignment. *)

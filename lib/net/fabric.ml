@@ -106,3 +106,30 @@ let tx_wire_bytes p = p.tx_wire_bytes
 let rx_packets p = p.rx_packets
 let rx_wire_bytes p = p.rx_wire_bytes
 let dropped p = p.dropped
+
+(* How far ahead of the clock the link is booked: the serialization
+   backlog, i.e. the queue depth expressed in time. *)
+let tx_backlog_ns p ~now = max 0 (p.tx_free - now)
+let rx_backlog_ns p ~now = max 0 (p.rx_free - now)
+
+let ports t =
+  Hashtbl.fold (fun addr p acc -> (addr, p) :: acc) t.ports []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+let port_snapshot t p =
+  let now = Engine.now t.engine in
+  Hovercraft_obs.Json.Obj
+    [
+      ("tx_packets", Hovercraft_obs.Json.Int p.tx_packets);
+      ("tx_wire_bytes", Hovercraft_obs.Json.Int p.tx_wire_bytes);
+      ("rx_packets", Hovercraft_obs.Json.Int p.rx_packets);
+      ("rx_wire_bytes", Hovercraft_obs.Json.Int p.rx_wire_bytes);
+      ("dropped", Hovercraft_obs.Json.Int p.dropped);
+      ("tx_backlog_ns", Hovercraft_obs.Json.Int (tx_backlog_ns p ~now));
+      ("rx_backlog_ns", Hovercraft_obs.Json.Int (rx_backlog_ns p ~now));
+      ("down", Hovercraft_obs.Json.Bool p.down);
+    ]
+
+let snapshot t =
+  Hovercraft_obs.Json.Obj
+    (List.map (fun (addr, p) -> (Addr.to_string addr, port_snapshot t p)) (ports t))

@@ -55,3 +55,16 @@ val dropped : 'a port -> int
 (** Packets discarded because the destination was down or unknown
     (attributed to the sending port for unknown destinations and to the
     receiving port when it is down). *)
+
+val tx_backlog_ns : 'a port -> now:Timebase.t -> Timebase.t
+(** Serialization backlog on the TX side: how far beyond [now] the link is
+    already booked — the instantaneous queue depth in time units. *)
+
+val rx_backlog_ns : 'a port -> now:Timebase.t -> Timebase.t
+
+val ports : 'a t -> (Addr.t * 'a port) list
+(** All attached ports, sorted by address (deterministic roll-ups). *)
+
+val snapshot : 'a t -> Hovercraft_obs.Json.t
+(** Per-link counters and queue depths for every port, keyed by address
+    string. *)

@@ -1,0 +1,34 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability layer exports snapshots as JSON so they can be
+    diffed, archived next to experiment outputs, and consumed by external
+    tooling. No third-party JSON library is assumed: this covers exactly
+    the subset snapshots need (objects, arrays, strings, ints, floats,
+    bools, null), with a parser sufficient for round-tripping what
+    {!to_string} emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Object members keep their given order;
+    non-finite floats render as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document. Numbers without [.], [e] or [E] parse as
+    [Int]; everything else numeric parses as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any. [None] on
+    non-objects. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,97 @@
+type severity = Debug | Info | Warn | Error
+
+let severity_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type event = {
+  at : int;
+  node : int;
+  severity : severity;
+  kind : string;
+  detail : string;
+}
+
+let dummy = { at = 0; node = -1; severity = Debug; kind = ""; detail = "" }
+
+type t = {
+  buf : event array;
+  mutable accepted : int;
+  mutable default_level : severity;
+  node_levels : (int, severity) Hashtbl.t;
+}
+
+let create ?(capacity = 4096) ?(level = Info) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    buf = Array.make capacity dummy;
+    accepted = 0;
+    default_level = level;
+    node_levels = Hashtbl.create 8;
+  }
+
+let level t = t.default_level
+let set_level t l = t.default_level <- l
+let set_node_level t ~node l = Hashtbl.replace t.node_levels node l
+let clear_node_level t ~node = Hashtbl.remove t.node_levels node
+
+let enabled t ~node sev =
+  let min_level =
+    match Hashtbl.find_opt t.node_levels node with
+    | Some l -> l
+    | None -> t.default_level
+  in
+  severity_rank sev >= severity_rank min_level
+
+let record t ~at ~node sev ~kind ~detail =
+  if enabled t ~node sev then begin
+    t.buf.(t.accepted mod Array.length t.buf) <-
+      { at; node; severity = sev; kind; detail };
+    t.accepted <- t.accepted + 1
+  end
+
+let recorded t = t.accepted
+let capacity t = Array.length t.buf
+
+let events t =
+  let cap = Array.length t.buf in
+  let len = min t.accepted cap in
+  let first = t.accepted - len in
+  List.init len (fun i -> t.buf.((first + i) mod cap))
+
+let pp_event fmt e =
+  Format.fprintf fmt "%8.1fus node%-2d %-5s %-18s %s"
+    (float_of_int e.at /. 1e3)
+    e.node
+    (severity_to_string e.severity)
+    e.kind e.detail
+
+let event_json e =
+  Json.Obj
+    [
+      ("at_ns", Json.Int e.at);
+      ("node", Json.Int e.node);
+      ("severity", Json.String (severity_to_string e.severity));
+      ("kind", Json.String e.kind);
+      ("detail", Json.String e.detail);
+    ]
+
+let snapshot t =
+  let evs = events t in
+  Json.Obj
+    [
+      ("recorded", Json.Int t.accepted);
+      ("dropped", Json.Int (max 0 (t.accepted - Array.length t.buf)));
+      ("events", Json.List (List.map event_json evs));
+    ]

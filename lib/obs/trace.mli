@@ -1,0 +1,63 @@
+(** A ring buffer of timestamped protocol events.
+
+    One trace is shared by a whole deployment: every node records protocol
+    milestones (append_entries sent/acked, commit advanced, recovery
+    issued/resolved, elections, replier gating) into it, tagged with the
+    simulated time and the node id. The buffer holds the last [capacity]
+    accepted events — old events are overwritten, never reallocated, so
+    recording stays O(1) and the memory footprint is fixed no matter how
+    long a run is.
+
+    Filtering is by severity, with an optional per-node override: a node
+    under investigation can record [Debug] detail while the rest of the
+    cluster stays at [Info]. Call {!enabled} before building an event's
+    detail string so filtered events cost nothing. *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+type event = {
+  at : int;  (** Simulated time, ns. *)
+  node : int;  (** Recording node id; -1 for non-node components. *)
+  severity : severity;
+  kind : string;  (** Stable event tag, e.g. ["ae_sent"]. *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> ?level:severity -> unit -> t
+(** [capacity] defaults to 4096 events; [level] (the default minimum
+    severity) to [Info]. *)
+
+val level : t -> severity
+
+val set_level : t -> severity -> unit
+(** Set the default minimum severity. *)
+
+val set_node_level : t -> node:int -> severity -> unit
+(** Override the minimum severity for one node. *)
+
+val clear_node_level : t -> node:int -> unit
+
+val enabled : t -> node:int -> severity -> bool
+(** Would an event of this severity from this node be recorded? *)
+
+val record : t -> at:int -> node:int -> severity -> kind:string -> detail:string -> unit
+(** Append an event if it passes the severity filter. *)
+
+val recorded : t -> int
+(** Events accepted since creation (including overwritten ones). *)
+
+val events : t -> event list
+(** The retained events, oldest first. *)
+
+val capacity : t -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+val snapshot : t -> Json.t
+(** [{"recorded": n, "dropped": n, "events": [...]}] where [dropped]
+    counts accepted events that have been overwritten. *)

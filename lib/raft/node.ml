@@ -28,6 +28,15 @@ type 'cmd input =
   | Heartbeat_timeout
   | Client_command of 'cmd
   | Applied_up_to of int
+  | Announce_kick
+
+type obs_event =
+  | Obs_election_started of Types.term
+  | Obs_leadership_won of Types.term
+  | Obs_leadership_lost of Types.term
+  | Obs_commit_advanced of int
+  | Obs_announced_to of int
+  | Obs_announce_gated of int
 
 type 'cmd t = {
   cfg : config;
@@ -53,6 +62,7 @@ type 'cmd t = {
   mutable ae_seq : int;
   sent_seq : int array;  (* last append_entries seq sent per peer *)
   mutable gate : (int -> 'cmd -> bool) option;
+  mutable observer : (obs_event -> unit) option;
   mutable use_agg : bool;
   mutable agg_in_flight : bool;
   mutable agg_next : int;
@@ -86,6 +96,7 @@ let create cfg ~noop =
     ae_seq = 0;
     sent_seq = Array.make (max n 1) (-1);
     gate = None;
+    observer = None;
     use_agg = false;
     agg_in_flight = false;
     agg_next = 1;
@@ -107,6 +118,8 @@ let slot t p = Hashtbl.find t.slots p
 let applied_index_of t p = t.applied_of.(slot t p)
 let match_index_of t p = t.match_idx.(slot t p)
 let set_announce_gate t g = t.gate <- g
+let set_observer t f = t.observer <- f
+let notify t e = match t.observer with Some f -> f e | None -> ()
 
 let set_aggregated t flag =
   t.use_agg <- flag;
@@ -131,10 +144,12 @@ let become_follower t ~term ~leader emit =
   t.leader_hint <- leader;
   t.use_agg <- false;
   t.agg_in_flight <- false;
+  if was = Leader then notify t (Obs_leadership_lost t.term);
   if was <> Follower then emit (Became_follower leader)
 
 let extend_announced t =
   if t.role = Leader then begin
+    let before = t.announced in
     let stop = ref false in
     while (not !stop) && t.announced < Log.last_index t.log do
       let i = t.announced + 1 in
@@ -143,8 +158,13 @@ let extend_announced t =
         | None -> true
         | Some g -> g i (Log.get t.log i).Types.cmd
       in
-      if ok then t.announced <- i else stop := true
-    done
+      if ok then t.announced <- i
+      else begin
+        notify t (Obs_announce_gated i);
+        stop := true
+      end
+    done;
+    if t.announced > before then notify t (Obs_announced_to t.announced)
   end
 
 let next_seq t =
@@ -212,6 +232,7 @@ let replicate t ~force emit =
 let set_commit t c emit =
   if c > t.commit then begin
     t.commit <- c;
+    notify t (Obs_commit_advanced c);
     emit (Commit_advanced c)
   end
 
@@ -255,6 +276,7 @@ let become_leader t emit =
      only entries appended from here on pass through the gate. *)
   t.announced <- last;
   ignore (Log.append t.log { Types.term = t.term; cmd = t.noop });
+  notify t (Obs_leadership_won t.term);
   emit Became_leader;
   replicate t ~force:true emit;
   (* Single-node clusters commit immediately. *)
@@ -267,6 +289,7 @@ let start_election t emit =
   t.leader_hint <- None;
   t.verified <- 0;
   t.use_agg <- false;
+  notify t (Obs_election_started t.term);
   Array.fill t.votes 0 (Array.length t.votes) false;
   if quorum t = 1 then become_leader t emit
   else
@@ -477,6 +500,11 @@ let handle t input =
       else emit (Reject_command cmd)
   | Applied_up_to i ->
       t.applied <- max t.applied (min i t.commit);
+      if t.role = Leader then replicate t ~force:false emit
+  | Announce_kick ->
+      (* The embedder learned that a previously ineligible replier queue
+         drained: re-evaluate the announce gate now instead of waiting for
+         the next heartbeat. *)
       if t.role = Leader then replicate t ~force:false emit);
   List.rev !acc
 

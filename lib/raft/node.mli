@@ -55,6 +55,21 @@ type 'cmd input =
   | Applied_up_to of int
       (** The application thread finished applying entries up to this
           index. Feeds [applied_idx] in acks and unblocks announcing. *)
+  | Announce_kick
+      (** A previously gate-blocked announce may now pass (e.g. a bounded
+          replier queue drained): re-run replication without waiting for
+          the next heartbeat. No-op on non-leaders. *)
+
+(** Protocol milestones surfaced to the observability layer (never part of
+    the action list — observers must not influence the algorithm). *)
+type obs_event =
+  | Obs_election_started of Types.term
+  | Obs_leadership_won of Types.term
+  | Obs_leadership_lost of Types.term
+  | Obs_commit_advanced of int
+  | Obs_announced_to of int
+  | Obs_announce_gated of int
+      (** The announce gate vetoed this index (all replier queues full). *)
 
 type 'cmd t
 
@@ -86,6 +101,10 @@ val set_announce_gate : 'cmd t -> (int -> 'cmd -> bool) option -> unit
 (** The gate is called once per entry, in index order, when the leader is
     about to announce it; returning [false] stops announcement (it will be
     retried on the next replication opportunity). *)
+
+val set_observer : 'cmd t -> (obs_event -> unit) option -> unit
+(** Install a callback receiving {!obs_event}s as they happen. Purely
+    observational; not preserved across {!dump}/{!restore}. *)
 
 val set_aggregated : 'cmd t -> bool -> unit
 (** Toggle the HovercRaft++ fast path. The embedder switches it on only

@@ -6,6 +6,7 @@ let () =
       ("r2p2", Test_r2p2.suite);
       ("raft", Test_raft.suite);
       ("apps", Test_apps.suite);
+      ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("cluster", Test_cluster.suite);
       ("invariants", Test_invariants.suite);

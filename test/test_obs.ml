@@ -1,0 +1,361 @@
+(* Tests for the observability layer (metrics, trace, JSON) and the
+   regressions it was built to expose: recovery wedges under loss, the
+   gated-announce stall, loadgen tail bias, and the election-timeout
+   draw. *)
+
+open Hovercraft_sim
+open Hovercraft_obs
+open Hovercraft_core
+open Hovercraft_cluster
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+module R2p2 = Hovercraft_r2p2.R2p2
+module Op = Hovercraft_apps.Op
+module Service = Hovercraft_apps.Service
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- metrics ------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hits" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3;
+  check_int "counter accumulates" 5 (Metrics.value c);
+  check_int "resolvable by name" 5 (Metrics.counter_value m "hits");
+  check_int "unknown name is 0" 0 (Metrics.counter_value m "nope");
+  (* Get-or-create returns the same cell. *)
+  Metrics.incr (Metrics.counter m "hits");
+  check_int "same cell" 6 (Metrics.value c);
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 42;
+  check_int "gauge set" 42 (Metrics.gauge_value g);
+  (* Kind mismatch is a programming error, not a silent shadow. *)
+  check "kind mismatch raises" true
+    (try
+       ignore (Metrics.gauge m "hits");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for v = 1 to 10_000 do
+    Metrics.observe h v
+  done;
+  check_int "count" 10_000 (Metrics.hist_count h);
+  check_int "max exact" 10_000 (Metrics.hist_max h);
+  let within pct expected actual =
+    let e = float_of_int expected and a = float_of_int actual in
+    Float.abs (a -. e) /. e <= pct
+  in
+  (* Log-linear with 16 sub-buckets per octave: <= ~6.25% relative
+     quantile error, plus the half-open bucket rounding. *)
+  check "p50 within 7%" true (within 0.07 5_000 (Metrics.hist_percentile h 0.5));
+  check "p90 within 7%" true (within 0.07 9_000 (Metrics.hist_percentile h 0.9));
+  check "p99 within 7%" true (within 0.07 9_900 (Metrics.hist_percentile h 0.99));
+  check "mean exact" true (Float.abs (Metrics.hist_mean h -. 5000.5) < 0.001);
+  (* Small exact values land in their own unit buckets. *)
+  let m2 = Metrics.create () in
+  let h2 = Metrics.histogram m2 "small" in
+  List.iter (Metrics.observe h2) [ 3; 3; 3; 9 ];
+  check_int "small p50 exact" 3 (Metrics.hist_percentile h2 0.5);
+  check_int "small p99 exact" 9 (Metrics.hist_percentile h2 0.99);
+  (* Negative observations clamp to zero rather than crashing. *)
+  Metrics.observe h2 (-5);
+  check_int "negative clamps" 0 (Metrics.hist_percentile h2 0.01);
+  Metrics.clear m2;
+  check_int "clear resets" 0 (Metrics.hist_count h2)
+
+(* --- json ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.String "node\"0\"\n");
+        ("count", Json.Int (-42));
+        ("ratio", Json.Float 0.125);
+        ("ok", Json.Bool true);
+        ("missing", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.Int 2; Json.Obj [] ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> check "compact round-trip" true (Json.equal doc parsed)
+  | Error e -> Alcotest.fail ("parse failed: " ^ e));
+  (match Json.of_string (Json.to_string_pretty doc) with
+  | Ok parsed -> check "pretty round-trip" true (Json.equal doc parsed)
+  | Error e -> Alcotest.fail ("pretty parse failed: " ^ e));
+  (* A full metrics snapshot survives the round trip too. *)
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "a");
+  Metrics.set (Metrics.gauge m "g") 7;
+  Metrics.observe (Metrics.histogram m "h") 123;
+  (match Json.of_string (Json.to_string (Metrics.snapshot m)) with
+  | Ok parsed ->
+      check "snapshot round-trip" true (Json.equal (Metrics.snapshot m) parsed);
+      (match Json.member "counters" parsed with
+      | Some (Json.Obj [ ("a", Json.Int 1) ]) -> ()
+      | _ -> Alcotest.fail "counters member malformed")
+  | Error e -> Alcotest.fail ("snapshot parse failed: " ^ e));
+  check "garbage rejected" true
+    (match Json.of_string "[1, 2" with Error _ -> true | Ok _ -> false);
+  check "trailing junk rejected" true
+    (match Json.of_string "{} x" with Error _ -> true | Ok _ -> false)
+
+(* --- trace --------------------------------------------------------- *)
+
+let test_trace_ring_wraparound () =
+  let t = Trace.create ~capacity:8 ~level:Trace.Info () in
+  for i = 1 to 20 do
+    Trace.record t ~at:i ~node:0 Trace.Info ~kind:"tick"
+      ~detail:(string_of_int i)
+  done;
+  check_int "all accepted" 20 (Trace.recorded t);
+  let evs = Trace.events t in
+  check_int "ring keeps capacity" 8 (List.length evs);
+  check_string "oldest retained is 13" "13" (List.hd evs).Trace.detail;
+  check_string "newest retained is 20" "20"
+    (List.nth evs 7).Trace.detail;
+  check "timestamps ascend" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) -> a.Trace.at <= b.Trace.at && mono rest
+       | _ -> true
+     in
+     mono evs);
+  match Json.member "dropped" (Trace.snapshot t) with
+  | Some (Json.Int 12) -> ()
+  | _ -> Alcotest.fail "snapshot dropped count wrong"
+
+let test_trace_severity_filtering () =
+  let t = Trace.create ~capacity:16 ~level:Trace.Info () in
+  check "debug filtered by default" false (Trace.enabled t ~node:0 Trace.Debug);
+  Trace.record t ~at:1 ~node:0 Trace.Debug ~kind:"noise" ~detail:"";
+  check_int "debug dropped" 0 (Trace.recorded t);
+  Trace.record t ~at:2 ~node:0 Trace.Warn ~kind:"signal" ~detail:"";
+  check_int "warn recorded" 1 (Trace.recorded t);
+  (* Per-node override: node 1 under the microscope, the rest quiet. *)
+  Trace.set_node_level t ~node:1 Trace.Debug;
+  check "override enables debug" true (Trace.enabled t ~node:1 Trace.Debug);
+  check "others still filtered" false (Trace.enabled t ~node:0 Trace.Debug);
+  Trace.record t ~at:3 ~node:1 Trace.Debug ~kind:"detail" ~detail:"";
+  check_int "override recorded" 2 (Trace.recorded t);
+  Trace.clear_node_level t ~node:1;
+  check "override cleared" false (Trace.enabled t ~node:1 Trace.Debug);
+  Trace.set_level t Trace.Error;
+  Trace.record t ~at:4 ~node:0 Trace.Warn ~kind:"now-quiet" ~detail:"";
+  check_int "raised level filters warn" 2 (Trace.recorded t)
+
+(* --- election timeout draw ----------------------------------------- *)
+
+let test_election_draw_inclusive () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine () in
+  (* Degenerate interval: min = max must mean a constant draw, not an
+     out-of-range Rng.int. *)
+  let p =
+    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
+      Hnode.election_min = Timebase.ms 3;
+      election_max = Timebase.ms 3;
+    }
+  in
+  let node = Hnode.create engine fabric p ~id:0 in
+  for _ = 1 to 50 do
+    check_int "constant draw" (Timebase.ms 3) (Hnode.redraw_election_timeout node)
+  done;
+  (* Non-degenerate: both endpoints must be reachable. *)
+  let engine2 = Engine.create () in
+  let fabric2 = Fabric.create engine2 () in
+  let p2 =
+    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
+      Hnode.election_min = 10;
+      election_max = 13;
+    }
+  in
+  let node2 = Hnode.create engine2 fabric2 p2 ~id:0 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 500 do
+    let d = Hnode.redraw_election_timeout node2 in
+    check "draw in [min,max]" true (d >= 10 && d <= 13);
+    seen.(d - 10) <- true
+  done;
+  Array.iteri
+    (fun i hit -> check (Printf.sprintf "value %d drawn" (10 + i)) true hit)
+    seen;
+  (* Inverted interval is rejected up front instead of crashing later. *)
+  check "min > max rejected" true
+    (try
+       let p3 =
+         { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
+           Hnode.election_min = Timebase.ms 4;
+           election_max = Timebase.ms 2;
+         }
+       in
+       ignore (Hnode.create (Engine.create ()) fabric p3 ~id:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- recovery wedge regression ------------------------------------- *)
+
+(* A lossy multicast fabric with a tiny unicast retry budget: before the
+   escalation fix, recoveries that burned their retries left the rid in
+   pending_recovery forever and the apply loop wedged silently. Now the
+   node falls back to a cluster-group broadcast and must converge. *)
+let test_lossy_no_wedge () =
+  let params =
+    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
+      Hnode.loss_prob = 0.2;
+      recovery_retry_max = 1;
+      seed = 11;
+    }
+  in
+  let deploy = Deploy.create params in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
+      ~workload:(Service.sample (Service.spec ()))
+      ~retry:(Timebase.ms 2, 10) ~seed:11 ()
+  in
+  let report =
+    Loadgen.run gen ~warmup:(Timebase.ms 2) ~duration:(Timebase.ms 20)
+      ~drain:(Timebase.ms 40) ()
+  in
+  Deploy.quiesce deploy ~extra:(Timebase.ms 40) ();
+  check "made progress" true (report.Loadgen.completed > 0);
+  check_int "no in-window request lost" 0 report.Loadgen.lost;
+  check_int "no recovery left pending" 0 (Deploy.total_pending_recoveries deploy);
+  check "replicas consistent" true (Deploy.consistent deploy);
+  Array.iter
+    (fun node ->
+      check
+        (Printf.sprintf "node%d apply loop caught up" (Hnode.id node))
+        true
+        (Hnode.applied_index node = Hnode.commit_index node))
+    deploy.Deploy.nodes;
+  let escalations =
+    Array.fold_left
+      (fun acc n -> acc + Hnode.recovery_escalations n)
+      0 deploy.Deploy.nodes
+  in
+  check "escalation path exercised" true (escalations > 0);
+  (* The snapshot carries the proof: per-node recovery counters and a
+     populated recovery-latency histogram. *)
+  let resolved =
+    Array.fold_left
+      (fun acc n ->
+        acc + Metrics.counter_value (Hnode.metrics n) "recoveries_resolved")
+      0 deploy.Deploy.nodes
+  in
+  check "recoveries resolved" true (resolved > 0);
+  match Json.of_string (Json.to_string (Deploy.snapshot deploy)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("cluster snapshot not valid JSON: " ^ e)
+
+(* --- gated-announce stall regression ------------------------------- *)
+
+(* Saturate a cluster whose replier queues are tiny (bound = 2): the
+   announce gate must veto repeatedly, and each drain must re-kick
+   replication immediately. Before the fix the pipeline sat idle until
+   the next 500 µs heartbeat after every veto; with it the leader
+   records gate_rekicks and still drains everything. *)
+let test_gated_announce_rekicks () =
+  let params =
+    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with Hnode.bound = 2; seed = 5 }
+  in
+  let deploy = Deploy.create params in
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:150_000.
+      ~workload:
+        (Service.sample
+           (Service.spec ~service:(Dist.Fixed (Timebase.us 5)) ()))
+      ~seed:5 ()
+  in
+  let report =
+    Loadgen.run gen ~warmup:(Timebase.ms 2) ~duration:(Timebase.ms 20) ()
+  in
+  Deploy.quiesce deploy ();
+  let leader =
+    match Deploy.leader deploy with
+    | Some n -> n
+    | None -> Alcotest.fail "no leader"
+  in
+  let v name = Metrics.counter_value (Hnode.metrics leader) name in
+  check "gate vetoed under saturation" true (v "gate_blocked" > 0);
+  check "every stall was re-kicked" true (v "gate_rekicks" > 0);
+  check "work still drained" true (report.Loadgen.completed > 0);
+  check "replicas consistent" true (Deploy.consistent deploy);
+  Array.iter
+    (fun node ->
+      check
+        (Printf.sprintf "node%d caught up" (Hnode.id node))
+        true
+        (Hnode.applied_index node = Hnode.commit_index node))
+    deploy.Deploy.nodes
+
+(* --- loadgen tail bias regression ---------------------------------- *)
+
+(* A server that answers every request after a fixed 5 ms think time:
+   requests sent near the end of the window complete after measure_to.
+   They were sent in-window, so they must count — the old arrival-gated
+   condition dropped exactly these slowest replies and under-reported the
+   tail. *)
+let test_loadgen_counts_late_replies () =
+  let delay = Timebase.ms 5 in
+  let params = Hnode.params ~mode:Hnode.Unreplicated ~n:1 () in
+  let deploy = Deploy.create params in
+  let engine = deploy.Deploy.engine in
+  let server = Addr.Client 99 in
+  let port = ref None in
+  let handler (pkt : Protocol.payload Fabric.packet) =
+    match pkt.Fabric.payload with
+    | Protocol.Request { rid; _ } ->
+        Engine.after engine delay (fun () ->
+            match !port with
+            | Some p ->
+                Fabric.send deploy.Deploy.fabric p ~dst:rid.R2p2.src_addr
+                  ~bytes:16
+                  (Protocol.Response { rid })
+            | None -> ())
+    | _ -> ()
+  in
+  port :=
+    Some
+      (Fabric.attach deploy.Deploy.fabric ~addr:server ~rate_gbps:10.
+         ~handler);
+  let gen =
+    Loadgen.create deploy ~clients:2 ~rate_rps:5_000.
+      ~workload:(Service.sample (Service.spec ()))
+      ~target:server ~seed:3 ()
+  in
+  let report =
+    Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 10)
+      ~drain:(Timebase.ms 20) ()
+  in
+  check "sent something" true (report.Loadgen.sent > 10);
+  check_int "every in-window send completed" report.Loadgen.sent
+    report.Loadgen.completed;
+  check_int "nothing reported lost" 0 report.Loadgen.lost;
+  (* All latencies reflect the server delay, p50 included. *)
+  check "latency reflects think time" true
+    (report.Loadgen.p50_us >= Timebase.to_us_f delay)
+
+let suite =
+  [
+    Alcotest.test_case "metrics counters and gauges" `Quick test_metrics_counters;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_ring_wraparound;
+    Alcotest.test_case "trace severity filtering" `Quick
+      test_trace_severity_filtering;
+    Alcotest.test_case "election draw inclusive" `Quick
+      test_election_draw_inclusive;
+    Alcotest.test_case "lossy fabric never wedges" `Quick test_lossy_no_wedge;
+    Alcotest.test_case "gated announce re-kicks" `Quick
+      test_gated_announce_rekicks;
+    Alcotest.test_case "late replies are counted" `Quick
+      test_loadgen_counts_late_replies;
+  ]
