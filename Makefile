@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check snapshot clean
+.PHONY: all build test check snapshot chaos clean
 
 all: build
 
@@ -16,6 +16,11 @@ check: build test
 # converge and emit hovercraft_snapshot.json.
 snapshot:
 	dune exec bench/main.exe -- snapshot
+
+# Seeded chaos smoke: kill/restart/partition schedule under load; the
+# history checker makes the command exit non-zero on any violation.
+chaos:
+	dune exec bin/hovercraft.exe -- chaos --seed 4 --duration-ms 1500
 
 clean:
 	dune clean

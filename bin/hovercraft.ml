@@ -6,6 +6,8 @@
      sweep     — latency-throughput curve over a list of offered loads;
      slo       — find the max load sustaining a p99 SLO;
      failover  — leader-kill timeline with flow control;
+     chaos     — seeded kill/restart/partition schedule with the
+                 crash-recovery history checker;
      repro     — regenerate the paper's tables and figures by id;
      mc        — model-check bounded Raft / HovercRaft++ instances. *)
 
@@ -354,6 +356,77 @@ let failover_cmd =
   let term = Term.(const action $ nodes_arg $ rate $ seed_arg $ kill_ms $ dur) in
   Cmd.v (Cmd.info "failover" ~doc:"Leader-kill timeline with flow control.") term
 
+(* --- chaos -------------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let action n rate seed duration_ms events =
+    let spec =
+      Service.spec
+        ~service:(Dist.Bimodal { mean = Timebase.us 10; long_fraction = 0.1; ratio = 10. })
+        ~read_fraction:0.5 ()
+    in
+    let duration = Timebase.ms duration_ms in
+    let outcome =
+      Chaos.run
+        ~params:
+          {
+            (Hnode.params ~mode:Hnode.Hover_pp ~n ()) with
+            bound = 32;
+            flow_control = true;
+            seed;
+          }
+        ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
+        ~schedule:(Chaos.random_schedule ~events ~n ~duration ~seed ())
+        ~workload:(Service.sample spec) ~seed ()
+    in
+    Printf.printf "schedule (seed %d):\n" seed;
+    List.iter
+      (fun (t_s, what) -> Printf.printf "  t=%.2fs  %s\n" t_s what)
+      outcome.Chaos.events;
+    let rows =
+      List.map
+        (fun (b : Failure.bucket) ->
+          [
+            Printf.sprintf "%.1f" b.t_s;
+            Printf.sprintf "%.1f" b.krps;
+            (match b.p99_us with Some v -> Table.fmt_us v | None -> "-");
+            string_of_int b.nacks;
+          ])
+        outcome.Chaos.series
+    in
+    Table.print ~header:[ "t (s)"; "kRPS"; "p99 us"; "NACKs" ] rows;
+    Printf.printf
+      "completed %d, nacked %d, lost %d, retried %d\n"
+      outcome.Chaos.report.Loadgen.completed
+      outcome.Chaos.report.Loadgen.nacked outcome.Chaos.report.Loadgen.lost
+      outcome.Chaos.retried;
+    Printf.printf
+      "exactly-once %b; committed-preserved %b; caught-up %b; consistent %b\n"
+      outcome.Chaos.exactly_once_ok outcome.Chaos.committed_preserved
+      outcome.Chaos.caught_up outcome.Chaos.consistent;
+    if outcome.Chaos.violations <> [] then begin
+      List.iter (Printf.printf "VIOLATION: %s\n") outcome.Chaos.violations;
+      exit 1
+    end
+  in
+  let nodes =
+    Arg.(value & opt int 5 & info [ "n"; "nodes" ] ~doc:"Cluster size (>= 3).")
+  in
+  let rate =
+    Arg.(value & opt float 120_000. & info [ "rate" ] ~doc:"Offered load in RPS.")
+  in
+  let dur = Arg.(value & opt int 2000 & info [ "duration-ms" ] ~doc:"Run length.") in
+  let events =
+    Arg.(value & opt int 6 & info [ "events" ] ~doc:"Scheduled fault budget.")
+  in
+  let term = Term.(const action $ nodes $ rate $ seed_arg $ dur $ events) in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded kill/restart/partition schedule under load, with the \
+          crash-recovery history checker; exits non-zero on any violation.")
+    term
+
 (* --- mc ------------------------------------------------------------------------ *)
 
 let mc_cmd =
@@ -431,4 +504,7 @@ let repro_cmd =
 let () =
   let doc = "HovercRaft: scalable, fault-tolerant microsecond-scale RPC (simulated reproduction)" in
   let info = Cmd.info "hovercraft" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; slo_cmd; failover_cmd; repro_cmd; mc_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; slo_cmd; failover_cmd; chaos_cmd; repro_cmd; mc_cmd ]))

@@ -36,7 +36,7 @@ let () =
   let t0 = Engine.now engine in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:40_000. ~workload
-      ~on_reply:(fun ~sent_at:_ ~latency ->
+      ~on_reply:(fun ~rid:_ ~op:_ ~sent_at:_ ~latency ->
         Series.add series ~at:(Engine.now engine - t0) latency)
       ~seed:7 ()
   in

@@ -1,0 +1,409 @@
+open Hovercraft_sim
+open Hovercraft_core
+open Hovercraft_r2p2
+module Addr = Hovercraft_net.Addr
+module Fabric = Hovercraft_net.Fabric
+module Rnode = Hovercraft_raft.Node
+module Rlog = Hovercraft_raft.Log
+module Rtypes = Hovercraft_raft.Types
+
+module Rid_tbl = Hashtbl.Make (struct
+  type t = R2p2.req_id
+
+  let equal = R2p2.req_id_equal
+  let hash = R2p2.req_id_hash
+end)
+
+type event =
+  | Kill_leader
+  | Kill of int
+  | Restart of int
+  | Partition of int list list
+  | Heal
+
+type step = { at : Timebase.t; event : event }
+
+let pp_event ppf = function
+  | Kill_leader -> Format.fprintf ppf "kill-leader"
+  | Kill i -> Format.fprintf ppf "kill node%d" i
+  | Restart i -> Format.fprintf ppf "restart node%d" i
+  | Partition sets ->
+      Format.fprintf ppf "partition %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "|")
+           (fun ppf set ->
+             Format.fprintf ppf "{%a}"
+               (Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+                  Format.pp_print_int)
+               set))
+        sets
+  | Heal -> Format.fprintf ppf "heal"
+
+(* Seeded schedule generator. Invariants maintained on the generator's own
+   model of the cluster: at most a minority of nodes dead at any time (a
+   quorum can always make progress once partitions heal), kills only while
+   unpartitioned, and a cleanup tail that heals and restarts everything the
+   model knows about well before [duration] so the run can converge. Nodes
+   killed via [Kill_leader] are identified only at run time; {!run}'s
+   epilogue restarts any node still dead. *)
+let random_schedule ?(events = 6) ~n ~duration ~seed () =
+  if n < 3 then invalid_arg "Chaos.random_schedule: need n >= 3";
+  if events <= 0 then invalid_arg "Chaos.random_schedule: events must be positive";
+  let rng = Rng.create (seed lxor 0xc0a5) in
+  let max_dead = (n - 1) / 2 in
+  let dead = Array.make n false in
+  let known_dead () =
+    List.filter (fun i -> dead.(i)) (List.init n Fun.id)
+  in
+  let anon_dead = ref 0 in
+  let dead_total () = List.length (known_dead ()) + !anon_dead in
+  let partitioned = ref false in
+  let horizon = duration * 7 / 10 in
+  let t_first = duration / 10 in
+  let times =
+    List.init events (fun _ -> t_first + Rng.int rng (max 1 (horizon - t_first)))
+    |> List.sort compare
+  in
+  let steps =
+    List.filter_map
+      (fun at ->
+        if !partitioned then
+          if Rng.bool rng 0.7 then begin
+            partitioned := false;
+            Some { at; event = Heal }
+          end
+          else None
+        else
+          let r = Rng.int rng 100 in
+          if r < 35 && dead_total () < max_dead then begin
+            incr anon_dead;
+            Some { at; event = Kill_leader }
+          end
+          else if r < 55 && dead_total () < max_dead then begin
+            let live = List.filter (fun i -> not dead.(i)) (List.init n Fun.id) in
+            match live with
+            | [] -> None
+            | _ ->
+                let v = List.nth live (Rng.int rng (List.length live)) in
+                dead.(v) <- true;
+                Some { at; event = Kill v }
+          end
+          else if r < 75 && known_dead () <> [] then begin
+            let ds = known_dead () in
+            let v = List.nth ds (Rng.int rng (List.length ds)) in
+            dead.(v) <- false;
+            Some { at; event = Restart v }
+          end
+          else if dead_total () = 0 then begin
+            let m = 1 + Rng.int rng max_dead in
+            let ids = Array.init n Fun.id in
+            for i = 0 to m - 1 do
+              let j = i + Rng.int rng (n - i) in
+              let tmp = ids.(i) in
+              ids.(i) <- ids.(j);
+              ids.(j) <- tmp
+            done;
+            let minority = List.sort compare (Array.to_list (Array.sub ids 0 m)) in
+            let majority =
+              List.filter (fun i -> not (List.mem i minority)) (List.init n Fun.id)
+            in
+            partitioned := true;
+            Some { at; event = Partition [ majority; minority ] }
+          end
+          else None)
+      times
+  in
+  let gap = max 1 (duration / 20) in
+  let cleanup =
+    (if !partitioned then [ { at = horizon + gap; event = Heal } ] else [])
+    @ List.mapi
+        (fun k i -> { at = horizon + (gap * (k + 2)); event = Restart i })
+        (known_dead ())
+  in
+  steps @ cleanup
+
+type outcome = {
+  series : Failure.bucket list;
+  events : (float * string) list;
+  violations : string list;
+  exactly_once_ok : bool;
+  committed_preserved : bool;
+  caught_up : bool;
+  consistent : bool;
+  report : Loadgen.report;
+  retried : int;
+}
+
+(* -------------------------------------------------------------------- *)
+(* History checker                                                       *)
+
+(* Committed non-internal commands of a node, in log order. Chaos runs pin
+   [log_retain] high enough that nothing compacts, so the scan covers the
+   whole history. *)
+let committed_cmds node =
+  match Hnode.raft_node node with
+  | None -> []
+  | Some r ->
+      let log = Rnode.log r in
+      let hi = min (Rnode.commit_index r) (Rlog.last_index log) in
+      let acc = ref [] in
+      Rlog.iter_range log ~lo:(Rlog.first_index log) ~hi (fun idx e ->
+          let m = e.Rtypes.cmd.Protocol.meta in
+          if not m.Protocol.internal then
+            acc := (idx, e.Rtypes.term, m) :: !acc);
+      List.rev !acc
+
+(* How many state-machine executions this node's applied log prefix should
+   have produced, under the apply rule: first occurrence of a rid executes
+   iff it is a write, or a read whose designated replier is this node
+   (Hover modes). Duplicate ordings of a retried rid never execute — that
+   is the exactly-once contract the count verifies. *)
+let expected_executions node =
+  match Hnode.raft_node node with
+  | None -> None
+  | Some r ->
+      let log = Rnode.log r in
+      let hi = min (Hnode.applied_index node) (Rlog.last_index log) in
+      let first = Rid_tbl.create 4096 in
+      let count = ref 0 in
+      Rlog.iter_range log ~lo:(Rlog.first_index log) ~hi (fun _ e ->
+          let m = e.Rtypes.cmd.Protocol.meta in
+          if (not m.Protocol.internal) && not (Rid_tbl.mem first m.Protocol.rid)
+          then begin
+            Rid_tbl.replace first m.Protocol.rid ();
+            if (not m.Protocol.read_only) || m.Protocol.replier = Hnode.id node
+            then incr count
+          end);
+      Some !count
+
+let check deploy ~completed_writes =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let live = Deploy.live_nodes deploy in
+  let mode = deploy.Deploy.params.Hnode.mode in
+  (* Reference replica: the live node with the longest committed prefix. *)
+  let reference =
+    List.fold_left
+      (fun best n ->
+        match best with
+        | None -> Some n
+        | Some b ->
+            if Hnode.commit_index n > Hnode.commit_index b then Some n else best)
+      None live
+  in
+  let exactly_once_ok = ref true in
+  (* 1. Exactly-once execution: each replica's execution counter equals
+     what its applied log prefix prescribes — retried rids ordered twice
+     must execute once. Exact only for the Hover modes with replicated
+     reads (the configurations chaos runs); elsewhere reads execute on
+     the leader of the moment, so only writes give a firm floor. *)
+  List.iter
+    (fun n ->
+      match expected_executions n with
+      | None -> ()
+      | Some expected -> (
+          let got = Hnode.executed_ops n in
+          match mode with
+          | Hnode.Hover | Hnode.Hover_pp ->
+              if got <> expected then begin
+                exactly_once_ok := false;
+                bad "node%d executed %d ops, log prescribes %d" (Hnode.id n) got
+                  expected
+              end
+          | Hnode.Vanilla | Hnode.Unreplicated ->
+              if got < expected then begin
+                exactly_once_ok := false;
+                bad "node%d executed %d ops, log prescribes >= %d" (Hnode.id n)
+                  got expected
+              end))
+    live;
+  (* 2. Committed prefixes agree across live replicas (rid and term at
+     every shared committed index). *)
+  (match reference with
+  | None -> ()
+  | Some ref_node ->
+      let ref_cmds = committed_cmds ref_node in
+      let ref_at = Hashtbl.create 4096 in
+      List.iter (fun (idx, term, m) -> Hashtbl.replace ref_at idx (term, m)) ref_cmds;
+      List.iter
+        (fun n ->
+          if Hnode.id n <> Hnode.id ref_node then
+            List.iter
+              (fun (idx, term, (m : Protocol.meta)) ->
+                match Hashtbl.find_opt ref_at idx with
+                | None -> ()
+                | Some (rterm, (rm : Protocol.meta)) ->
+                    if rterm <> term || not (R2p2.req_id_equal rm.rid m.rid) then
+                      bad
+                        "committed prefixes diverge at index %d (node%d vs \
+                         node%d)"
+                        idx (Hnode.id n) (Hnode.id ref_node))
+              (committed_cmds n))
+        live);
+  (* 3. Committed-stays-committed: every write the client saw answered is
+     in the reference replica's committed log, whatever crashed since. *)
+  let committed_preserved = ref true in
+  (match reference with
+  | None -> if completed_writes <> [] then committed_preserved := false
+  | Some ref_node ->
+      let committed = Rid_tbl.create 4096 in
+      List.iter
+        (fun (_, _, (m : Protocol.meta)) -> Rid_tbl.replace committed m.rid ())
+        (committed_cmds ref_node);
+      List.iter
+        (fun rid ->
+          if not (Rid_tbl.mem committed rid) then begin
+            committed_preserved := false;
+            bad "client-completed write %s missing from committed log"
+              (Format.asprintf "%a" R2p2.pp_req_id rid)
+          end)
+        completed_writes);
+  (* 4. Catch-up: after the heal-and-restart epilogue every live replica
+     must have applied everything any replica committed. *)
+  let caught_up = ref true in
+  let max_commit =
+    List.fold_left (fun acc n -> max acc (Hnode.commit_index n)) 0 live
+  in
+  List.iter
+    (fun n ->
+      if Hnode.applied_index n < max_commit then begin
+        caught_up := false;
+        bad "node%d applied %d < cluster commit %d" (Hnode.id n)
+          (Hnode.applied_index n) max_commit
+      end)
+    live;
+  let consistent = Deploy.consistent deploy in
+  if not consistent then bad "live replica fingerprints diverge";
+  ( List.rev !violations,
+    !exactly_once_ok,
+    !committed_preserved,
+    !caught_up,
+    consistent )
+
+(* -------------------------------------------------------------------- *)
+(* Driving a run                                                         *)
+
+let apply_event deploy ~t0 ~timeline event =
+  let engine = deploy.Deploy.engine in
+  let note fmt =
+    Format.kasprintf
+      (fun s ->
+        timeline := (Timebase.to_s_f (Engine.now engine - t0), s) :: !timeline)
+      fmt
+  in
+  match event with
+  | Kill_leader -> (
+      match Deploy.kill_leader deploy with
+      | Some i -> note "killed leader node%d" i
+      | None -> note "kill-leader: nothing left to kill")
+  | Kill i ->
+      if Hnode.alive deploy.Deploy.nodes.(i) then begin
+        Deploy.kill_node deploy i;
+        note "killed node%d" i
+      end
+      else note "kill node%d skipped (already dead)" i
+  | Restart i ->
+      if Hnode.alive deploy.Deploy.nodes.(i) then
+        note "restart node%d skipped (alive)" i
+      else begin
+        Deploy.restart_node deploy i;
+        note "restarted node%d" i
+      end
+  | Partition sets ->
+      Fabric.partition deploy.Deploy.fabric
+        (List.map (List.map (fun i -> Addr.Node i)) sets);
+      note "%a" pp_event (Partition sets)
+  | Heal ->
+      Fabric.heal deploy.Deploy.fabric;
+      note "healed partition"
+
+let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
+    ?(bucket = Timebase.ms 100) ?(duration = Timebase.s 2)
+    ?(drain = Timebase.ms 100) ?schedule ~workload ~seed () =
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Hnode.params ~mode:Hnode.Hover_pp ~n ()
+  in
+  let n = params.Hnode.n in
+  (* Crashes must be recoverable for the whole run: peers keep ordered
+     bodies past any downtime (so a restarted node can refetch them) and
+     no log prefix compacts away (so catch-up backtracking — and the
+     checker — can reach index 1). *)
+  let params =
+    {
+      params with
+      Hnode.gc_ordered = (2 * duration) + drain + Timebase.s 1;
+      log_retain = max_int / 2;
+    }
+  in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None -> random_schedule ~n ~duration ~seed ()
+  in
+  let deploy = Deploy.create ~flow_cap params in
+  let engine = deploy.Deploy.engine in
+  let t0 = Engine.now engine in
+  let completions = Series.create ~bucket () in
+  let nacks = Series.create ~bucket () in
+  let completed_writes = ref [] in
+  let gen =
+    Loadgen.create deploy ~clients:8 ~rate_rps ~workload
+      ~retry:(Timebase.ms 50, 8)
+      ~on_reply:(fun ~rid ~op ~sent_at:_ ~latency ->
+        if not (Hovercraft_apps.Op.read_only op) then
+          completed_writes := rid :: !completed_writes;
+        Series.add completions ~at:(Engine.now engine - t0) latency)
+      ~on_nack:(fun ~at -> Series.mark nacks ~at:(at - t0))
+      ~seed ()
+  in
+  let timeline = ref [] in
+  List.iter
+    (fun { at; event } ->
+      Engine.after engine at (fun () -> apply_event deploy ~t0 ~timeline event))
+    schedule;
+  let report = Loadgen.run gen ~warmup:0 ~duration ~drain () in
+  (* Epilogue: whatever the schedule left broken, heal and restart it,
+     then let the cluster converge so the catch-up check is meaningful. *)
+  if Fabric.partitioned deploy.Deploy.fabric then
+    apply_event deploy ~t0 ~timeline Heal;
+  Array.iteri
+    (fun i node ->
+      if not (Hnode.alive node) then apply_event deploy ~t0 ~timeline (Restart i))
+    deploy.Deploy.nodes;
+  (* A node that slept through most of the run has that much history to
+     re-apply at state-machine speed; converge on observed progress
+     instead of a fixed window (bounded so a genuine wedge still ends
+     the run and fails the checker). *)
+  let converged () =
+    let live = Deploy.live_nodes deploy in
+    let max_commit =
+      List.fold_left (fun acc n -> max acc (Hnode.commit_index n)) 0 live
+    in
+    List.for_all (fun n -> Hnode.applied_index n >= max_commit) live
+    && Deploy.total_pending_recoveries deploy = 0
+  in
+  let rec settle tries =
+    Deploy.quiesce deploy ~extra:(Timebase.ms 200) ();
+    if (not (converged ())) && tries > 0 then settle (tries - 1)
+  in
+  settle 50;
+  let violations, exactly_once_ok, committed_preserved, caught_up, consistent =
+    check deploy ~completed_writes:!completed_writes
+  in
+  {
+    series =
+      Failure.merge_series ~bucket_width:bucket
+        ~completions:(Series.buckets completions)
+        ~nacks:(Series.buckets nacks);
+    events = List.rev !timeline;
+    violations;
+    exactly_once_ok;
+    committed_preserved;
+    caught_up;
+    consistent;
+    report;
+    retried = Loadgen.retried gen;
+  }

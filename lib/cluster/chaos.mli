@@ -1,0 +1,92 @@
+(** Chaos testing: timed crash / restart / partition schedules driven
+    against a deployment under load, with a history checker over the
+    replicas' committed logs and the client-observed completions.
+
+    The checker verifies, after a heal-and-restart epilogue:
+
+    - {e exactly-once execution}: each replica's execution counter equals
+      what its applied log prefix prescribes, so a retried request ordered
+      twice still executed once;
+    - {e prefix agreement}: live replicas agree (term and request id) at
+      every shared committed index;
+    - {e committed-stays-committed}: every write whose reply a client
+      received is present in the longest live committed log — no crash,
+      election or partition un-commits an acknowledged write;
+    - {e catch-up}: every live replica (including restarted ones) has
+      applied everything any replica committed;
+    - {e consistency}: live replicas' application fingerprints agree.
+
+    Runs are deterministic per seed: equal seeds replay the same schedule
+    against the same simulated load, byte for byte. *)
+
+open Hovercraft_sim
+open Hovercraft_core
+open Hovercraft_r2p2
+
+type event =
+  | Kill_leader  (** Crash the current leader ({!Deploy.kill_leader}). *)
+  | Kill of int  (** Crash a node by id; skipped if already dead. *)
+  | Restart of int  (** {!Hnode.restart} a node; skipped if alive. *)
+  | Partition of int list list
+      (** Split the fabric into node islands; nodes absent from every
+          island (and clients, middleboxes, the aggregator) keep global
+          reachability. *)
+  | Heal  (** Remove the partition. *)
+
+type step = { at : Timebase.t; event : event }
+(** [at] is relative to the start of the chaos run. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val random_schedule :
+  ?events:int -> n:int -> duration:Timebase.t -> seed:int -> unit -> step list
+(** Generate a seeded schedule of up to [events] faults over the first
+    70% of [duration], keeping (on the generator's model) a quorum of
+    nodes alive at all times, never killing into a partition, and ending
+    with a cleanup tail that heals and restarts everything so the run can
+    converge. Deterministic per [seed]. Requires [n >= 3]. *)
+
+type outcome = {
+  series : Failure.bucket list;
+      (** Per-bucket throughput / p99 / NACKs, as in {!Failure.run}. *)
+  events : (float * string) list;
+      (** What was actually applied, (seconds from start, description) —
+          includes schedule entries skipped as illegal and the epilogue's
+          heals/restarts. *)
+  violations : string list;  (** Empty on a correct run. *)
+  exactly_once_ok : bool;
+  committed_preserved : bool;
+  caught_up : bool;
+  consistent : bool;
+  report : Loadgen.report;
+  retried : int;  (** Client retransmissions (same rid, exactly-once). *)
+}
+
+val check : Deploy.t -> completed_writes:R2p2.req_id list -> string list * bool * bool * bool * bool
+(** Run the history checker against a quiesced deployment.
+    [completed_writes] are the request ids of non-read operations whose
+    replies clients received. Returns
+    [(violations, exactly_once_ok, committed_preserved, caught_up,
+    consistent)]. Exposed for tests; {!run} calls it for you. *)
+
+val run :
+  ?params:Hnode.params ->
+  ?n:int ->
+  ?rate_rps:float ->
+  ?flow_cap:int ->
+  ?bucket:Timebase.t ->
+  ?duration:Timebase.t ->
+  ?drain:Timebase.t ->
+  ?schedule:step list ->
+  workload:(Rng.t -> Hovercraft_apps.Op.t) ->
+  seed:int ->
+  unit ->
+  outcome
+(** Drive [schedule] (default: {!random_schedule} from [seed]) against a
+    fresh deployment (default: HovercRaft++, [n] = 5, flow control) under
+    open-loop load with client retries. [params]' body-retention and log
+    windows are widened so crashes stay recoverable and the checker can
+    scan full logs: [gc_ordered] covers the run and [log_retain] disables
+    compaction for its duration. After the load window and [drain], any
+    surviving partition is healed and dead nodes restarted, the cluster
+    quiesces, and the history checker runs. *)

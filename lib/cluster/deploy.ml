@@ -14,14 +14,21 @@ type t = {
   router : Router.t option;
   params : Hnode.params;
   trace : Trace.t;
+  mutable last_leader : int option;
 }
 
 let followers_group = 1
 
 let leader t =
-  Array.to_seq t.nodes
-  |> Seq.filter (fun n -> Hnode.alive n && Hnode.is_leader n)
-  |> fun s -> Seq.uncons s |> Option.map fst
+  let l =
+    Array.to_seq t.nodes
+    |> Seq.filter (fun n -> Hnode.alive n && Hnode.is_leader n)
+    |> fun s -> Seq.uncons s |> Option.map fst
+  in
+  (match l with Some n -> t.last_leader <- Some (Hnode.id n) | None -> ());
+  l
+
+let live_nodes t = Array.to_list t.nodes |> List.filter Hnode.alive
 
 let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
     ?(switch_gbps = 100.) ?trace (params : Hnode.params) =
@@ -62,7 +69,19 @@ let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
              ~rate_gbps:switch_gbps ())
     | None -> None
   in
-  let t = { engine; fabric; nodes; aggregator; flow; router; params; trace } in
+  let t =
+    {
+      engine;
+      fabric;
+      nodes;
+      aggregator;
+      flow;
+      router;
+      params;
+      trace;
+      last_leader = None;
+    }
+  in
   (match params.Hnode.mode with
   | Hnode.Unreplicated -> ()
   | Hnode.Vanilla | Hnode.Hover | Hnode.Hover_pp ->
@@ -76,7 +95,30 @@ let client_target t =
   | (Hnode.Unreplicated | Hnode.Vanilla), _ -> (
       match leader t with
       | Some n -> Addr.Node (Hnode.id n)
-      | None -> Addr.Node 0)
+      | None -> (
+          (* Leaderless (mid-election). Unicasting at a fixed node 0 would
+             pour the whole blackout into a dead port whenever node 0 is
+             the killed leader; follow a live node's leader hint instead,
+             and failing that address any live node (a follower rejects
+             the request, which at least surfaces as a visible NACK-like
+             signal rather than silence). *)
+          let live = live_nodes t in
+          let hinted =
+            List.find_map
+              (fun n ->
+                match Hnode.leader_hint n with
+                | Some l
+                  when l >= 0
+                       && l < Array.length t.nodes
+                       && Hnode.alive t.nodes.(l) ->
+                    Some (Addr.Node l)
+                | Some _ | None -> None)
+              live
+          in
+          match (hinted, live) with
+          | Some a, _ -> a
+          | None, n :: _ -> Addr.Node (Hnode.id n)
+          | None, [] -> Addr.Node 0))
   | (Hnode.Hover | Hnode.Hover_pp), Some _ -> Addr.Middlebox
   | (Hnode.Hover | Hnode.Hover_pp), None -> Addr.Group Addr.cluster_group
 
@@ -98,13 +140,31 @@ let quiesce t ?(extra = Timebase.ms 20) () =
   Engine.run ~until:(Engine.now t.engine + extra) t.engine
 
 let kill_node t i = Hnode.kill t.nodes.(i)
+let restart_node t i = Hnode.restart t.nodes.(i)
 
 let kill_leader t =
+  let kill n =
+    Hnode.kill n;
+    Some (Hnode.id n)
+  in
   match leader t with
-  | Some n ->
-      Hnode.kill n;
-      Some (Hnode.id n)
-  | None -> None
+  | Some n -> kill n
+  | None -> (
+      (* Mid-election there is nobody wearing the crown, but returning
+         None would let a failure experiment run with zero faults
+         injected. Kill the last node known to have led; if that one is
+         already dead, the live node with the highest term is the most
+         likely next leader. *)
+      match t.last_leader with
+      | Some i when Hnode.alive t.nodes.(i) -> kill t.nodes.(i)
+      | Some _ | None -> (
+          match
+            List.sort
+              (fun a b -> compare (Hnode.term b) (Hnode.term a))
+              (live_nodes t)
+          with
+          | n :: _ -> kill n
+          | [] -> None))
 
 let total_pending_recoveries t =
   Array.fold_left (fun acc n -> acc + Hnode.pending_recoveries n) 0 t.nodes

@@ -17,6 +17,9 @@ type t = {
   params : Hnode.params;
   trace : Hovercraft_obs.Trace.t;
       (** Shared by all nodes: one cluster-wide event timeline. *)
+  mutable last_leader : int option;
+      (** Most recent node {!leader} observed leading; lets failure
+          injection target "the leader" even mid-election. *)
 }
 
 val followers_group : int
@@ -38,10 +41,14 @@ val create :
 val leader : t -> Hnode.t option
 (** The current leader among live nodes, if any. *)
 
+val live_nodes : t -> Hnode.t list
+
 val client_target : t -> Addr.t
 (** Where clients address their requests in this deployment: the leader
     for unreplicated/VanillaRaft, the flow-control middlebox when present,
-    the cluster multicast group otherwise. *)
+    the cluster multicast group otherwise. Leaderless (mid-election)
+    unicast deployments fall back to a live node's leader hint, else any
+    live node — never a dead port. *)
 
 val total_replies : t -> int
 val total_executed : t -> int
@@ -55,8 +62,17 @@ val quiesce : t -> ?extra:Timebase.t -> unit -> unit
     and application drain. *)
 
 val kill_node : t -> int -> unit
+
+val restart_node : t -> int -> unit
+(** Bring a killed node back as a follower ({!Hnode.restart}): it rejoins
+    the fabric and catches up from its surviving log. *)
+
 val kill_leader : t -> int option
-(** Kill the current leader; returns its id. *)
+(** Kill the current leader; returns its id. Called mid-election (no
+    current leader) it kills the last-known leader instead — or, if that
+    node is already dead, the live node with the highest term — so that
+    failure experiments cannot silently run with zero faults injected.
+    [None] only when no node is left alive. *)
 
 val total_pending_recoveries : t -> int
 (** Bodies the cluster is still trying to recover; zero after a clean

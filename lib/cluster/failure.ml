@@ -17,6 +17,34 @@ type outcome = {
   consistent : bool;
 }
 
+(* Union the bucket keys of both series. Iterating only the completion
+   buckets (as this used to) silently dropped every NACK that landed in a
+   bucket with zero completions — which is exactly the blackout window a
+   failure timeline exists to show. *)
+let merge_series ~bucket_width ~completions ~nacks =
+  let comp = List.map (fun (b : Series.bucket) -> (b.start, b)) completions in
+  let nack =
+    List.map (fun (b : Series.bucket) -> (b.start, b.count)) nacks
+  in
+  let starts =
+    List.sort_uniq compare (List.map fst comp @ List.map fst nack)
+  in
+  let w_s = Timebase.to_s_f bucket_width in
+  List.map
+    (fun start ->
+      let count, p99 =
+        match List.assoc_opt start comp with
+        | Some b -> (b.Series.count, b.Series.p99)
+        | None -> (0, None)
+      in
+      {
+        t_s = Timebase.to_s_f start;
+        krps = float_of_int count /. w_s /. 1e3;
+        p99_us = Option.map Timebase.to_us_f p99;
+        nacks = (match List.assoc_opt start nack with Some n -> n | None -> 0);
+      })
+    starts
+
 let run ?params ?(rate_rps = 165_000.) ?(flow_cap = 1000)
     ?(bucket = Timebase.ms 100) ?(duration = Timebase.s 2)
     ?(kill_after = Timebase.ms 600) ~workload ~seed () =
@@ -30,7 +58,7 @@ let run ?params ?(rate_rps = 165_000.) ?(flow_cap = 1000)
   let nacks = Series.create ~bucket () in
   let gen =
     Loadgen.create deploy ~clients:8 ~rate_rps ~workload
-      ~on_reply:(fun ~sent_at:_ ~latency ->
+      ~on_reply:(fun ~rid:_ ~op:_ ~sent_at:_ ~latency ->
         Series.add completions ~at:(Engine.now engine - t0) latency)
       ~on_nack:(fun ~at -> Series.mark nacks ~at:(at - t0))
       ~seed ()
@@ -39,22 +67,10 @@ let run ?params ?(rate_rps = 165_000.) ?(flow_cap = 1000)
   Engine.after engine kill_after (fun () -> killed := Deploy.kill_leader deploy);
   let report = Loadgen.run gen ~warmup:0 ~duration () in
   Deploy.quiesce deploy ();
-  let nack_counts =
-    List.fold_left
-      (fun acc (b : Series.bucket) -> (b.start, b.count) :: acc)
-      []
-      (Series.buckets nacks)
-  in
   let series =
-    List.map
-      (fun (b : Series.bucket) ->
-        {
-          t_s = Timebase.to_s_f b.start;
-          krps = float_of_int b.count /. Timebase.to_s_f bucket /. 1e3;
-          p99_us = Option.map Timebase.to_us_f b.p99;
-          nacks = (try List.assoc b.start nack_counts with Not_found -> 0);
-        })
-      (Series.buckets completions)
+    merge_series ~bucket_width:bucket
+      ~completions:(Series.buckets completions)
+      ~nacks:(Series.buckets nacks)
   in
   {
     series;

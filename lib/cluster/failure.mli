@@ -21,6 +21,15 @@ type outcome = {
   consistent : bool;  (** Surviving replicas agree after drain. *)
 }
 
+val merge_series :
+  bucket_width:Timebase.t ->
+  completions:Series.bucket list ->
+  nacks:Series.bucket list ->
+  bucket list
+(** Join the completion and NACK series on the {e union} of their bucket
+    keys. A bucket with NACKs but zero completions (a total blackout
+    window) still appears, with [krps = 0.] and its NACK count intact. *)
+
 val run :
   ?params:Hnode.params ->
   ?rate_rps:float ->

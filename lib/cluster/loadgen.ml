@@ -40,10 +40,12 @@ type t = {
   target : Addr.t option;
   unrestricted_reads : bool;
   retry : (Timebase.t * int) option;
-  on_reply : (sent_at:Timebase.t -> latency:Timebase.t -> unit) option;
+  on_reply :
+    (rid:R2p2.req_id -> op:Op.t -> sent_at:Timebase.t -> latency:Timebase.t -> unit)
+    option;
   on_nack : (at:Timebase.t -> unit) option;
   rng : Rng.t;
-  outstanding : Timebase.t Rid_tbl.t;
+  outstanding : (Timebase.t * Op.t) Rid_tbl.t;
   stats : Stats.t;
   metrics : Metrics.t;
   c_sent : Metrics.counter;
@@ -64,7 +66,7 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
   match pkt.payload with
   | Protocol.Response { rid } -> (
       match Rid_tbl.find_opt t.outstanding rid with
-      | Some sent_at ->
+      | Some (sent_at, op) ->
           Rid_tbl.remove t.outstanding rid;
           let latency = now - sent_at in
           (* Window membership is decided by when the request was SENT, not
@@ -77,13 +79,13 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
             Stats.add t.stats latency;
             Metrics.observe t.h_latency_ns latency;
             match t.on_reply with
-            | Some f -> f ~sent_at ~latency
+            | Some f -> f ~rid ~op ~sent_at ~latency
             | None -> ()
           end
       | None -> () (* duplicate or out-of-window reply *))
   | Protocol.Nack { rid } -> (
       match Rid_tbl.find_opt t.outstanding rid with
-      | Some sent_at ->
+      | Some (sent_at, _) ->
           Rid_tbl.remove t.outstanding rid;
           if sent_at >= t.measure_from && sent_at <= t.measure_to then begin
             Metrics.incr t.c_nacked;
@@ -173,7 +175,7 @@ let send_one t =
   t.next_endpoint <- (t.next_endpoint + 1) mod Array.length t.endpoints;
   let op = t.workload t.rng in
   let rid = R2p2.Id_source.next ep.ids in
-  Rid_tbl.replace t.outstanding rid (Engine.now t.engine);
+  Rid_tbl.replace t.outstanding rid (Engine.now t.engine, op);
   Metrics.incr t.c_sent;
   transmit t ep rid op;
   match t.retry with
@@ -203,7 +205,7 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
      window was clean. *)
   let lost = ref 0 in
   Rid_tbl.iter
-    (fun _ sent_at ->
+    (fun _ (sent_at, _) ->
       if sent_at >= t.measure_from && sent_at <= t.measure_to then incr lost)
     t.outstanding;
   Metrics.add t.c_lost !lost;

@@ -34,7 +34,12 @@ val create :
   ?target:Addr.t ->
   ?unrestricted_reads:bool ->
   ?retry:Timebase.t * int ->
-  ?on_reply:(sent_at:Timebase.t -> latency:Timebase.t -> unit) ->
+  ?on_reply:
+    (rid:Hovercraft_r2p2.R2p2.req_id ->
+    op:Hovercraft_apps.Op.t ->
+    sent_at:Timebase.t ->
+    latency:Timebase.t ->
+    unit) ->
   ?on_nack:(at:Timebase.t -> unit) ->
   seed:int ->
   unit ->
@@ -47,8 +52,10 @@ val create :
     [retry = (timeout, attempts)] enables
     RPC retransmission with the {e same} request id — the server side's
     completion records turn the combination into exactly-once semantics.
-    The optional callbacks observe every measured completion/NACK (used by
-    the failure-timeline experiment). *)
+    The optional callbacks observe every measured completion/NACK;
+    [on_reply] identifies the request (id and operation) so failure and
+    chaos experiments can build a client-observed history for the
+    exactly-once / committed-stays-committed checker. *)
 
 val retried : t -> int
 (** Retransmissions performed (0 without [retry]). *)

@@ -115,10 +115,16 @@ type t = {
   app : Cpu.t;
   rng : Rng.t;
   raft : Protocol.cmd Rnode.t option;
-  store : Unordered.t;
+  mutable store : Unordered.t;
+      (* The body store is RAM: a crash empties it (bodies for unapplied
+         entries come back via the recovery path after restart). *)
   replier : Replier.t;
   app_state : Op.state;
   mutable alive : bool;
+  mutable life : int;
+      (* Incremented on every kill: the election-clock and GC loops capture
+         the life they were started under and stop when it changes, so a
+         quick kill/restart cycle cannot leave two live loops running. *)
   mutable last_activity : Timebase.t;
   mutable election_timeout : Timebase.t;
   mutable hb_gen : int;  (* invalidates stale heartbeat loops *)
@@ -417,15 +423,21 @@ and apply_one t idx (cmd : Protocol.cmd) op =
     t.p.app_per_op_ns + exec_cost
     + (if should_reply then tx_cost t ~bytes:reply_bytes ~extra:0 else 0)
   in
+  (* The state mutation above, the completion record and the applied
+     pointer advance together, BEFORE the CPU delay: a crash landing
+     inside the delayed closure must not leave an executed-but-unrecorded
+     entry behind, or restart would re-execute it (exactly-once would
+     break, replicas would diverge). Only externally visible work — the
+     reply, bookkeeping — waits for the CPU. *)
+  t.applied_ptr <- idx;
+  if not meta.internal then begin
+    let now = Engine.now t.engine in
+    if not (Rid_tbl.mem t.completions meta.rid) then begin
+      Rid_tbl.replace t.completions meta.rid (result, now);
+      Queue.push (meta.rid, now) t.completion_fifo
+    end
+  end;
   Cpu.exec t.app ~cost (fun () ->
-      t.applied_ptr <- idx;
-      if not meta.internal then begin
-        let now = Engine.now t.engine in
-        if not (Rid_tbl.mem t.completions meta.rid) then begin
-          Rid_tbl.replace t.completions meta.rid (result, now);
-          Queue.push (meta.rid, now) t.completion_fifo
-        end
-      end;
       if should_reply then begin
         Metrics.incr t.c_replies;
         (match t.port with
@@ -761,9 +773,10 @@ let draw_timeout t =
   t.p.election_min + Rng.int t.rng (t.p.election_max - t.p.election_min + 1)
 
 let start_election_clock t =
+  let life = t.life in
   let rec arm deadline =
     Engine.at t.engine deadline (fun () ->
-        if t.alive then begin
+        if t.alive && t.life = life then begin
           let now = Engine.now t.engine in
           if is_leader t then begin
             t.last_activity <- now;
@@ -781,9 +794,10 @@ let start_election_clock t =
   arm (Engine.now t.engine + t.election_timeout)
 
 let start_gc_loop t =
+  let life = t.life in
   let rec loop () =
     Engine.after t.engine t.p.gc_interval (fun () ->
-        if t.alive then begin
+        if t.alive && t.life = life then begin
           ignore (Unordered.gc t.store);
           let now = Engine.now t.engine in
           let expired (_, recorded) = now - recorded > t.p.gc_ordered in
@@ -876,6 +890,7 @@ let create ?trace engine fabric p ~id =
       replier = Replier.create p.lb_policy ~bound:p.bound ~n:p.n ~rng:(Rng.split rng);
       app_state = Op.create_state ();
       alive = true;
+      life = 0;
       last_activity = 0;
       election_timeout = 0;
       hb_gen = 0;
@@ -995,8 +1010,62 @@ let snapshot t =
   in
   Json.Obj (gauges @ replier @ [ ("metrics", Metrics.snapshot t.metrics) ])
 
+let leader_hint t =
+  match t.raft with Some r -> Rnode.leader_hint r | None -> None
+
 let kill t =
-  t.alive <- false;
-  Cpu.halt t.net;
-  Cpu.halt t.app;
-  match t.port with Some p -> Fabric.set_down p true | None -> ()
+  if t.alive then begin
+    t.alive <- false;
+    t.life <- t.life + 1;
+    Cpu.halt t.net;
+    Cpu.halt t.app;
+    (* Pending recoveries are volatile: their retry timers check this
+       table, so clearing it also disarms them. *)
+    Rid_tbl.reset t.pending_recovery;
+    tr t Trace.Warn ~kind:"killed" (fun () ->
+        Printf.sprintf "term=%d applied=%d" (term t) t.applied_ptr);
+    match t.port with Some p -> Fabric.set_down p true | None -> ()
+  end
+
+(* Crash–recovery (DESIGN.md): what survives is the Raft persistent state
+   (term, vote, log) and the state machine up to the applied index —
+   including the exactly-once completion records, which are part of it.
+   Everything else is rebuilt: the node re-attaches its NIC, re-enters as
+   a follower with a fresh election clock, and catches up on entries
+   committed while it was down through the ordinary append-entries
+   backtracking, fetching bodies it missed via recovery requests. *)
+let restart t =
+  if t.alive then invalid_arg "Hnode.restart: node is alive";
+  t.alive <- true;
+  Cpu.resume t.net;
+  Cpu.resume t.app;
+  t.store <-
+    Unordered.create
+      ~now:(fun () -> Engine.now t.engine)
+      ~gc_unordered:t.p.gc_unordered ~gc_ordered:t.p.gc_ordered ();
+  t.apply_busy <- false;
+  t.announce_stalled <- false;
+  t.ack_override <- None;
+  t.probe_sent_term <- -1;
+  t.hb_gen <- t.hb_gen + 1;
+  Array.fill t.lease_heard 0 (Array.length t.lease_heard) 0;
+  (match t.raft with
+  | Some raft ->
+      Rnode.recover raft;
+      t.applied_ptr <- Rnode.applied_index raft
+  | None -> ());
+  let port =
+    Fabric.attach t.fabric ~addr:(Addr.Node t.id) ~rate_gbps:t.p.link_gbps
+      ~handler:(on_packet t)
+  in
+  t.port <- Some port;
+  Fabric.join t.fabric ~group:Addr.cluster_group (Addr.Node t.id);
+  t.last_activity <- Engine.now t.engine;
+  t.election_timeout <- draw_timeout t;
+  (match t.p.mode with
+  | Vanilla | Hover | Hover_pp ->
+      start_election_clock t;
+      start_gc_loop t
+  | Unreplicated -> ());
+  tr t Trace.Warn ~kind:"restarted" (fun () ->
+      Printf.sprintf "term=%d applied=%d" (term t) t.applied_ptr)

@@ -111,6 +111,11 @@ val id : t -> int
 val alive : t -> bool
 val mode : t -> mode
 val is_leader : t -> bool
+
+val leader_hint : t -> int option
+(** This node's current belief about who leads ([None] when unreplicated,
+    mid-election, or freshly restarted). *)
+
 val term : t -> int
 val commit_index : t -> int
 val applied_index : t -> int
@@ -173,7 +178,23 @@ val preload : t -> Hovercraft_apps.Op.t list -> unit
     identically on every node. *)
 
 val kill : t -> unit
-(** Crash-stop: both threads halt, the NIC goes dark. Permanent. *)
+(** Crash: both threads halt (their queued work is lost), the NIC goes
+    dark, pending body recoveries are disarmed. The node stays down until
+    {!restart}. Idempotent. *)
+
+val restart : t -> unit
+(** Bring a killed node back as a follower. Simulated-crash semantics
+    (DESIGN.md): Raft persistent state (term, vote, log) and the state
+    machine up to the applied index — completion records included —
+    survive; the body store, commit knowledge beyond the applied prefix
+    and all leader-side state are volatile and rebuilt. The node
+    re-registers its NIC port, re-arms its election clock and GC loop,
+    and catches up on entries committed during its downtime via
+    append-entries backtracking plus body recovery requests (which need
+    peers' ordered-body retention, [gc_ordered], to cover the downtime —
+    chaos runs extend it accordingly).
+
+    Raises [Invalid_argument] if the node is alive. *)
 
 (**/**)
 

@@ -5,9 +5,13 @@ type t = {
   mutable free_at : Timebase.t;
   mutable busy : Timebase.t;
   mutable halted : bool;
+  mutable gen : int;
+      (* Bumped on every halt: closures queued before a crash capture the
+         generation they were submitted under and never run after it, even
+         if the CPU is later resumed. *)
 }
 
-let create engine = { engine; free_at = 0; busy = 0; halted = false }
+let create engine = { engine; free_at = 0; busy = 0; halted = false; gen = 0 }
 
 let exec t ~cost k =
   if cost < 0 then invalid_arg "Cpu.exec: negative cost";
@@ -16,7 +20,8 @@ let exec t ~cost k =
     let start = max now t.free_at in
     t.free_at <- start + cost;
     t.busy <- t.busy + cost;
-    Engine.at t.engine t.free_at (fun () -> if not t.halted then k ())
+    let gen = t.gen in
+    Engine.at t.engine t.free_at (fun () -> if t.gen = gen then k ())
   end
 
 let backlog t =
@@ -24,5 +29,17 @@ let backlog t =
   max 0 (t.free_at - now)
 
 let busy_time t = t.busy
-let halt t = t.halted <- true
+
+let halt t =
+  t.halted <- true;
+  t.gen <- t.gen + 1
+
+let resume t =
+  if t.halted then begin
+    t.halted <- false;
+    (* The pre-crash backlog died with the crash; the CPU comes back
+       idle. *)
+    t.free_at <- Engine.now t.engine
+  end
+
 let halted t = t.halted

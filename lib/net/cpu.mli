@@ -26,4 +26,10 @@ val halt : t -> unit
 (** Crash the CPU: queued and future work is silently discarded. Used by
     failure injection. *)
 
+val resume : t -> unit
+(** Bring a halted CPU back, idle. Work queued before the halt stays
+    discarded — a crash loses the in-flight backlog — and [busy_time]
+    keeps accumulating across the node's lifetimes. No-op when not
+    halted. *)
+
 val halted : t -> bool

@@ -22,15 +22,35 @@ type 'a port = {
   mutable dropped : int;
 }
 
+type fault = { drop : float; delay : Timebase.t }
+
 type 'a t = {
   engine : Engine.t;
   latency : Timebase.t;
   ports : (Addr.t, 'a port) Hashtbl.t;
   groups : (int, Addr.t list ref) Hashtbl.t;
+  (* Fault injection: per-link impairments and island partitions. The
+     dedicated rng keeps fault-free runs byte-identical to the pre-fault
+     fabric (it is only drawn when a lossy fault is installed). *)
+  faults : (Addr.t * Addr.t, fault) Hashtbl.t;
+  islands : (Addr.t, int) Hashtbl.t;
+  fault_rng : Rng.t;
+  mutable injected_drops : int;
+  mutable partition_drops : int;
 }
 
-let create engine ?(latency = Timebase.us 1) () =
-  { engine; latency; ports = Hashtbl.create 32; groups = Hashtbl.create 8 }
+let create engine ?(latency = Timebase.us 1) ?(fault_seed = 0x5eed) () =
+  {
+    engine;
+    latency;
+    ports = Hashtbl.create 32;
+    groups = Hashtbl.create 8;
+    faults = Hashtbl.create 8;
+    islands = Hashtbl.create 8;
+    fault_rng = Rng.create fault_seed;
+    injected_drops = 0;
+    partition_drops = 0;
+  }
 
 let attach t ~addr ~rate_gbps ~handler =
   let port =
@@ -64,6 +84,41 @@ let leave t ~group addr =
   | None -> ()
   | Some l -> l := List.filter (fun a -> not (Addr.equal a addr)) !l
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let set_link_fault t ~src ~dst ?(drop = 0.) ?(delay = 0) () =
+  if drop < 0. || drop > 1. then
+    invalid_arg "Fabric.set_link_fault: drop must be in [0, 1]";
+  if delay < 0 then invalid_arg "Fabric.set_link_fault: negative delay";
+  if drop = 0. && delay = 0 then Hashtbl.remove t.faults (src, dst)
+  else Hashtbl.replace t.faults (src, dst) { drop; delay }
+
+let clear_link_fault t ~src ~dst = Hashtbl.remove t.faults (src, dst)
+let clear_link_faults t = Hashtbl.reset t.faults
+
+let partition t sets =
+  Hashtbl.reset t.islands;
+  List.iteri
+    (fun island addrs ->
+      List.iter (fun a -> Hashtbl.replace t.islands a island) addrs)
+    sets
+
+let heal t = Hashtbl.reset t.islands
+let partitioned t = Hashtbl.length t.islands > 0
+
+(* Two endpoints can talk unless both sit in distinct islands; endpoints
+   not named by the partition (clients, middleboxes, ...) reach everyone. *)
+let reachable t a b =
+  match (Hashtbl.find_opt t.islands a, Hashtbl.find_opt t.islands b) with
+  | Some ia, Some ib -> ia = ib
+  | Some _, None | None, Some _ | None, None -> true
+
+let injected_drops t = t.injected_drops
+let partition_drops t = t.partition_drops
+
+(* ------------------------------------------------------------------ *)
+
 (* Clock the packet off the receiver's link, then hand it up. *)
 let deliver t pkt arrival dst_port =
   let wire = Wire.wire_bytes ~payload:pkt.bytes in
@@ -88,9 +143,21 @@ let send t src_port ~dst ~bytes payload =
   src_port.tx_wire_bytes <- src_port.tx_wire_bytes + wire;
   let arrival = src_port.tx_free + t.latency in
   let deliver_to addr =
-    match Hashtbl.find_opt t.ports addr with
-    | Some p -> deliver t pkt arrival p
-    | None -> src_port.dropped <- src_port.dropped + 1
+    if not (reachable t src_port.addr addr) then
+      t.partition_drops <- t.partition_drops + 1
+    else begin
+      let extra_delay, dropped =
+        match Hashtbl.find_opt t.faults (src_port.addr, addr) with
+        | None -> (0, false)
+        | Some f ->
+            (f.delay, f.drop > 0. && Rng.bool t.fault_rng f.drop)
+      in
+      if dropped then t.injected_drops <- t.injected_drops + 1
+      else
+        match Hashtbl.find_opt t.ports addr with
+        | Some p -> deliver t pkt (arrival + extra_delay) p
+        | None -> src_port.dropped <- src_port.dropped + 1
+    end
   in
   match dst with
   | Addr.Group g ->
@@ -131,5 +198,18 @@ let port_snapshot t p =
     ]
 
 let snapshot t =
+  let fault_fields =
+    [
+      ( "faults",
+        Hovercraft_obs.Json.Obj
+          [
+            ("links_impaired", Hovercraft_obs.Json.Int (Hashtbl.length t.faults));
+            ("partitioned", Hovercraft_obs.Json.Bool (partitioned t));
+            ("injected_drops", Hovercraft_obs.Json.Int t.injected_drops);
+            ("partition_drops", Hovercraft_obs.Json.Int t.partition_drops);
+          ] );
+    ]
+  in
   Hovercraft_obs.Json.Obj
-    (List.map (fun (addr, p) -> (Addr.to_string addr, port_snapshot t p)) (ports t))
+    (List.map (fun (addr, p) -> (Addr.to_string addr, port_snapshot t p)) (ports t)
+    @ fault_fields)

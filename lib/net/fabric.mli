@@ -24,8 +24,11 @@ type 'a packet = {
 type 'a t
 type 'a port
 
-val create : Engine.t -> ?latency:Timebase.t -> unit -> 'a t
-(** [latency] is the one-way fabric traversal time (default 1 µs). *)
+val create : Engine.t -> ?latency:Timebase.t -> ?fault_seed:int -> unit -> 'a t
+(** [latency] is the one-way fabric traversal time (default 1 µs).
+    [fault_seed] seeds the dedicated fault-injection RNG (probabilistic
+    link drops); it is only consumed when a lossy fault is installed, so
+    fault-free simulations are unaffected by it. *)
 
 val attach :
   'a t -> addr:Addr.t -> rate_gbps:float -> handler:('a packet -> unit) -> 'a port
@@ -44,6 +47,45 @@ val send : 'a t -> 'a port -> dst:Addr.t -> bytes:int -> 'a -> unit
 
 val set_down : 'a port -> bool -> unit
 (** When down, deliveries to this port are discarded (link unplugged). *)
+
+(** {1 Fault injection}
+
+    Chaos experiments impair the fabric at run time. All impairments are
+    evaluated per delivery (so a multicast can lose some copies and keep
+    others) and are fully deterministic given [fault_seed] and the
+    delivery order. *)
+
+val set_link_fault :
+  'a t -> src:Addr.t -> dst:Addr.t -> ?drop:float -> ?delay:Timebase.t -> unit -> unit
+(** Impair the directed link [src -> dst]: each delivery is dropped with
+    probability [drop] (default 0) and otherwise delayed by an extra
+    [delay] (default 0) on top of the fabric latency. Setting both to
+    zero clears the fault. Raises [Invalid_argument] for [drop] outside
+    [0, 1] or a negative [delay]. *)
+
+val clear_link_fault : 'a t -> src:Addr.t -> dst:Addr.t -> unit
+val clear_link_faults : 'a t -> unit
+
+val partition : 'a t -> Addr.t list list -> unit
+(** Split the fabric into islands: two endpoints that are both named (in
+    distinct islands) cannot exchange packets; endpoints not named by the
+    partition (typically clients and middleboxes) still reach everyone.
+    Replaces any previous partition. *)
+
+val heal : 'a t -> unit
+(** Remove the partition. Link faults installed with
+    {!set_link_fault} are unaffected. *)
+
+val partitioned : 'a t -> bool
+
+val reachable : 'a t -> Addr.t -> Addr.t -> bool
+(** Whether the current partition lets [a] send to [b]. *)
+
+val injected_drops : 'a t -> int
+(** Deliveries lost to probabilistic link faults. *)
+
+val partition_drops : 'a t -> int
+(** Deliveries suppressed because the endpoints were partitioned. *)
 
 (** Per-port counters, all cumulative. *)
 

@@ -608,6 +608,34 @@ let restore cfg ~noop d =
 
 let compare_dump = Stdlib.compare
 
+(* --- crash recovery --- *)
+
+(* Simulated-crash semantics (see DESIGN.md): term, vote and the log are
+   persistent, and the state machine is durable up to [applied] (the apply
+   loop checkpoints synchronously). Everything else — commit knowledge
+   beyond the applied prefix, leadership, per-peer replication state, the
+   aggregated fast path — is volatile and rebuilt after rejoin. Applied
+   entries are committed, so flooring [commit] and [verified] at [applied]
+   is safe: by leader completeness every future leader carries them. *)
+let recover t =
+  t.role <- Follower;
+  t.leader_hint <- None;
+  t.commit <- t.applied;
+  t.verified <- t.applied;
+  t.gate <- None;
+  t.use_agg <- false;
+  t.agg_in_flight <- false;
+  t.agg_next <- 1;
+  t.agg_pending_end <- 0;
+  t.announced <- 0;
+  Array.fill t.votes 0 (Array.length t.votes) false;
+  Array.fill t.next_idx 0 (Array.length t.next_idx) (Log.last_index t.log + 1);
+  Array.fill t.match_idx 0 (Array.length t.match_idx) 0;
+  Array.fill t.applied_of 0 (Array.length t.applied_of) 0;
+  Array.fill t.in_flight 0 (Array.length t.in_flight) false;
+  Array.fill t.direct 0 (Array.length t.direct) false;
+  Array.fill t.sent_seq 0 (Array.length t.sent_seq) (-1)
+
 type 'cmd dump_info = {
   i_term : Types.term;
   i_role : role;

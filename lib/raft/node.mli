@@ -123,6 +123,18 @@ val compact : 'cmd t -> retain:int -> int
     most recent [retain] entries; returns the new base. Call it
     periodically (the simulator does so from the GC loop). *)
 
+(** {1 Crash recovery} *)
+
+val recover : 'cmd t -> unit
+(** Rebuild volatile state after a simulated crash–restart. Persistent
+    state (term, vote, log) and the applied prefix of the state machine
+    survive; the node re-enters as a follower with [commit] and
+    [verified] floored at [applied] (applied entries are committed, so by
+    leader completeness every future leader carries them), no leader
+    hint, the announce gate uninstalled and all leader-side replication
+    state reset. The embedder is responsible for re-arming clocks and
+    rebuilding its own volatile structures. *)
+
 (** {1 The state machine} *)
 
 val handle : 'cmd t -> 'cmd input -> 'cmd action list

@@ -9,6 +9,7 @@ let () =
       ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("cluster", Test_cluster.suite);
+      ("chaos", Test_chaos.suite);
       ("invariants", Test_invariants.suite);
       ("mc", Test_mc.suite);
     ]

@@ -140,6 +140,52 @@ let test_failure_outcome_shape () =
   check "traffic after kill" true
     (List.exists (fun (b : Failure.bucket) -> b.Failure.krps > 10.) after)
 
+let test_merge_series_nack_only_bucket () =
+  (* Regression: the outcome series used to iterate only the completion
+     buckets, silently dropping NACKs recorded in a bucket with zero
+     completions — i.e. exactly the blackout window. *)
+  let bucket = Timebase.ms 100 in
+  let completions = Series.create ~bucket () in
+  let nacks = Series.create ~bucket () in
+  Series.add completions ~at:(Timebase.ms 50) (Timebase.us 10);
+  Series.mark nacks ~at:(Timebase.ms 150);
+  Series.mark nacks ~at:(Timebase.ms 160);
+  let merged =
+    Failure.merge_series ~bucket_width:bucket
+      ~completions:(Series.buckets completions)
+      ~nacks:(Series.buckets nacks)
+  in
+  check_int "union of bucket keys" 2 (List.length merged);
+  let blackout =
+    List.find (fun (b : Failure.bucket) -> b.Failure.krps = 0.) merged
+  in
+  check_int "NACKs survive in completion-free bucket" 2 blackout.Failure.nacks;
+  check "no p99 in completion-free bucket" true (blackout.Failure.p99_us = None)
+
+let test_client_target_leaderless_fallback () =
+  (* Regression: mid-election, unicast modes fell back to Addr.Node 0 even
+     when node 0 was the freshly killed leader. *)
+  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Vanilla ~n:3 ()) in
+  let killed = Deploy.kill_leader deploy in
+  Alcotest.(check (option int)) "node0 led" (Some 0) killed;
+  check "mid-election: no leader" true (Deploy.leader deploy = None);
+  match Deploy.client_target deploy with
+  | Addr.Node i -> check "target is a live node" true (i <> 0)
+  | _ -> Alcotest.fail "expected a node target in vanilla mode"
+
+let test_kill_leader_mid_election () =
+  (* Regression: a second kill during the election used to return None,
+     letting a failure experiment run with the fault silently skipped. *)
+  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Vanilla ~n:5 ()) in
+  let first = Deploy.kill_leader deploy in
+  Alcotest.(check (option int)) "kills node0 first" (Some 0) first;
+  check "mid-election: no leader" true (Deploy.leader deploy = None);
+  match Deploy.kill_leader deploy with
+  | Some i ->
+      check "second kill hits a live node" true (i <> 0);
+      check_int "two nodes down" 3 (List.length (Deploy.live_nodes deploy))
+  | None -> Alcotest.fail "kill_leader returned None with live nodes"
+
 let test_table_render () =
   let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
   check "has separator" true (String.length s > 0 && String.contains s '-');
@@ -162,5 +208,11 @@ let suite =
     Alcotest.test_case "experiment SLO search" `Slow test_experiment_slo_search_brackets;
     Alcotest.test_case "experiment preload" `Quick test_experiment_preload;
     Alcotest.test_case "failure outcome shape" `Slow test_failure_outcome_shape;
+    Alcotest.test_case "series merge keeps NACK-only buckets" `Quick
+      test_merge_series_nack_only_bucket;
+    Alcotest.test_case "client target leaderless fallback" `Quick
+      test_client_target_leaderless_fallback;
+    Alcotest.test_case "kill leader mid-election" `Quick
+      test_kill_leader_mid_election;
     Alcotest.test_case "table rendering" `Quick test_table_render;
   ]

@@ -191,6 +191,94 @@ let test_fabric_byte_counters () =
     (Fabric.tx_wire_bytes a);
   check_int "rx wire bytes match" (100 + Wire.frame_overhead) (Fabric.rx_wire_bytes b)
 
+(* --- fault injection -------------------------------------------------- *)
+
+let test_fabric_link_drop () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e () in
+  let p = { got = [] } in
+  let a = attach_probe fabric (Addr.Node 0) { got = [] } in
+  let _b = attach_probe fabric (Addr.Node 1) p in
+  Fabric.set_link_fault fabric ~src:(Addr.Node 0) ~dst:(Addr.Node 1) ~drop:1. ();
+  for _ = 1 to 10 do
+    Fabric.send fabric a ~dst:(Addr.Node 1) ~bytes:10 ()
+  done;
+  Engine.run e;
+  check_int "all dropped" 0 (List.length p.got);
+  check_int "drops counted" 10 (Fabric.injected_drops fabric);
+  Fabric.clear_link_fault fabric ~src:(Addr.Node 0) ~dst:(Addr.Node 1);
+  Fabric.send fabric a ~dst:(Addr.Node 1) ~bytes:10 ();
+  Engine.run e;
+  check_int "cleared link delivers" 1 (List.length p.got)
+
+let test_fabric_link_delay_directional () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e ~latency:1000 () in
+  let pa = { got = [] } and pb = { got = [] } in
+  let a = attach_probe fabric (Addr.Node 0) pa in
+  let b = attach_probe fabric (Addr.Node 1) pb in
+  Fabric.set_link_fault fabric ~src:(Addr.Node 0) ~dst:(Addr.Node 1)
+    ~delay:5000 ();
+  Fabric.send fabric a ~dst:(Addr.Node 1) ~bytes:36 ();
+  Engine.run e;
+  (* tx serialization + latency + injected delay + rx serialization *)
+  check_int "delayed arrival" (80 + 1000 + 5000 + 80) (Engine.now e);
+  (* The reverse direction is unimpaired. *)
+  let t0 = Engine.now e in
+  Fabric.send fabric b ~dst:(Addr.Node 0) ~bytes:36 ();
+  Engine.run e;
+  check_int "reverse unimpaired" (t0 + 80 + 1000 + 80) (Engine.now e);
+  check_int "both delivered" 2 (List.length pa.got + List.length pb.got)
+
+let test_fabric_partition_heal () =
+  let e = Engine.create () in
+  let fabric = Fabric.create e () in
+  let probes = Array.init 3 (fun _ -> { got = [] }) in
+  let ports =
+    Array.init 3 (fun i -> attach_probe fabric (Addr.Node i) probes.(i))
+  in
+  let client = { got = [] } in
+  let cport = attach_probe fabric (Addr.Client 0) client in
+  Fabric.partition fabric [ [ Addr.Node 0; Addr.Node 1 ]; [ Addr.Node 2 ] ];
+  check "partitioned" true (Fabric.partitioned fabric);
+  check "cross-island unreachable" false
+    (Fabric.reachable fabric (Addr.Node 0) (Addr.Node 2));
+  check "same island reachable" true
+    (Fabric.reachable fabric (Addr.Node 0) (Addr.Node 1));
+  check "unassigned reaches everyone" true
+    (Fabric.reachable fabric (Addr.Client 0) (Addr.Node 2));
+  Fabric.send fabric ports.(0) ~dst:(Addr.Node 2) ~bytes:10 ();
+  Fabric.send fabric ports.(0) ~dst:(Addr.Node 1) ~bytes:10 ();
+  Fabric.send fabric cport ~dst:(Addr.Node 2) ~bytes:10 ();
+  Engine.run e;
+  check_int "cross-island dropped" 0 (List.length probes.(2).got - 1);
+  check_int "partition drops counted" 1 (Fabric.partition_drops fabric);
+  check_int "same island delivered" 1 (List.length probes.(1).got);
+  Fabric.heal fabric;
+  check "healed" false (Fabric.partitioned fabric);
+  Fabric.send fabric ports.(0) ~dst:(Addr.Node 2) ~bytes:10 ();
+  Engine.run e;
+  check_int "healed link delivers" 2 (List.length probes.(2).got)
+
+let test_fabric_fault_free_untouched () =
+  (* The fault RNG must not be consumed unless a lossy fault is installed:
+     a fault-free run is byte-identical whatever the fault seed. *)
+  let run fault_seed =
+    let e = Engine.create () in
+    let fabric = Fabric.create e ~fault_seed () in
+    let p = { got = [] } in
+    let a = attach_probe fabric (Addr.Node 0) { got = [] } in
+    let _ = attach_probe fabric (Addr.Node 1) p in
+    Fabric.set_link_fault fabric ~src:(Addr.Node 0) ~dst:(Addr.Node 1)
+      ~delay:100 ();
+    for _ = 1 to 5 do
+      Fabric.send fabric a ~dst:(Addr.Node 1) ~bytes:10 ()
+    done;
+    Engine.run e;
+    p.got
+  in
+  check "delay-only faults draw no randomness" true (run 1 = run 2)
+
 let suite =
   [
     Alcotest.test_case "addr equality and hashing" `Quick test_addr_equal_hash;
@@ -212,4 +300,11 @@ let suite =
     Alcotest.test_case "fabric down port" `Quick test_fabric_down_port;
     Alcotest.test_case "fabric leave group" `Quick test_fabric_leave_group;
     Alcotest.test_case "fabric byte counters" `Quick test_fabric_byte_counters;
+    Alcotest.test_case "fabric link drop fault" `Quick test_fabric_link_drop;
+    Alcotest.test_case "fabric link delay fault" `Quick
+      test_fabric_link_delay_directional;
+    Alcotest.test_case "fabric partition and heal" `Quick
+      test_fabric_partition_heal;
+    Alcotest.test_case "fabric fault-free determinism" `Quick
+      test_fabric_fault_free_untouched;
   ]
