@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check snapshot chaos clean
+.PHONY: all build test check snapshot chaos reconfig clean
 
 all: build
 
@@ -21,6 +21,12 @@ snapshot:
 # history checker makes the command exit non-zero on any violation.
 chaos:
 	dune exec bin/hovercraft.exe -- chaos --seed 4 --duration-ms 1500
+
+# Membership-change smoke: grow 3->5 under load, transfer leadership,
+# remove the old leader, crash-and-restart a follower; exits non-zero on
+# any history-checker violation or a wedged recovery.
+reconfig:
+	dune exec bin/hovercraft.exe -- reconfig --seed 4 --duration-ms 2000
 
 clean:
 	dune clean

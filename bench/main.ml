@@ -185,12 +185,14 @@ let microbenchmarks () =
 
 let obs_snapshot ~file () =
   let params =
-    { (Core.Hnode.params ~mode:Core.Hnode.Hover ~n:3 ()) with
-      Core.Hnode.loss_prob = 0.02;
-      seed = 7;
+    let p = Core.Hnode.params ~mode:Core.Hnode.Hover ~n:3 () in
+    {
+      p with
+      Core.Hnode.seed = 7;
+      features = { p.Core.Hnode.features with Core.Hnode.loss_prob = 0.02 };
     }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let spec =
     Hovercraft_apps.Service.spec ~service:(Dist.Fixed (Timebase.us 1)) ()
   in

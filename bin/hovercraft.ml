@@ -7,7 +7,11 @@
      slo       — find the max load sustaining a p99 SLO;
      failover  — leader-kill timeline with flow control;
      chaos     — seeded kill/restart/partition schedule with the
-                 crash-recovery history checker;
+                 crash-recovery history checker (--reconfig adds
+                 add/remove/transfer membership churn to the mix);
+     reconfig  — scripted membership-change scenario under load: grow
+                 3 -> 5, transfer leadership, remove the old leader,
+                 crash-and-restart a follower, then run the checker;
      repro     — regenerate the paper's tables and figures by id;
      mc        — model-check bounded Raft / HovercRaft++ instances. *)
 
@@ -144,14 +148,20 @@ let emit_snapshot ~metrics_out ~trace_level (deploy : Deploy.t) extra =
       end
 
 let make_params mode n no_lb random_lb bound flow_cap seed =
+  let p =
+    Hnode.params ~mode ~n:(if mode = Hnode.Unreplicated then max n 1 else n) ()
+  in
   {
-    (Hnode.params ~mode ~n:(if mode = Hnode.Unreplicated then max n 1 else n) ())
-    with
-    reply_lb = not no_lb;
-    lb_policy = (if random_lb then Jbsq.Random_choice else Jbsq.Jbsq);
-    bound;
-    flow_control = flow_cap <> None;
-    seed;
+    p with
+    Hnode.seed;
+    features =
+      {
+        p.Hnode.features with
+        Hnode.reply_lb = not no_lb;
+        lb_policy = (if random_lb then Jbsq.Random_choice else Jbsq.Jbsq);
+        bound;
+        flow_control = flow_cap <> None;
+      };
   }
 
 let make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
@@ -214,7 +224,7 @@ let run_cmd =
           (Option.value trace_level ~default:Hovercraft_obs.Trace.Info)
         ()
     in
-    let deploy = Deploy.create ?flow_cap ~trace params in
+    let deploy = Deploy.create (Deploy.config ?flow_cap ~trace params) in
     if preload <> [] then
       Array.iter (fun nd -> Hnode.preload nd preload) deploy.Deploy.nodes;
     let gen = Loadgen.create deploy ~clients:8 ~rate_rps:rate ~workload ~seed () in
@@ -315,13 +325,14 @@ let failover_cmd =
         ~read_fraction:0.75 ()
     in
     let outcome =
+      let p = Hnode.params ~mode:Hnode.Hover_pp ~n () in
       Failure.run
         ~params:
           {
-            (Hnode.params ~mode:Hnode.Hover_pp ~n ()) with
-            bound = 32;
-            flow_control = true;
-            seed;
+            p with
+            Hnode.seed;
+            features =
+              { p.Hnode.features with Hnode.bound = 32; flow_control = true };
           }
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100)
         ~duration:(Timebase.ms duration_ms) ~kill_after:(Timebase.ms kill_ms)
@@ -358,56 +369,64 @@ let failover_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
+let chaos_params ~n ~seed =
+  let p = Hnode.params ~mode:Hnode.Hover_pp ~n () in
+  {
+    p with
+    Hnode.seed;
+    features = { p.Hnode.features with Hnode.bound = 32; flow_control = true };
+  }
+
+let print_chaos_outcome ~seed (outcome : Chaos.outcome) =
+  Printf.printf "schedule (seed %d):\n" seed;
+  List.iter
+    (fun (t_s, what) -> Printf.printf "  t=%.2fs  %s\n" t_s what)
+    outcome.Chaos.events;
+  let rows =
+    List.map
+      (fun (b : Failure.bucket) ->
+        [
+          Printf.sprintf "%.1f" b.t_s;
+          Printf.sprintf "%.1f" b.krps;
+          (match b.p99_us with Some v -> Table.fmt_us v | None -> "-");
+          string_of_int b.nacks;
+        ])
+      outcome.Chaos.series
+  in
+  Table.print ~header:[ "t (s)"; "kRPS"; "p99 us"; "NACKs" ] rows;
+  Printf.printf "completed %d, nacked %d, lost %d, retried %d\n"
+    outcome.Chaos.report.Loadgen.completed outcome.Chaos.report.Loadgen.nacked
+    outcome.Chaos.report.Loadgen.lost outcome.Chaos.retried;
+  Printf.printf
+    "exactly-once %b; committed-preserved %b; caught-up %b; consistent %b\n"
+    outcome.Chaos.exactly_once_ok outcome.Chaos.committed_preserved
+    outcome.Chaos.caught_up outcome.Chaos.consistent;
+  Printf.printf "final members: [%s]; pending recoveries: %d\n"
+    (String.concat ";" (List.map string_of_int outcome.Chaos.final_members))
+    outcome.Chaos.pending_recoveries;
+  if outcome.Chaos.violations <> [] then begin
+    List.iter (Printf.printf "VIOLATION: %s\n") outcome.Chaos.violations;
+    exit 1
+  end
+
+let chaos_workload =
+  Service.sample
+    (Service.spec
+       ~service:
+         (Dist.Bimodal { mean = Timebase.us 10; long_fraction = 0.1; ratio = 10. })
+       ~read_fraction:0.5 ())
+
 let chaos_cmd =
-  let action n rate seed duration_ms events =
-    let spec =
-      Service.spec
-        ~service:(Dist.Bimodal { mean = Timebase.us 10; long_fraction = 0.1; ratio = 10. })
-        ~read_fraction:0.5 ()
-    in
+  let action n rate seed duration_ms events reconfig =
     let duration = Timebase.ms duration_ms in
     let outcome =
       Chaos.run
-        ~params:
-          {
-            (Hnode.params ~mode:Hnode.Hover_pp ~n ()) with
-            bound = 32;
-            flow_control = true;
-            seed;
-          }
+        ~params:(chaos_params ~n ~seed)
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
-        ~schedule:(Chaos.random_schedule ~events ~n ~duration ~seed ())
-        ~workload:(Service.sample spec) ~seed ()
+        ~schedule:(Chaos.random_schedule ~events ~reconfig ~n ~duration ~seed ())
+        ~workload:chaos_workload ~seed ()
     in
-    Printf.printf "schedule (seed %d):\n" seed;
-    List.iter
-      (fun (t_s, what) -> Printf.printf "  t=%.2fs  %s\n" t_s what)
-      outcome.Chaos.events;
-    let rows =
-      List.map
-        (fun (b : Failure.bucket) ->
-          [
-            Printf.sprintf "%.1f" b.t_s;
-            Printf.sprintf "%.1f" b.krps;
-            (match b.p99_us with Some v -> Table.fmt_us v | None -> "-");
-            string_of_int b.nacks;
-          ])
-        outcome.Chaos.series
-    in
-    Table.print ~header:[ "t (s)"; "kRPS"; "p99 us"; "NACKs" ] rows;
-    Printf.printf
-      "completed %d, nacked %d, lost %d, retried %d\n"
-      outcome.Chaos.report.Loadgen.completed
-      outcome.Chaos.report.Loadgen.nacked outcome.Chaos.report.Loadgen.lost
-      outcome.Chaos.retried;
-    Printf.printf
-      "exactly-once %b; committed-preserved %b; caught-up %b; consistent %b\n"
-      outcome.Chaos.exactly_once_ok outcome.Chaos.committed_preserved
-      outcome.Chaos.caught_up outcome.Chaos.consistent;
-    if outcome.Chaos.violations <> [] then begin
-      List.iter (Printf.printf "VIOLATION: %s\n") outcome.Chaos.violations;
-      exit 1
-    end
+    print_chaos_outcome ~seed outcome
   in
   let nodes =
     Arg.(value & opt int 5 & info [ "n"; "nodes" ] ~doc:"Cluster size (>= 3).")
@@ -419,12 +438,67 @@ let chaos_cmd =
   let events =
     Arg.(value & opt int 6 & info [ "events" ] ~doc:"Scheduled fault budget.")
   in
-  let term = Term.(const action $ nodes $ rate $ seed_arg $ dur $ events) in
+  let reconfig =
+    Arg.(
+      value & flag
+      & info [ "reconfig" ]
+          ~doc:"Mix add-node / remove-node / transfer-leadership churn into the schedule.")
+  in
+  let term =
+    Term.(const action $ nodes $ rate $ seed_arg $ dur $ events $ reconfig)
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Seeded kill/restart/partition schedule under load, with the \
           crash-recovery history checker; exits non-zero on any violation.")
+    term
+
+(* --- reconfig ----------------------------------------------------------------- *)
+
+let reconfig_cmd =
+  let action rate seed duration_ms =
+    let duration = Timebase.ms duration_ms in
+    let at pct = duration * pct / 100 in
+    (* Starts as HovercRaft++ N=3 with node 0 leading (bootstrap). Grow to
+       five voters, hand leadership to one of the newcomers, retire the old
+       leader, then crash and revive a follower — all under open-loop load,
+       all checked against the history checker. *)
+    let schedule =
+      [
+        { Chaos.at = at 10; event = Chaos.Add_node };           (* -> node 3 *)
+        { Chaos.at = at 25; event = Chaos.Add_node };           (* -> node 4 *)
+        { Chaos.at = at 40; event = Chaos.Transfer 3 };
+        { Chaos.at = at 55; event = Chaos.Remove_node 0 };
+        { Chaos.at = at 65; event = Chaos.Kill 1 };
+        { Chaos.at = at 80; event = Chaos.Restart 1 };
+      ]
+    in
+    let outcome =
+      Chaos.run
+        ~params:(chaos_params ~n:3 ~seed)
+        ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
+        ~schedule ~workload:chaos_workload ~seed ()
+    in
+    print_chaos_outcome ~seed outcome;
+    if outcome.Chaos.pending_recoveries <> 0 then begin
+      Printf.printf "VIOLATION: %d pending recoveries after quiesce\n"
+        outcome.Chaos.pending_recoveries;
+      exit 1
+    end
+  in
+  let rate =
+    Arg.(value & opt float 100_000. & info [ "rate" ] ~doc:"Offered load in RPS.")
+  in
+  let dur = Arg.(value & opt int 2000 & info [ "duration-ms" ] ~doc:"Run length.") in
+  let term = Term.(const action $ rate $ seed_arg $ dur) in
+  Cmd.v
+    (Cmd.info "reconfig"
+       ~doc:
+         "Scripted membership-change scenario under load (grow 3 to 5, \
+          transfer leadership, remove the old leader, crash and restart a \
+          follower), verified by the history checker; exits non-zero on any \
+          violation.")
     term
 
 (* --- mc ------------------------------------------------------------------------ *)
@@ -507,4 +581,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; sweep_cmd; slo_cmd; failover_cmd; chaos_cmd; repro_cmd; mc_cmd ]))
+          [
+            run_cmd;
+            sweep_cmd;
+            slo_cmd;
+            failover_cmd;
+            chaos_cmd;
+            reconfig_cmd;
+            repro_cmd;
+            mc_cmd;
+          ]))

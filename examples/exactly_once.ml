@@ -20,9 +20,10 @@ module K = Hovercraft_apps.Kvstore
 
 let () =
   let params =
-    { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with loss_prob = 0.05 }
+    let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+    { p with Hnode.features = { p.Hnode.features with Hnode.loss_prob = 0.05 } }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let seq = ref 0 in
   let workload _rng =
     incr seq;

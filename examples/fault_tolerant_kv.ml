@@ -17,9 +17,10 @@ module K = Hovercraft_apps.Kvstore
 
 let () =
   let params =
-    { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with bound = 16 }
+    let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+    { p with Hnode.features = { p.Hnode.features with Hnode.bound = 16 } }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let engine = deploy.Deploy.engine in
 
   let counter = ref 0 in
@@ -67,5 +68,5 @@ let () =
   Format.printf
     "sent %d, completed %d, lost %d (bounded by B=%d per failed node)@."
     report.Loadgen.sent report.Loadgen.completed report.Loadgen.lost
-    params.Hnode.bound;
+    params.Hnode.features.Hnode.bound;
   Format.printf "survivors consistent: %b@." (Deploy.consistent deploy)

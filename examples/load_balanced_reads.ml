@@ -27,8 +27,10 @@ let measure label params =
     (knee /. 1000.);
   knee
 
+let with_features p f = { p with Hnode.features = f p.Hnode.features }
+
 let reply_spread params rate =
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:rate
       ~workload:(Service.sample spec) ~seed:3 ()
@@ -41,21 +43,21 @@ let () =
   let unrep = measure "unreplicated" (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ()) in
   let rand =
     measure "hovercraft++ RANDOM"
-      {
-        (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
-        lb_policy = Jbsq.Random_choice;
-        bound = 32;
-      }
+      (with_features (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) (fun f ->
+           { f with Hnode.lb_policy = Jbsq.Random_choice; bound = 32 }))
   in
   let jbsq =
     measure "hovercraft++ JBSQ"
-      { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with bound = 32 }
+      (with_features (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) (fun f ->
+           { f with Hnode.bound = 32 }))
   in
   Format.printf "@.speedup over unreplicated: RANDOM %.2fx, JBSQ %.2fx@."
     (rand /. unrep) (jbsq /. unrep);
 
   let spread =
-    reply_spread { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with bound = 32 }
+    reply_spread
+      (with_features (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) (fun f ->
+           { f with Hnode.bound = 32 }))
       (0.8 *. jbsq)
   in
   Format.printf "@.replies per node at 80%% of the JBSQ knee:@.";

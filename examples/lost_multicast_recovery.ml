@@ -15,9 +15,10 @@ module Service = Hovercraft_apps.Service
 
 let run label loss =
   let params =
-    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with loss_prob = loss }
+    let p = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+    { p with Hnode.features = { p.Hnode.features with Hnode.loss_prob = loss } }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:20_000.
       ~workload:(Service.sample (Service.spec ()))

@@ -18,7 +18,7 @@ let () =
   (* 1. A cluster: 3 nodes, HovercRaft++ (aggregator included), reply load
      balancing on. Node 0 is bootstrapped as the initial leader. *)
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   Format.printf "cluster up: %d nodes, mode %a, leader node%d@."
     (Array.length deploy.Deploy.nodes)
     Hnode.pp_mode params.Hnode.mode

@@ -4,6 +4,10 @@ module Service = Hovercraft_apps.Service
 
 let section title = Printf.printf "\n=== Ablation: %s ===\n%!" title
 
+(* One-knob tweaks on the nested defaults. *)
+let with_features p f = { p with Hnode.features = f p.Hnode.features }
+let with_timing p f = { p with Hnode.timing = f p.Hnode.timing }
+
 let bimodal_spec =
   Service.spec
     ~service:(Dist.Bimodal { mean = Timebase.us 10; long_fraction = 0.1; ratio = 10. })
@@ -14,7 +18,10 @@ let bound_sweep ?(quality = Experiment.Fast) () =
   let rows =
     List.map
       (fun bound ->
-        let params = { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with bound } in
+        let params =
+          with_features (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) (fun f ->
+              { f with Hnode.bound })
+        in
         let s = Experiment.setup params (Service.sample bimodal_spec) in
         let r = Experiment.run_point ~quality s ~rate_rps:150_000. in
         [
@@ -34,7 +41,10 @@ let batch_sweep ?(quality = Experiment.Fast) () =
   let rows =
     List.map
       (fun batch_max ->
-        let params = { (Hnode.params ~mode:Hnode.Vanilla ~n:3 ()) with batch_max } in
+        let params =
+          with_features (Hnode.params ~mode:Hnode.Vanilla ~n:3 ()) (fun f ->
+              { f with Hnode.batch_max })
+        in
         let s = Experiment.setup params (Service.sample (Service.spec ())) in
         let knee = Experiment.max_under_slo ~quality s in
         [ string_of_int batch_max; Table.fmt_krps knee ])
@@ -51,11 +61,12 @@ let commit_hint ?(quality = Experiment.Fast) () =
     List.map
       (fun eager ->
         let params =
-          {
-            (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
-            eager_commit_notify = eager;
-            lb_policy = Hovercraft_r2p2.Jbsq.Random_choice;
-          }
+          with_features (Hnode.params ~mode:Hnode.Hover ~n:3 ()) (fun f ->
+              {
+                f with
+                Hnode.eager_commit_notify = eager;
+                lb_policy = Hovercraft_r2p2.Jbsq.Random_choice;
+              })
         in
         let s = Experiment.setup params (Service.sample (Service.spec ())) in
         let r = Experiment.run_point ~quality s ~rate_rps:20_000. in
@@ -78,12 +89,14 @@ let heartbeat_sweep ?(quality = Experiment.Fast) () =
     List.map
       (fun hb_us ->
         let params =
-          {
-            (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
-            heartbeat = Timebase.us hb_us;
-            eager_commit_notify = false;
-            lb_policy = Hovercraft_r2p2.Jbsq.Random_choice;
-          }
+          with_timing
+            (with_features (Hnode.params ~mode:Hnode.Hover ~n:3 ()) (fun f ->
+                 {
+                   f with
+                   Hnode.eager_commit_notify = false;
+                   lb_policy = Hovercraft_r2p2.Jbsq.Random_choice;
+                 }))
+            (fun tm -> { tm with Hnode.heartbeat = Timebase.us hb_us })
         in
         let s = Experiment.setup params (Service.sample (Service.spec ())) in
         let r = Experiment.run_point ~quality s ~rate_rps:5_000. in
@@ -104,12 +117,8 @@ let read_leases ?(quality = Experiment.Fast) () =
     List.map
       (fun (label, read_mode, reply_lb) ->
         let params =
-          {
-            (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
-            read_mode;
-            reply_lb;
-            bound = 32;
-          }
+          with_features (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) (fun f ->
+              { f with Hnode.read_mode; reply_lb; bound = 32 })
         in
         let s = Experiment.setup params (Service.sample bimodal_spec) in
         let knee = Experiment.max_under_slo ~quality s in
@@ -131,7 +140,10 @@ let ycsb_mixes ?(quality = Experiment.Fast) () =
      speedup from added nodes therefore degrades from ~N (workload C) to
      Amdahl-bound (workload A). *)
   let knee ~mode ~n ~read_fraction =
-    let params = { (Hnode.params ~mode ~n ()) with reply_lb = true } in
+    let params =
+      with_features (Hnode.params ~mode ~n ()) (fun f ->
+          { f with Hnode.reply_lb = true })
+    in
     let gen =
       Hovercraft_apps.Ycsb.Kv.create ~read_fraction ~records:5_000
         ~seed:17 ()
@@ -173,7 +185,7 @@ let unrestricted_reads ?(quality = Experiment.Fast) () =
   let knee ~unrestricted =
     let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
     let point rate =
-      let deploy = Deploy.create ~router_bound:32 params in
+      let deploy = Deploy.create (Deploy.config ~router_bound:32 params) in
       let gen =
         Loadgen.create deploy ~clients:8 ~rate_rps:rate
           ~workload:(Service.sample spec) ~unrestricted_reads:unrestricted

@@ -20,6 +20,9 @@ type event =
   | Restart of int
   | Partition of int list list
   | Heal
+  | Add_node
+  | Remove_node of int
+  | Transfer of int
 
 type step = { at : Timebase.t; event : event }
 
@@ -27,6 +30,9 @@ let pp_event ppf = function
   | Kill_leader -> Format.fprintf ppf "kill-leader"
   | Kill i -> Format.fprintf ppf "kill node%d" i
   | Restart i -> Format.fprintf ppf "restart node%d" i
+  | Add_node -> Format.fprintf ppf "add-node"
+  | Remove_node i -> Format.fprintf ppf "remove node%d" i
+  | Transfer i -> Format.fprintf ppf "transfer-leadership node%d" i
   | Partition sets ->
       Format.fprintf ppf "partition %a"
         (Format.pp_print_list
@@ -41,20 +47,26 @@ let pp_event ppf = function
   | Heal -> Format.fprintf ppf "heal"
 
 (* Seeded schedule generator. Invariants maintained on the generator's own
-   model of the cluster: at most a minority of nodes dead at any time (a
+   model of the cluster: at most a minority of members dead at any time (a
    quorum can always make progress once partitions heal), kills only while
-   unpartitioned, and a cleanup tail that heals and restarts everything the
-   model knows about well before [duration] so the run can converge. Nodes
-   killed via [Kill_leader] are identified only at run time; {!run}'s
-   epilogue restarts any node still dead. *)
-let random_schedule ?(events = 6) ~n ~duration ~seed () =
+   unpartitioned, membership changes (when [reconfig] is set) only while
+   everything is healthy, and a cleanup tail that heals and restarts
+   everything the model knows about well before [duration] so the run can
+   converge. Nodes killed via [Kill_leader] are identified only at run
+   time; {!run}'s epilogue restarts any node still dead. With
+   [reconfig = false] (the default) the generated schedules are identical
+   to what older seeds produced. *)
+let random_schedule ?(events = 6) ?(reconfig = false) ~n ~duration ~seed () =
   if n < 3 then invalid_arg "Chaos.random_schedule: need n >= 3";
   if events <= 0 then invalid_arg "Chaos.random_schedule: events must be positive";
   let rng = Rng.create (seed lxor 0xc0a5) in
-  let max_dead = (n - 1) / 2 in
-  let dead = Array.make n false in
-  let known_dead () =
-    List.filter (fun i -> dead.(i)) (List.init n Fun.id)
+  let members = ref (List.init n Fun.id) in
+  let next_id = ref n in
+  let max_dead () = (List.length !members - 1) / 2 in
+  let dead = Hashtbl.create 8 in
+  let known_dead () = List.filter (Hashtbl.mem dead) !members in
+  let live_members () =
+    List.filter (fun i -> not (Hashtbl.mem dead i)) !members
   in
   let anon_dead = ref 0 in
   let dead_total () = List.length (known_dead ()) + !anon_dead in
@@ -65,6 +77,83 @@ let random_schedule ?(events = 6) ~n ~duration ~seed () =
     List.init events (fun _ -> t_first + Rng.int rng (max 1 (horizon - t_first)))
     |> List.sort compare
   in
+  let pick xs = List.nth xs (Rng.int rng (List.length xs)) in
+  let make_partition at =
+    let ms = Array.of_list !members in
+    let n = Array.length ms in
+    let m = 1 + Rng.int rng (max_dead ()) in
+    for i = 0 to m - 1 do
+      let j = i + Rng.int rng (n - i) in
+      let tmp = ms.(i) in
+      ms.(i) <- ms.(j);
+      ms.(j) <- tmp
+    done;
+    let minority = List.sort compare (Array.to_list (Array.sub ms 0 m)) in
+    let majority = List.filter (fun i -> not (List.mem i minority)) !members in
+    partitioned := true;
+    Some { at; event = Partition [ majority; minority ] }
+  in
+  (* The legacy decision tree: untouched so that [reconfig = false] keeps
+     replaying historical schedules byte for byte. *)
+  let choose_fault at =
+    let r = Rng.int rng 100 in
+    if r < 35 && dead_total () < max_dead () then begin
+      incr anon_dead;
+      Some { at; event = Kill_leader }
+    end
+    else if r < 55 && dead_total () < max_dead () then begin
+      match live_members () with
+      | [] -> None
+      | live ->
+          let v = pick live in
+          Hashtbl.replace dead v ();
+          Some { at; event = Kill v }
+    end
+    else if r < 75 && known_dead () <> [] then begin
+      let v = pick (known_dead ()) in
+      Hashtbl.remove dead v;
+      Some { at; event = Restart v }
+    end
+    else if dead_total () = 0 then make_partition at
+    else None
+  in
+  (* The reconfig-aware tree interleaves membership churn with crashes. *)
+  let choose_fault_reconfig at =
+    let r = Rng.int rng 100 in
+    if r < 20 && dead_total () < max_dead () then begin
+      incr anon_dead;
+      Some { at; event = Kill_leader }
+    end
+    else if r < 35 && dead_total () < max_dead () then begin
+      match live_members () with
+      | [] -> None
+      | live ->
+          let v = pick live in
+          Hashtbl.replace dead v ();
+          Some { at; event = Kill v }
+    end
+    else if r < 48 && known_dead () <> [] then begin
+      let v = pick (known_dead ()) in
+      Hashtbl.remove dead v;
+      Some { at; event = Restart v }
+    end
+    else if r < 62 then begin
+      members := !members @ [ !next_id ];
+      incr next_id;
+      Some { at; event = Add_node }
+    end
+    else if r < 76 && List.length !members > 3 && dead_total () = 0 then begin
+      let v = pick (live_members ()) in
+      members := List.filter (fun i -> i <> v) !members;
+      Some { at; event = Remove_node v }
+    end
+    else if r < 88 then (
+      match live_members () with
+      | [] -> None
+      | live -> Some { at; event = Transfer (pick live) })
+    else if dead_total () = 0 then make_partition at
+    else None
+  in
   let steps =
     List.filter_map
       (fun at ->
@@ -74,44 +163,8 @@ let random_schedule ?(events = 6) ~n ~duration ~seed () =
             Some { at; event = Heal }
           end
           else None
-        else
-          let r = Rng.int rng 100 in
-          if r < 35 && dead_total () < max_dead then begin
-            incr anon_dead;
-            Some { at; event = Kill_leader }
-          end
-          else if r < 55 && dead_total () < max_dead then begin
-            let live = List.filter (fun i -> not dead.(i)) (List.init n Fun.id) in
-            match live with
-            | [] -> None
-            | _ ->
-                let v = List.nth live (Rng.int rng (List.length live)) in
-                dead.(v) <- true;
-                Some { at; event = Kill v }
-          end
-          else if r < 75 && known_dead () <> [] then begin
-            let ds = known_dead () in
-            let v = List.nth ds (Rng.int rng (List.length ds)) in
-            dead.(v) <- false;
-            Some { at; event = Restart v }
-          end
-          else if dead_total () = 0 then begin
-            let m = 1 + Rng.int rng max_dead in
-            let ids = Array.init n Fun.id in
-            for i = 0 to m - 1 do
-              let j = i + Rng.int rng (n - i) in
-              let tmp = ids.(i) in
-              ids.(i) <- ids.(j);
-              ids.(j) <- tmp
-            done;
-            let minority = List.sort compare (Array.to_list (Array.sub ids 0 m)) in
-            let majority =
-              List.filter (fun i -> not (List.mem i minority)) (List.init n Fun.id)
-            in
-            partitioned := true;
-            Some { at; event = Partition [ majority; minority ] }
-          end
-          else None)
+        else if reconfig then choose_fault_reconfig at
+        else choose_fault at)
       times
   in
   let gap = max 1 (duration / 20) in
@@ -133,6 +186,8 @@ type outcome = {
   consistent : bool;
   report : Loadgen.report;
   retried : int;
+  pending_recoveries : int;
+  final_members : int list;
 }
 
 (* -------------------------------------------------------------------- *)
@@ -317,10 +372,34 @@ let apply_event deploy ~t0 ~timeline event =
   | Heal ->
       Fabric.heal deploy.Deploy.fabric;
       note "healed partition"
+  | Add_node ->
+      let id = Deploy.add_node deploy in
+      note "adding node%d to the configuration" id
+  | Remove_node i ->
+      if i < 0 || i >= Array.length deploy.Deploy.nodes then
+        note "remove node%d skipped (unknown node)" i
+      else if Deploy.is_removed deploy i then
+        note "remove node%d skipped (already removed)" i
+      else begin
+        Deploy.remove_node deploy i;
+        note "removing node%d from the configuration" i
+      end
+  | Transfer i ->
+      if
+        i >= 0
+        && i < Array.length deploy.Deploy.nodes
+        && Hnode.alive deploy.Deploy.nodes.(i)
+        && not (Deploy.is_removed deploy i)
+      then begin
+        Deploy.transfer_leadership deploy ~target:i;
+        note "transferring leadership to node%d" i
+      end
+      else note "transfer to node%d skipped (dead or removed)" i
 
 let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
     ?(bucket = Timebase.ms 100) ?(duration = Timebase.s 2)
-    ?(drain = Timebase.ms 100) ?schedule ~workload ~seed () =
+    ?(drain = Timebase.ms 100) ?(reconfig = false) ?schedule ~workload ~seed ()
+    =
   let params =
     match params with
     | Some p -> p
@@ -334,16 +413,20 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
   let params =
     {
       params with
-      Hnode.gc_ordered = (2 * duration) + drain + Timebase.s 1;
-      log_retain = max_int / 2;
+      Hnode.timing =
+        {
+          params.Hnode.timing with
+          Hnode.gc_ordered = (2 * duration) + drain + Timebase.s 1;
+        };
+      features = { params.Hnode.features with Hnode.log_retain = max_int / 2 };
     }
   in
   let schedule =
     match schedule with
     | Some s -> s
-    | None -> random_schedule ~n ~duration ~seed ()
+    | None -> random_schedule ~reconfig ~n ~duration ~seed ()
   in
-  let deploy = Deploy.create ~flow_cap params in
+  let deploy = Deploy.create (Deploy.config ~flow_cap params) in
   let engine = deploy.Deploy.engine in
   let t0 = Engine.now engine in
   let completions = Series.create ~bucket () in
@@ -371,7 +454,8 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
     apply_event deploy ~t0 ~timeline Heal;
   Array.iteri
     (fun i node ->
-      if not (Hnode.alive node) then apply_event deploy ~t0 ~timeline (Restart i))
+      if (not (Hnode.alive node)) && not (Deploy.is_removed deploy i) then
+        apply_event deploy ~t0 ~timeline (Restart i))
     deploy.Deploy.nodes;
   (* A node that slept through most of the run has that much history to
      re-apply at state-machine speed; converge on observed progress
@@ -406,4 +490,12 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
     consistent;
     report;
     retried = Loadgen.retried gen;
+    pending_recoveries = Deploy.total_pending_recoveries deploy;
+    final_members =
+      (match Deploy.leader deploy with
+      | Some l -> Hnode.members l
+      | None -> (
+          match Deploy.live_nodes deploy with
+          | m :: _ -> Hnode.members m
+          | [] -> []));
   }

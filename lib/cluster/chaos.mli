@@ -32,6 +32,15 @@ type event =
           island (and clients, middleboxes, the aggregator) keep global
           reachability. *)
   | Heal  (** Remove the partition. *)
+  | Add_node
+      (** Grow the cluster by one voter ({!Deploy.add_node}); the new node
+          gets the next unused id. *)
+  | Remove_node of int
+      (** Drive a node out of the configuration and decommission it
+          ({!Deploy.remove_node}); the current leader is a legal target. *)
+  | Transfer of int
+      (** Cooperative leadership transfer to a node id; skipped if the
+          target is dead or removed. *)
 
 type step = { at : Timebase.t; event : event }
 (** [at] is relative to the start of the chaos run. *)
@@ -39,12 +48,22 @@ type step = { at : Timebase.t; event : event }
 val pp_event : Format.formatter -> event -> unit
 
 val random_schedule :
-  ?events:int -> n:int -> duration:Timebase.t -> seed:int -> unit -> step list
+  ?events:int ->
+  ?reconfig:bool ->
+  n:int ->
+  duration:Timebase.t ->
+  seed:int ->
+  unit ->
+  step list
 (** Generate a seeded schedule of up to [events] faults over the first
     70% of [duration], keeping (on the generator's model) a quorum of
-    nodes alive at all times, never killing into a partition, and ending
+    members alive at all times, never killing into a partition, and ending
     with a cleanup tail that heals and restarts everything so the run can
-    converge. Deterministic per [seed]. Requires [n >= 3]. *)
+    converge. With [reconfig] (default false) the mix also includes
+    [Add_node] / [Remove_node] / [Transfer] membership churn, tracked in
+    the same model (removals only while everything is healthy and at least
+    four members remain); without it, schedules are identical to what
+    older seeds produced. Deterministic per [seed]. Requires [n >= 3]. *)
 
 type outcome = {
   series : Failure.bucket list;
@@ -60,6 +79,12 @@ type outcome = {
   consistent : bool;
   report : Loadgen.report;
   retried : int;  (** Client retransmissions (same rid, exactly-once). *)
+  pending_recoveries : int;
+      (** {!Deploy.total_pending_recoveries} after the final quiesce;
+          nonzero means a body recovery wedged. *)
+  final_members : int list;
+      (** The leader's applied configuration after the epilogue — what the
+          membership churn converged to. *)
 }
 
 val check : Deploy.t -> completed_writes:R2p2.req_id list -> string list * bool * bool * bool * bool
@@ -77,12 +102,14 @@ val run :
   ?bucket:Timebase.t ->
   ?duration:Timebase.t ->
   ?drain:Timebase.t ->
+  ?reconfig:bool ->
   ?schedule:step list ->
   workload:(Rng.t -> Hovercraft_apps.Op.t) ->
   seed:int ->
   unit ->
   outcome
-(** Drive [schedule] (default: {!random_schedule} from [seed]) against a
+(** Drive [schedule] (default: {!random_schedule} from [seed], with
+    membership churn when [reconfig] is set) against a
     fresh deployment (default: HovercRaft++, [n] = 5, flow control) under
     open-loop load with client retries. [params]' body-retention and log
     windows are widened so crashes stay recoverable and the checker can

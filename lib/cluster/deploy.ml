@@ -5,15 +5,43 @@ module Fabric = Hovercraft_net.Fabric
 module Trace = Hovercraft_obs.Trace
 module Json = Hovercraft_obs.Json
 
+type config = {
+  fabric_latency : Timebase.t;
+  flow_cap : int option;
+  router_bound : int option;
+  switch_gbps : float;
+  trace : Trace.t option;
+  params : Hnode.params;
+}
+
+let config ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
+    ?(switch_gbps = 100.) ?trace params =
+  if fabric_latency < 0 then invalid_arg "Deploy.config: negative fabric latency";
+  if switch_gbps <= 0. then invalid_arg "Deploy.config: switch_gbps must be positive";
+  (match flow_cap with
+  | Some c when c < 1 -> invalid_arg "Deploy.config: flow_cap must be >= 1"
+  | Some _ | None -> ());
+  (match router_bound with
+  | Some b when b < 1 -> invalid_arg "Deploy.config: router_bound must be >= 1"
+  | Some _ | None -> ());
+  Hnode.validate_params params;
+  { fabric_latency; flow_cap; router_bound; switch_gbps; trace; params }
+
 type t = {
   engine : Engine.t;
   fabric : Protocol.payload Fabric.t;
-  nodes : Hnode.t array;
+  mutable nodes : Hnode.t array;
+      (* Index = node id. Grows on add_node; removed nodes stay in place,
+         dead, so ids are never reused. *)
   aggregator : Aggregator.t option;
   flow : Flow_control.t option;
   router : Router.t option;
   params : Hnode.params;
+  cfg : config;
   trace : Trace.t;
+  removed : (int, unit) Hashtbl.t;
+      (* Nodes whose removal from the configuration completed: dead for
+         good, never restarted by failure/chaos epilogues. *)
   mutable last_leader : int option;
 }
 
@@ -30,15 +58,17 @@ let leader t =
 
 let live_nodes t = Array.to_list t.nodes |> List.filter Hnode.alive
 
-let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
-    ?(switch_gbps = 100.) ?trace (params : Hnode.params) =
+let create (cfg : config) =
+  let params = cfg.params in
   let engine = Engine.create () in
-  let fabric = Fabric.create engine ~latency:fabric_latency () in
+  let fabric = Fabric.create engine ~latency:cfg.fabric_latency () in
   (* One shared ring for the whole cluster: events from every node
      interleave in simulated-time order, which is what you want when
      reading a failure timeline. *)
   let trace =
-    match trace with Some tr -> tr | None -> Trace.create ~level:Trace.Info ()
+    match cfg.trace with
+    | Some tr -> tr
+    | None -> Trace.create ~level:Trace.Info ()
   in
   let nodes =
     Array.init params.Hnode.n (fun id ->
@@ -48,25 +78,26 @@ let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
     match params.Hnode.mode with
     | Hnode.Hover_pp ->
         Some
-          (Aggregator.create engine fabric ~n:params.Hnode.n
+          (Aggregator.create engine fabric
+             ~members:(List.init params.Hnode.n (fun i -> i))
              ~cluster_group:Addr.cluster_group ~followers_group
-             ~rate_gbps:switch_gbps)
+             ~rate_gbps:cfg.switch_gbps)
     | Hnode.Unreplicated | Hnode.Vanilla | Hnode.Hover -> None
   in
   let flow =
-    match flow_cap with
+    match cfg.flow_cap with
     | Some cap ->
         Some
           (Flow_control.create engine fabric ~cap ~group:Addr.cluster_group
-             ~rate_gbps:switch_gbps)
+             ~rate_gbps:cfg.switch_gbps)
     | None -> None
   in
   let router =
-    match router_bound with
+    match cfg.router_bound with
     | Some bound ->
         Some
           (Router.create engine fabric ~n:params.Hnode.n ~bound
-             ~rate_gbps:switch_gbps ())
+             ~rate_gbps:cfg.switch_gbps ())
     | None -> None
   in
   let t =
@@ -78,7 +109,9 @@ let create ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
       flow;
       router;
       params;
+      cfg;
       trace;
+      removed = Hashtbl.create 8;
       last_leader = None;
     }
   in
@@ -141,6 +174,7 @@ let quiesce t ?(extra = Timebase.ms 20) () =
 
 let kill_node t i = Hnode.kill t.nodes.(i)
 let restart_node t i = Hnode.restart t.nodes.(i)
+let is_removed t i = Hashtbl.mem t.removed i
 
 let kill_leader t =
   let kill n =
@@ -166,22 +200,117 @@ let kill_leader t =
           | n :: _ -> kill n
           | [] -> None))
 
+(* --- runtime membership changes ------------------------------------ *)
+
+(* Reconfiguration is driven by a polling loop on the engine: a single
+   proposal can be lost to a leader change, a partition, or the
+   one-change-at-a-time rule, so the driver re-proposes through whoever
+   currently leads until the change lands (the change itself is
+   idempotent — the member list is absolute, not a delta). *)
+let reconfig_poll = Timebase.us 200
+
+let current_membership t =
+  match leader t with
+  | Some l -> Hnode.raft_members l
+  | None -> (
+      match live_nodes t with
+      | n :: _ -> Hnode.raft_members n
+      | [] -> List.init t.params.Hnode.n (fun i -> i))
+
+(* Drive until every check of the current leader's *applied* view agrees
+   that [id] is present/absent as requested; call [on_done] once. *)
+let drive_membership t ~id ~present ~on_done =
+  let rec step () =
+    let continue () = Engine.after t.engine reconfig_poll step in
+    match leader t with
+    | None -> continue ()
+    | Some l ->
+        let applied_ok = List.mem id (Hnode.members l) = present in
+        if applied_ok then on_done l
+        else begin
+          let raft_ms = Hnode.raft_members l in
+          let raft_ok = List.mem id raft_ms = present in
+          let change_in_flight =
+            Hnode.config_index l > Hnode.commit_index l
+          in
+          if (not raft_ok) && not change_in_flight then begin
+            let target =
+              if present then List.sort_uniq compare (id :: raft_ms)
+              else List.filter (fun m -> m <> id) raft_ms
+            in
+            if target <> [] then Hnode.propose_reconfig l ~members:target
+          end;
+          continue ()
+        end
+  in
+  step ()
+
+let add_node t =
+  let id = Array.length t.nodes in
+  let members = List.sort_uniq compare (id :: current_membership t) in
+  let node =
+    Hnode.create ~trace:t.trace ~members t.engine t.fabric t.params ~id
+  in
+  t.nodes <- Array.append t.nodes [| node |];
+  drive_membership t ~id ~present:true ~on_done:(fun _ -> ());
+  id
+
+let remove_node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg "Deploy.remove_node: unknown node";
+  (* Decommission once the removal has committed (the leader applied it):
+     the node usually powers itself off when it applies its own removal,
+     but effective-on-append means the leader stops replicating to it
+     immediately, so a removed follower may never see the entry — it would
+     sit as a zombie, timing out and requesting votes nobody honours.
+     Finishing the job here closes that window. *)
+  drive_membership t ~id:i ~present:false ~on_done:(fun _ ->
+      Hashtbl.replace t.removed i ();
+      if Hnode.alive t.nodes.(i) then Hnode.kill t.nodes.(i))
+
+let transfer_leadership t ~target =
+  if target < 0 || target >= Array.length t.nodes then
+    invalid_arg "Deploy.transfer_leadership: unknown node";
+  match leader t with
+  | Some l when Hnode.id l <> target -> Hnode.transfer_leadership l ~target
+  | Some _ | None -> ()
+
 let total_pending_recoveries t =
   Array.fold_left (fun acc n -> acc + Hnode.pending_recoveries n) 0 t.nodes
 
 let trace t = t.trace
+
+let membership_snapshot t =
+  let view =
+    match leader t with
+    | Some l -> Some l
+    | None -> ( match live_nodes t with n :: _ -> Some n | [] -> None)
+  in
+  match view with
+  | None -> Json.Null
+  | Some n ->
+      Json.Obj
+        [
+          ( "voters",
+            Json.List (List.map (fun i -> Json.Int i) (Hnode.members n)) );
+          ("config_index", Json.Int (Hnode.config_index n));
+          ( "last_transfer",
+            Json.Int
+              (match Hnode.last_transfer n with Some x -> x | None -> -1) );
+        ]
 
 let snapshot t =
   Json.Obj
     [
       ("at_ns", Json.Int (Engine.now t.engine));
       ("mode", Json.String (Format.asprintf "%a" Hnode.pp_mode t.params.Hnode.mode));
-      ("n", Json.Int t.params.Hnode.n);
+      ("n", Json.Int (Array.length t.nodes));
       ( "leader",
         match leader t with
         | Some n -> Json.Int (Hnode.id n)
         | None -> Json.Null );
       ("consistent", Json.Bool (consistent t));
+      ("membership", membership_snapshot t);
       ( "nodes",
         Json.List (Array.to_list (Array.map Hnode.snapshot t.nodes)) );
       ("fabric", Fabric.snapshot t.fabric);

@@ -30,7 +30,7 @@ let window ~quality ~rate_rps =
   (warm, dur + warm)
 
 let run_point ?(quality = Fast) s ~rate_rps =
-  let deploy = Deploy.create ?flow_cap:s.flow_cap s.params in
+  let deploy = Deploy.create (Deploy.config ?flow_cap:s.flow_cap s.params) in
   if s.preload <> [] then
     Array.iter (fun n -> Hnode.preload n s.preload) deploy.Deploy.nodes;
   let gen =

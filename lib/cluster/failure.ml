@@ -51,7 +51,7 @@ let run ?params ?(rate_rps = 165_000.) ?(flow_cap = 1000)
   let params =
     match params with Some p -> p | None -> Hnode.params ~mode:Hnode.Hover_pp ()
   in
-  let deploy = Deploy.create ~flow_cap params in
+  let deploy = Deploy.create (Deploy.config ~flow_cap params) in
   let engine = deploy.Deploy.engine in
   let t0 = Engine.now engine in
   let completions = Series.create ~bucket () in

@@ -16,10 +16,14 @@ let baseline_spec = Service.spec ()
 (* S = 1 us fixed, 24-byte requests, 8-byte replies: the baseline
    microbenchmark of §7.1. *)
 
+(* One-knob tweaks on the nested defaults. *)
+let with_features p f = { p with Hnode.features = f p.Hnode.features }
+
 let synth_setup ?(reply_lb = false) ?spec ~mode ~n ?(lb_policy = Jbsq.Jbsq)
     ?(bound = 128) () =
   let params =
-    { (Hnode.params ~mode ~n ()) with reply_lb; lb_policy; bound }
+    with_features (Hnode.params ~mode ~n ()) (fun f ->
+        { f with Hnode.reply_lb; lb_policy; bound })
   in
   let spec = Option.value spec ~default:baseline_spec in
   Experiment.setup params (Service.sample spec)
@@ -38,15 +42,17 @@ let table1 ?(quality = Experiment.Fast) () =
   let n = 5 in
   let measure mode =
     let params =
-      {
-        (Hnode.params ~mode ~n ()) with
-        reply_lb = (mode <> Hnode.Vanilla);
-        (* Count protocol messages only: the commit-hint optimization would
-           otherwise add traffic the paper's Table 1 does not model. *)
-        eager_commit_notify = false;
-      }
+      with_features (Hnode.params ~mode ~n ()) (fun f ->
+          {
+            f with
+            Hnode.reply_lb = (mode <> Hnode.Vanilla);
+            (* Count protocol messages only: the commit-hint optimization
+               would otherwise add traffic the paper's Table 1 does not
+               model. *)
+            eager_commit_notify = false;
+          })
     in
-    let deploy = Deploy.create params in
+    let deploy = Deploy.create (Deploy.config params) in
     let engine = deploy.Deploy.engine in
     let gen =
       Loadgen.create deploy ~clients:4 ~rate_rps:10_000.
@@ -267,12 +273,8 @@ let fig12 ?(quality = Experiment.Fast) () =
   let outcome =
     Failure.run
       ~params:
-        {
-          (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
-          reply_lb = true;
-          bound = 32;
-          flow_control = true;
-        }
+        (with_features (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) (fun f ->
+             { f with Hnode.reply_lb = true; bound = 32; flow_control = true }))
       ~rate_rps:165_000. ~flow_cap:1000 ~bucket:(Timebase.ms 100)
       ~duration:(Timebase.s 2) ~kill_after:(Timebase.ms 600)
       ~workload:(Service.sample rng_spec) ~seed:31 ()
@@ -300,7 +302,10 @@ let fig12 ?(quality = Experiment.Fast) () =
 (* ------------------------------------------------------------------ *)
 
 let ycsb_setup ~mode ~n ~seed =
-  let params = { (Hnode.params ~mode ~n ()) with reply_lb = true } in
+  let params =
+    with_features (Hnode.params ~mode ~n ()) (fun f ->
+        { f with Hnode.reply_lb = true })
+  in
   let gen = Ycsb.create ~seed () in
   let preload = Ycsb.preload_ops gen 20_000 in
   Experiment.setup ~preload params (fun _ -> Ycsb.next gen)

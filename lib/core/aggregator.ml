@@ -5,11 +5,11 @@ module Rtypes = Hovercraft_raft.Types
 type t = {
   fabric : Protocol.payload Fabric.t;
   mutable port : Protocol.payload Fabric.port option;
-  n : int;
+  mutable members : int list;
   cluster_group : int;
   followers_group : int;
-  match_reg : int array;
-  completed_reg : int array;
+  match_reg : (int, int) Hashtbl.t;
+  completed_reg : (int, int) Hashtbl.t;
   mutable term : int;
   mutable leader : int;
   mutable leader_last : int;
@@ -20,22 +20,51 @@ type t = {
   mutable commits_sent : int;
 }
 
-let quorum t = (t.n / 2) + 1
+let n_members t = List.length t.members
+let quorum t = (n_members t / 2) + 1
+let reg_get reg i = Option.value ~default:0 (Hashtbl.find_opt reg i)
+
+let sync_followers_group t =
+  (* Followers group = current members minus the leader. Membership and
+     leadership both mutate it, so rebuild from scratch each time (the
+     fabric makes join/leave idempotent). *)
+  List.iter
+    (fun i ->
+      if i = t.leader then
+        Fabric.leave t.fabric ~group:t.followers_group (Addr.Node i)
+      else Fabric.join t.fabric ~group:t.followers_group (Addr.Node i))
+    t.members
 
 let flush t ~term ~leader =
-  Array.fill t.match_reg 0 t.n 0;
-  Array.fill t.completed_reg 0 t.n 0;
+  Hashtbl.reset t.match_reg;
+  Hashtbl.reset t.completed_reg;
   t.term <- term;
   t.leader_last <- 0;
   t.commit <- 0;
   t.pending <- false;
   if leader <> t.leader then begin
     (* Rebuild the follower fan-out group around the new leader. *)
-    for i = 0 to t.n - 1 do
-      if i = leader then Fabric.leave t.fabric ~group:t.followers_group (Addr.Node i)
-      else Fabric.join t.fabric ~group:t.followers_group (Addr.Node i)
-    done;
-    t.leader <- leader
+    let old = t.leader in
+    t.leader <- leader;
+    if old >= 0 && List.mem old t.members then
+      Fabric.join t.fabric ~group:t.followers_group (Addr.Node old);
+    sync_followers_group t
+  end
+
+(* A membership change is the same soft-state invalidation as a term
+   change: the old registers and quorum size are meaningless under the new
+   configuration, so reuse the flush path and re-derive the fan-out group. *)
+let reconfigure t ~term ~members =
+  if term >= t.term then begin
+    let previous = t.members in
+    t.members <- List.sort_uniq compare (Array.to_list members);
+    List.iter
+      (fun i ->
+        if not (List.mem i t.members) then
+          Fabric.leave t.fabric ~group:t.followers_group (Addr.Node i))
+      previous;
+    flush t ~term ~leader:t.leader;
+    sync_followers_group t
   end
 
 let transmit t ~dst payload =
@@ -44,21 +73,33 @@ let transmit t ~dst payload =
     ~bytes:(Protocol.payload_bytes ~with_bodies:false payload)
     payload
 
+(* AGG_COMMIT carries per-node completed counts as a dense array indexed
+   by node id (the wire format of the P4 register file); ids outside the
+   current membership read 0. *)
+let completed_array t =
+  let max_id = List.fold_left max t.leader t.members in
+  Array.init (max_id + 1) (fun i -> reg_get t.completed_reg i)
+
 let send_agg_commit t =
   t.commits_sent <- t.commits_sent + 1;
   transmit t ~dst:(Addr.Group t.cluster_group)
     (Protocol.Agg_commit
-       { term = t.term; commit = t.commit; applied = Array.copy t.completed_reg })
+       { term = t.term; commit = t.commit; applied = completed_array t })
 
 (* Largest index acknowledged by enough followers that, together with the
    leader, a quorum holds it. *)
 let quorum_match t =
-  let sorted = Array.copy t.match_reg in
-  sorted.(t.leader) <- min_int;
-  Array.sort compare sorted;
   let needed = quorum t - 1 in
-  (* The needed-th largest follower match (1-based from the top). *)
-  if needed = 0 then t.leader_last else sorted.(t.n - needed)
+  if needed = 0 then t.leader_last
+  else begin
+    let followers = List.filter (fun i -> i <> t.leader) t.members in
+    let sorted =
+      List.sort (fun a b -> compare b a)
+        (List.map (fun i -> reg_get t.match_reg i) followers)
+    in
+    (* The needed-th largest follower match (1-based from the top). *)
+    match List.nth_opt sorted (needed - 1) with Some m -> m | None -> 0
+  end
 
 let on_append_entries t ~term ~leader ~end_idx pkt_payload =
   if term > t.term then flush t ~term ~leader;
@@ -71,9 +112,10 @@ let on_append_entries t ~term ~leader ~end_idx pkt_payload =
   end
 
 let on_append_ack t ~term ~from ~match_idx ~applied_idx =
-  if term = t.term && from >= 0 && from < t.n then begin
-    t.match_reg.(from) <- max t.match_reg.(from) match_idx;
-    t.completed_reg.(from) <- max t.completed_reg.(from) applied_idx;
+  if term = t.term && List.mem from t.members then begin
+    Hashtbl.replace t.match_reg from (max (reg_get t.match_reg from) match_idx);
+    Hashtbl.replace t.completed_reg from
+      (max (reg_get t.completed_reg from) applied_idx);
     let candidate = min (quorum_match t) t.leader_last in
     if candidate > t.commit then begin
       t.commit <- candidate;
@@ -103,25 +145,27 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
         if term > t.term then flush t ~term ~leader;
         if term = t.term then
           transmit t ~dst:(Addr.Node leader) (Protocol.Probe_reply { term })
+    | Protocol.Reconfig { term; members } -> reconfigure t ~term ~members
     | Protocol.Raft
-        (Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _ | Rtypes.Agg_ack _)
+        ( Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _
+        | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ )
     | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
     | Protocol.Recovery_response _ | Protocol.Probe_reply _
     | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Nack _ ->
         ()
 
-let create engine fabric ~n ~cluster_group ~followers_group ~rate_gbps =
+let create engine fabric ~members ~cluster_group ~followers_group ~rate_gbps =
   ignore engine;
-  if n <= 0 then invalid_arg "Aggregator.create: n must be positive";
+  if members = [] then invalid_arg "Aggregator.create: empty membership";
   let t =
     {
       fabric;
       port = None;
-      n;
+      members = List.sort_uniq compare members;
       cluster_group;
       followers_group;
-      match_reg = Array.make n 0;
-      completed_reg = Array.make n 0;
+      match_reg = Hashtbl.create 16;
+      completed_reg = Hashtbl.create 16;
       term = 0;
       leader = -1;
       leader_last = 0;
@@ -142,6 +186,7 @@ let set_down t flag =
 
 let term t = t.term
 let commit t = t.commit
-let match_of t i = t.match_reg.(i)
+let members t = t.members
+let match_of t i = reg_get t.match_reg i
 let forwarded t = t.forwarded
 let commits_sent t = t.commits_sent

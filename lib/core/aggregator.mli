@@ -20,21 +20,26 @@ type t
 val create :
   Engine.t ->
   Protocol.payload Hovercraft_net.Fabric.t ->
-  n:int ->
+  members:int list ->
   cluster_group:int ->
   followers_group:int ->
   rate_gbps:float ->
   t
-(** [n] cluster nodes with addresses [Node 0 .. Node (n-1)].
+(** [members] are the bootstrap cluster node ids (addresses [Node i]); a
+    [Reconfig] payload from the leader replaces the set at runtime.
     [followers_group] is managed by the aggregator itself (members = all
-    nodes minus the current leader); [cluster_group] must contain all
-    nodes and is used for AGG_COMMIT. *)
+    current members minus the current leader); [cluster_group] must
+    contain all nodes and is used for AGG_COMMIT. *)
 
 val set_down : t -> bool -> unit
 (** Fail / revive the device (drops everything while down). *)
 
 val term : t -> int
 val commit : t -> int
+
+val members : t -> int list
+(** Current membership as last told by [Reconfig] (sorted). *)
+
 val match_of : t -> int -> int
 
 val forwarded : t -> int

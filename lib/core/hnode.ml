@@ -27,9 +27,12 @@ let mode_of_string = function
   | "hoverpp" | "hovercraft++" -> Ok Hover_pp
   | s -> Error (Printf.sprintf "unknown mode %S" s)
 
-type params = {
-  mode : mode;
-  n : int;
+(* Parameters are grouped by concern: [cost] calibrates the simulated
+   CPU/NIC price of each operation, [timing] holds every clock and window,
+   [features] toggles protocol variants and their knobs. The top level
+   keeps only the identity of the experiment (mode, bootstrap size, seed). *)
+
+type cost_params = {
   link_gbps : float;
   net_rx_packet_ns : int;
   net_tx_packet_ns : int;
@@ -40,63 +43,119 @@ type params = {
   vanilla_entry_extra_ns : int;
   ae_body_ns_per_byte : float;
   app_per_op_ns : int;
-  batch_max : int;
+}
+
+type timing_params = {
   heartbeat : Timebase.t;
   election_min : Timebase.t;
   election_max : Timebase.t;
+  lease_window : Timebase.t;
+  gc_interval : Timebase.t;
+  gc_unordered : Timebase.t;
+  gc_ordered : Timebase.t;
+  recovery_timeout : Timebase.t;
+  probe_timeout : Timebase.t;
+}
+
+type feature_params = {
+  batch_max : int;
   reply_lb : bool;
   lb_policy : Jbsq.policy;
   bound : int;
   read_mode : read_mode;
-  lease_window : Timebase.t;
   flow_control : bool;
   eager_commit_notify : bool;
-  gc_interval : Timebase.t;
-  gc_unordered : Timebase.t;
-  gc_ordered : Timebase.t;
   log_retain : int;
-  recovery_timeout : Timebase.t;
   recovery_retry_max : int;
-  probe_timeout : Timebase.t;
   loss_prob : float;
-  seed : int;
 }
 
+type params = {
+  mode : mode;
+  n : int;
+  seed : int;
+  cost : cost_params;
+  timing : timing_params;
+  features : feature_params;
+}
+
+(* Rejecting invalid combinations here (rather than at first use, deep in
+   a run) turns silent misconfiguration — a lease window that can outlive
+   an election, a bound that can never admit an entry — into an immediate
+   error. Called both by the builder and by [create], so records assembled
+   by [with]-update are still checked. *)
+let validate_params p =
+  let fail fmt = Printf.ksprintf invalid_arg ("Hnode.params: " ^^ fmt) in
+  if p.n < 1 then fail "n must be >= 1 (got %d)" p.n;
+  if p.timing.election_min <= 0 || p.timing.election_min > p.timing.election_max
+  then
+    fail "need 0 < election_min <= election_max (got %d..%d)"
+      p.timing.election_min p.timing.election_max;
+  if p.timing.heartbeat <= 0 then fail "heartbeat must be positive";
+  if p.timing.lease_window >= p.timing.election_min then
+    fail
+      "lease_window (%d) must stay below election_min (%d): a lease that \
+       can outlive an election breaks read safety"
+      p.timing.lease_window p.timing.election_min;
+  if p.timing.gc_interval <= 0 then fail "gc_interval must be positive";
+  if p.timing.recovery_timeout <= 0 then fail "recovery_timeout must be positive";
+  if p.features.bound < 1 then fail "bound must be >= 1 (got %d)" p.features.bound;
+  if p.features.batch_max < 1 then
+    fail "batch_max must be >= 1 (got %d)" p.features.batch_max;
+  if p.features.log_retain < 0 then fail "log_retain must be non-negative";
+  if p.features.recovery_retry_max < 0 then
+    fail "recovery_retry_max must be non-negative";
+  if p.features.loss_prob < 0. || p.features.loss_prob >= 1. then
+    fail "loss_prob must be in [0, 1)"
+
 let params ?(mode = Hover) ?(n = 3) () =
-  {
-    mode;
-    n;
-    link_gbps = 10.0;
-    net_rx_packet_ns = 150;
-    net_tx_packet_ns = 30;
-    net_per_byte_ns = 0.35;
-    raft_msg_extra_ns = 400;
-    per_entry_tx_ns = 85;
-    per_entry_rx_ns = 30;
-    vanilla_entry_extra_ns = 75;
-    ae_body_ns_per_byte = 0.5;
-    app_per_op_ns = 20;
-    batch_max = 64;
-    heartbeat = Timebase.us 500;
-    election_min = Timebase.ms 2;
-    election_max = Timebase.ms 4;
-    reply_lb = true;
-    lb_policy = Jbsq.Jbsq;
-    bound = 128;
-    read_mode = Replicated_reads;
-    lease_window = Timebase.ms 1;
-    flow_control = false;
-    eager_commit_notify = true;
-    gc_interval = Timebase.ms 10;
-    gc_unordered = Timebase.ms 50;
-    gc_ordered = Timebase.ms 100;
-    log_retain = 8192;
-    recovery_timeout = Timebase.us 200;
-    recovery_retry_max = 100;
-    probe_timeout = Timebase.ms 1;
-    loss_prob = 0.;
-    seed = 42;
-  }
+  let p =
+    {
+      mode;
+      n;
+      seed = 42;
+      cost =
+        {
+          link_gbps = 10.0;
+          net_rx_packet_ns = 150;
+          net_tx_packet_ns = 30;
+          net_per_byte_ns = 0.35;
+          raft_msg_extra_ns = 400;
+          per_entry_tx_ns = 85;
+          per_entry_rx_ns = 30;
+          vanilla_entry_extra_ns = 75;
+          ae_body_ns_per_byte = 0.5;
+          app_per_op_ns = 20;
+        };
+      timing =
+        {
+          heartbeat = Timebase.us 500;
+          election_min = Timebase.ms 2;
+          election_max = Timebase.ms 4;
+          lease_window = Timebase.ms 1;
+          gc_interval = Timebase.ms 10;
+          gc_unordered = Timebase.ms 50;
+          gc_ordered = Timebase.ms 100;
+          recovery_timeout = Timebase.us 200;
+          probe_timeout = Timebase.ms 1;
+        };
+      features =
+        {
+          batch_max = 64;
+          reply_lb = true;
+          lb_policy = Jbsq.Jbsq;
+          bound = 128;
+          read_mode = Replicated_reads;
+          flow_control = false;
+          eager_commit_notify = true;
+          log_retain = 8192;
+          recovery_retry_max = 100;
+          loss_prob = 0.;
+        };
+    }
+  in
+  validate_params p;
+  p
 
 module Rid_tbl = Hashtbl.Make (struct
   type t = R2p2.req_id
@@ -120,6 +179,13 @@ type t = {
          entries come back via the recovery path after restart). *)
   replier : Replier.t;
   app_state : Op.state;
+  mutable members : int list;
+      (* The membership as of the *applied* prefix — every config entry at
+         or below [applied_ptr] has taken effect here. The Raft layer's
+         view ([Rnode.members]) may run ahead of this (effective on
+         append); this one drives the parts of the node that must agree
+         with the durable state machine: recovery targets, lease quorums,
+         retirement. *)
   mutable alive : bool;
   mutable life : int;
       (* Incremented on every kill: the election-clock and GC loops capture
@@ -131,7 +197,7 @@ type t = {
   mutable apply_busy : bool;
   mutable applied_ptr : int;
   pending_recovery : (int * Timebase.t) Rid_tbl.t;  (* rid -> retries, issued-at *)
-  lease_heard : Timebase.t array;  (* leader: last contact per node *)
+  lease_heard : (int, Timebase.t) Hashtbl.t;  (* leader: last contact per node *)
   completions : (Op.result * Timebase.t) Rid_tbl.t;
       (* RIFL-style completion records, built deterministically during
          apply on every replica; replays answer retransmitted requests
@@ -139,6 +205,8 @@ type t = {
   completion_fifo : (R2p2.req_id * Timebase.t) Queue.t;
   mutable ack_override : Addr.t option;
   mutable probe_sent_term : int;
+  mutable last_transfer : int option;
+      (* Target of the most recent leadership transfer this node initiated. *)
   (* Observability. The registry owns every counter; the [c_*] handles are
      pre-resolved so the hot paths never pay a by-name lookup. *)
   metrics : Metrics.t;
@@ -152,6 +220,8 @@ type t = {
   c_elections : Metrics.counter;
   c_gate_blocked : Metrics.counter;
   c_gate_rekicks : Metrics.counter;
+  c_reconfigs : Metrics.counter;
+  c_transfers : Metrics.counter;
   h_recovery_ns : Metrics.histogram;
   mutable announce_stalled : bool;
       (* The announce gate returned None (every replier queue full): nothing
@@ -170,8 +240,8 @@ let with_bodies t = t.p.mode = Vanilla
 (* Transmission                                                        *)
 
 let tx_cost t ~bytes ~extra =
-  t.p.net_tx_packet_ns
-  + int_of_float (t.p.net_per_byte_ns *. float_of_int bytes)
+  t.p.cost.net_tx_packet_ns
+  + int_of_float (t.p.cost.net_per_byte_ns *. float_of_int bytes)
   + extra
 
 (* Consensus and recovery traffic leaves through the network thread's TX
@@ -211,6 +281,25 @@ let resolve_recovery t rid =
           Format.asprintf "%a after %d retries, %dns" R2p2.pp_req_id rid retries
             (Engine.now t.engine - issued_at))
 
+(* Power the node down (crash, or retirement after removal from the
+   configuration). Needed by the apply path, so it lives before it;
+   [kill] below is the public alias. *)
+let halt t =
+  if t.alive then begin
+    t.alive <- false;
+    t.life <- t.life + 1;
+    Cpu.halt t.net;
+    Cpu.halt t.app;
+    (* Pending recoveries are volatile: their retry timers check this
+       table, so clearing it also disarms them. *)
+    Rid_tbl.reset t.pending_recovery;
+    tr t Trace.Warn ~kind:"killed" (fun () ->
+        Printf.sprintf "term=%d applied=%d"
+          (match t.raft with Some r -> Rnode.term r | None -> 0)
+          t.applied_ptr);
+    match t.port with Some p -> Fabric.set_down p true | None -> ()
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Raft plumbing                                                       *)
 
@@ -225,7 +314,7 @@ let leader_addr t =
 
 let raft_send_extra t = function
   | Rtypes.Append_entries { entries; _ } ->
-      let base = t.p.per_entry_tx_ns * Array.length entries in
+      let base = t.p.cost.per_entry_tx_ns * Array.length entries in
       if with_bodies t then begin
         (* VanillaRaft: for every entry of every per-follower AE the leader
            fetches the request and copies its body; HovercRaft appends
@@ -237,12 +326,12 @@ let raft_send_extra t = function
             0 entries
         in
         base
-        + (t.p.vanilla_entry_extra_ns * Array.length entries)
-        + int_of_float (t.p.ae_body_ns_per_byte *. float_of_int body_bytes)
+        + (t.p.cost.vanilla_entry_extra_ns * Array.length entries)
+        + int_of_float (t.p.cost.ae_body_ns_per_byte *. float_of_int body_bytes)
       end
       else base
   | Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Append_ack _
-  | Rtypes.Commit_to _ | Rtypes.Agg_ack _ ->
+  | Rtypes.Commit_to _ | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ ->
       0
 
 let rec feed_raft t input =
@@ -297,7 +386,7 @@ and on_appended t idx =
         | Vanilla | Unreplicated -> ())
 
 and gate t idx (cmd : Protocol.cmd) =
-  if not t.p.reply_lb then begin
+  if not t.p.features.reply_lb then begin
     cmd.meta.replier <- t.id;
     true
   end
@@ -328,6 +417,7 @@ and on_became_leader t =
   match t.raft with
   | None -> ()
   | Some raft ->
+      Replier.set_nodes t.replier (Rnode.members raft);
       Replier.reset t.replier;
       t.announce_stalled <- false;
       Replier.note_applied t.replier ~node:t.id ~applied:t.applied_ptr;
@@ -341,6 +431,14 @@ and on_became_leader t =
             (Unordered.unordered_bindings t.store)
       | Vanilla | Unreplicated -> ());
       if t.p.mode = Hover_pp then begin
+        (* Tell the aggregator who is in the cluster before enabling the
+           fast path: its registers and quorum must match our view. *)
+        transmit_net t ~dst:Addr.Netagg
+          (Protocol.Reconfig
+             {
+               term = Rnode.term raft;
+               members = Array.of_list (Rnode.members raft);
+             });
         t.probe_sent_term <- Rnode.term raft;
         transmit_net t ~dst:Addr.Netagg
           (Protocol.Probe { term = Rnode.term raft; leader = t.id })
@@ -357,7 +455,7 @@ and start_heartbeats t =
   t.hb_gen <- t.hb_gen + 1;
   let gen = t.hb_gen in
   let rec loop () =
-    Engine.after t.engine t.p.heartbeat (fun () ->
+    Engine.after t.engine t.p.timing.heartbeat (fun () ->
         if t.alive && t.hb_gen = gen && is_leader t then begin
           feed_raft t Rnode.Heartbeat_timeout;
           loop ()
@@ -390,6 +488,55 @@ and pump t =
         | Some op -> apply_one t idx cmd op
       end
 
+(* A committed configuration entry reached the apply loop: the durable
+   membership changes here. Since only one change can be in flight, by the
+   time the entry is applied (commit has passed it) the applied view and
+   the Raft layer's effective-on-append view coincide — so this is also
+   the safe moment to hand the new membership to the aggregator and
+   re-enable the fast path. *)
+and on_config_applied t ms =
+  let ms = List.sort_uniq compare (Array.to_list ms) in
+  Metrics.incr t.c_reconfigs;
+  tr t Trace.Info ~kind:"config_applied" (fun () ->
+      Printf.sprintf "members=[%s]"
+        (String.concat ";" (List.map string_of_int ms)));
+  t.members <- ms;
+  if not (List.mem t.id ms) then begin
+    (* Removed from the cluster. The entry is committed (we only apply
+       committed entries) and the Raft layer has already stepped a removed
+       leader down, so the node's duty is done: power off. Deferred one
+       engine step so the current apply finishes cleanly.
+
+       Exception: a freshly added node catching up from an empty log
+       replays every historical config entry, including those that
+       predate its own addition — it must only retire if the exclusion
+       still stands in the consensus layer's current (effective-on-append)
+       configuration. *)
+    let still_removed =
+      match t.raft with
+      | Some raft -> not (Rnode.is_member raft t.id)
+      | None -> true
+    in
+    if still_removed then Engine.after t.engine 0 (fun () -> halt t)
+  end
+  else if is_leader t then begin
+    Replier.set_nodes t.replier ms;
+    if t.p.mode = Hover_pp then
+      match t.raft with
+      | Some raft ->
+          let term = Rnode.term raft in
+          (* Same soft-state flush as a term change (§4): reset the
+             registers and quorum, then re-probe to re-enable the
+             aggregated path (it was dropped when the config entry was
+             appended). *)
+          transmit_net t ~dst:Addr.Netagg
+            (Protocol.Reconfig { term; members = Array.of_list ms });
+          t.probe_sent_term <- term;
+          transmit_net t ~dst:Addr.Netagg
+            (Protocol.Probe { term; leader = t.id })
+      | None -> ()
+  end
+
 and apply_one t idx (cmd : Protocol.cmd) op =
   t.apply_busy <- true;
   let meta = cmd.Protocol.meta in
@@ -420,7 +567,7 @@ and apply_one t idx (cmd : Protocol.cmd) op =
     if should_reply then R2p2.header_bytes + Op.reply_bytes op result else 0
   in
   let cost =
-    t.p.app_per_op_ns + exec_cost
+    t.p.cost.app_per_op_ns + exec_cost
     + (if should_reply then tx_cost t ~bytes:reply_bytes ~extra:0 else 0)
   in
   (* The state mutation above, the completion record and the applied
@@ -428,7 +575,9 @@ and apply_one t idx (cmd : Protocol.cmd) op =
      inside the delayed closure must not leave an executed-but-unrecorded
      entry behind, or restart would re-execute it (exactly-once would
      break, replicas would diverge). Only externally visible work — the
-     reply, bookkeeping — waits for the CPU. *)
+     reply, bookkeeping — waits for the CPU. Membership is part of the
+     durable state, so config entries take effect inside the checkpoint
+     too. *)
   t.applied_ptr <- idx;
   if not meta.internal then begin
     let now = Engine.now t.engine in
@@ -437,6 +586,9 @@ and apply_one t idx (cmd : Protocol.cmd) op =
       Queue.push (meta.rid, now) t.completion_fifo
     end
   end;
+  (match cmd.Protocol.config with
+  | Some ms -> on_config_applied t ms
+  | None -> ());
   Cpu.exec t.app ~cost (fun () ->
       if should_reply then begin
         Metrics.incr t.c_replies;
@@ -444,7 +596,7 @@ and apply_one t idx (cmd : Protocol.cmd) op =
         | Some port when t.alive ->
             Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
               (Protocol.Response { rid = meta.rid });
-            if t.p.flow_control then
+            if t.p.features.flow_control then
               Fabric.send t.fabric port ~dst:Addr.Middlebox
                 ~bytes:
                   (Protocol.payload_bytes ~with_bodies:false
@@ -469,19 +621,18 @@ and apply_one t idx (cmd : Protocol.cmd) op =
 (* Recovery of lost multicast bodies (§5)                              *)
 
 and recovery_target t retries =
-  (* First ask the leader; on retries ask a random other node, since any
+  (* First ask the leader; on retries ask a random other member, since any
      group member may hold the body. With no peers there is nobody to ask:
      the body can only come back via client retransmission. *)
-  if t.p.n <= 1 then None
-  else
-    match (leader_addr t, retries) with
-    | Some l, 0 when not (Addr.equal l (Addr.Node t.id)) -> Some l
-    | _ ->
-        let rec draw () =
-          let i = Rng.int t.rng t.p.n in
-          if i = t.id then draw () else Addr.Node i
-        in
-        Some (draw ())
+  let others = List.filter (fun i -> i <> t.id) t.members in
+  match others with
+  | [] -> None
+  | _ -> (
+      match (leader_addr t, retries) with
+      | Some l, 0 when not (Addr.equal l (Addr.Node t.id)) -> Some l
+      | _ ->
+          let arr = Array.of_list others in
+          Some (Addr.Node arr.(Rng.int t.rng (Array.length arr))))
 
 and request_recovery t rid =
   if !debug_recovery then
@@ -503,8 +654,8 @@ and request_recovery t rid =
    could possibly hold the body in one shot. *)
 and send_recovery t rid retries =
   if t.alive && Rid_tbl.mem t.pending_recovery rid then begin
-    let escalated = retries >= t.p.recovery_retry_max in
-    if escalated && retries = t.p.recovery_retry_max then begin
+    let escalated = retries >= t.p.features.recovery_retry_max in
+    if escalated && retries = t.p.features.recovery_retry_max then begin
       Metrics.incr t.c_recovery_escalations;
       tr t Trace.Warn ~kind:"recovery_escalated" (fun () ->
           Format.asprintf "%a after %d unicast retries" R2p2.pp_req_id rid
@@ -512,7 +663,8 @@ and send_recovery t rid retries =
     end;
     let dst =
       if escalated then
-        if t.p.n <= 1 then None else Some (Addr.Group Addr.cluster_group)
+        if List.length t.members <= 1 then None
+        else Some (Addr.Group Addr.cluster_group)
       else recovery_target t retries
     in
     (match dst with
@@ -520,7 +672,7 @@ and send_recovery t rid retries =
         Metrics.incr t.c_recoveries;
         transmit_net t ~dst (Protocol.Recovery_request { rid; asker = t.id })
     | None -> ());
-    Engine.after t.engine t.p.recovery_timeout (fun () ->
+    Engine.after t.engine t.p.timing.recovery_timeout (fun () ->
         match Rid_tbl.find_opt t.pending_recovery rid with
         | Some (r, issued_at) when r = retries ->
             Rid_tbl.replace t.pending_recovery rid (retries + 1, issued_at);
@@ -533,16 +685,17 @@ and send_recovery t rid retries =
 
 let rx_cost t (pkt : Protocol.payload Fabric.packet) =
   let base =
-    t.p.net_rx_packet_ns
-    + int_of_float (t.p.net_per_byte_ns *. float_of_int pkt.bytes)
+    t.p.cost.net_rx_packet_ns
+    + int_of_float (t.p.cost.net_per_byte_ns *. float_of_int pkt.bytes)
   in
   match pkt.payload with
   | Protocol.Raft (Rtypes.Append_entries { entries; _ }) ->
-      base + t.p.raft_msg_extra_ns + (t.p.per_entry_rx_ns * Array.length entries)
-  | Protocol.Raft _ | Protocol.Agg_commit _ -> base + t.p.raft_msg_extra_ns
+      base + t.p.cost.raft_msg_extra_ns
+      + (t.p.cost.per_entry_rx_ns * Array.length entries)
+  | Protocol.Raft _ | Protocol.Agg_commit _ -> base + t.p.cost.raft_msg_extra_ns
   | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
-  | Protocol.Feedback _ | Protocol.Nack _ ->
+  | Protocol.Feedback _ | Protocol.Nack _ | Protocol.Reconfig _ ->
       base
 
 (* Read leases (the §3.5 alternative to replier load balancing): the
@@ -551,17 +704,19 @@ let rx_cost t (pkt : Protocol.payload Fabric.packet) =
    leader can have been elected meanwhile (the window is kept below the
    minimum election timeout). *)
 let lease_note_contact t node =
-  if node >= 0 && node < t.p.n then
-    t.lease_heard.(node) <- Engine.now t.engine
+  Hashtbl.replace t.lease_heard node (Engine.now t.engine)
 
 let lease_valid t =
   let now = Engine.now t.engine in
-  t.lease_heard.(t.id) <- now;
-  let fresh = ref 0 in
-  Array.iter
-    (fun heard -> if now - heard <= t.p.lease_window then incr fresh)
-    t.lease_heard;
-  !fresh >= (t.p.n / 2) + 1
+  Hashtbl.replace t.lease_heard t.id now;
+  let fresh =
+    List.fold_left
+      (fun acc i ->
+        let heard = Option.value ~default:0 (Hashtbl.find_opt t.lease_heard i) in
+        if now - heard <= t.p.timing.lease_window then acc + 1 else acc)
+      0 t.members
+  in
+  fresh >= (List.length t.members / 2) + 1
 
 (* Execute a request on this node alone: the unreplicated path, lease
    reads, and router-balanced unrestricted requests. [feedback] is where a
@@ -570,7 +725,7 @@ let execute_locally ?feedback t rid op =
   let result, exec_cost = Op.apply t.app_state op in
   let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
   let cost =
-    t.p.app_per_op_ns + exec_cost + tx_cost t ~bytes:reply_bytes ~extra:0
+    t.p.cost.app_per_op_ns + exec_cost + tx_cost t ~bytes:reply_bytes ~extra:0
   in
   Cpu.exec t.app ~cost (fun () ->
       Metrics.incr t.c_replies;
@@ -587,7 +742,7 @@ let execute_locally ?feedback t rid op =
           in
           match feedback with
           | Some dst -> credit dst
-          | None -> if t.p.flow_control then credit Addr.Middlebox)
+          | None -> if t.p.features.flow_control then credit Addr.Middlebox)
       | Some _ | None -> ())
 
 (* A retransmitted request that already completed is answered from the
@@ -599,7 +754,7 @@ let replay_completion t rid op =
       let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
       transmit_on t t.app ~dst:rid.R2p2.src_addr ~bytes:reply_bytes ~extra:0
         (Protocol.Response { rid });
-      if t.p.flow_control then
+      if t.p.features.flow_control then
         transmit_on t t.app ~dst:Addr.Middlebox
           ~bytes:
             (Protocol.payload_bytes ~with_bodies:false
@@ -635,7 +790,9 @@ and on_client_replicated t rid op =
 
 and on_client_request_fresh t rid op =
   let lease_read =
-    t.p.read_mode = Leader_leases && Op.read_only op && t.p.mode <> Unreplicated
+    t.p.features.read_mode = Leader_leases
+    && Op.read_only op
+    && t.p.mode <> Unreplicated
   in
   if lease_read then begin
     (* Only the leader acts on lease reads; followers drop them (with a
@@ -722,7 +879,7 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
           feed_raft t (Rnode.Receive msg);
           pump t
       | Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _
-      | Rtypes.Agg_ack _ ->
+      | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ ->
           feed_raft t (Rnode.Receive msg);
           pump t)
   | Protocol.Recovery_request { rid; asker } -> (
@@ -749,12 +906,12 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Agg_commit { term; commit; applied } ->
       on_agg_commit t ~term ~commit ~applied
   | Protocol.Response _ | Protocol.Nack _ | Protocol.Probe _
-  | Protocol.Feedback _ ->
+  | Protocol.Feedback _ | Protocol.Reconfig _ ->
       ()
 
 let on_packet t pkt =
   if t.alive then begin
-    if t.p.loss_prob > 0. && Rng.bool t.rng t.p.loss_prob then
+    if t.p.features.loss_prob > 0. && Rng.bool t.rng t.p.features.loss_prob then
       Metrics.incr t.c_lost_rx
     else begin
       let tag = Protocol.describe pkt.Fabric.payload in
@@ -770,7 +927,8 @@ let on_packet t pkt =
    upper bound is inclusive so that election_min = election_max degenerates
    to a constant timeout rather than an out-of-range draw. *)
 let draw_timeout t =
-  t.p.election_min + Rng.int t.rng (t.p.election_max - t.p.election_min + 1)
+  t.p.timing.election_min
+  + Rng.int t.rng (t.p.timing.election_max - t.p.timing.election_min + 1)
 
 let start_election_clock t =
   let life = t.life in
@@ -796,11 +954,11 @@ let start_election_clock t =
 let start_gc_loop t =
   let life = t.life in
   let rec loop () =
-    Engine.after t.engine t.p.gc_interval (fun () ->
+    Engine.after t.engine t.p.timing.gc_interval (fun () ->
         if t.alive && t.life = life then begin
           ignore (Unordered.gc t.store);
           let now = Engine.now t.engine in
-          let expired (_, recorded) = now - recorded > t.p.gc_ordered in
+          let expired (_, recorded) = now - recorded > t.p.timing.gc_ordered in
           while
             (not (Queue.is_empty t.completion_fifo))
             && expired (Queue.peek t.completion_fifo)
@@ -809,7 +967,8 @@ let start_gc_loop t =
             Rid_tbl.remove t.completions rid
           done;
           (match t.raft with
-          | Some raft -> ignore (Rnode.compact raft ~retain:t.p.log_retain)
+          | Some raft ->
+              ignore (Rnode.compact raft ~retain:t.p.features.log_retain)
           | None -> ());
           loop ()
         end)
@@ -842,29 +1001,45 @@ let on_raft_event t = function
       t.announce_stalled <- true;
       tr t Trace.Debug ~kind:"announce_gated" (fun () ->
           Printf.sprintf "at=%d" i)
+  | Rnode.Obs_config_changed (idx, ms) ->
+      tr t Trace.Info ~kind:"config_effective" (fun () ->
+          Printf.sprintf "idx=%d members=[%s]" idx
+            (String.concat ";" (List.map string_of_int ms)))
+  | Rnode.Obs_transfer_sent target ->
+      Metrics.incr t.c_transfers;
+      t.last_transfer <- Some target;
+      tr t Trace.Info ~kind:"transfer_sent" (fun () ->
+          Printf.sprintf "target=%d" target)
 
-let create ?trace engine fabric p ~id =
-  if id < 0 || id >= p.n then invalid_arg "Hnode.create: id outside cluster";
-  if p.election_min <= 0 || p.election_min > p.election_max then
-    invalid_arg "Hnode.create: need 0 < election_min <= election_max";
-  if p.recovery_retry_max < 0 then
-    invalid_arg "Hnode.create: recovery_retry_max must be non-negative";
+let create ?trace ?members engine fabric p ~id =
+  validate_params p;
+  let members =
+    match members with
+    | Some ms ->
+        if ms = [] then invalid_arg "Hnode.create: empty membership";
+        List.sort_uniq compare ms
+    | None -> List.init p.n (fun i -> i)
+  in
+  if id < 0 then invalid_arg "Hnode.create: negative id";
+  if not (List.mem id members) then
+    invalid_arg "Hnode.create: id outside membership";
   let rng = Rng.create (p.seed + (id * 7919)) in
   let raft =
     match p.mode with
     | Unreplicated -> None
     | Vanilla | Hover | Hover_pp ->
         let peers =
-          Array.init (p.n - 1) (fun i -> if i < id then i else i + 1)
+          Array.of_list (List.filter (fun i -> i <> id) members)
         in
         Some
           (Rnode.create
              {
                Rnode.id;
                peers;
-               batch_max = p.batch_max;
+               batch_max = p.features.batch_max;
                eager_commit_notify =
-                 (p.eager_commit_notify && p.mode = Hover && p.reply_lb);
+                 (p.features.eager_commit_notify && p.mode = Hover
+                 && p.features.reply_lb);
              }
              ~noop:Protocol.internal_noop)
   in
@@ -885,10 +1060,13 @@ let create ?trace engine fabric p ~id =
       rng;
       raft;
       store =
-        Unordered.create ~now ~gc_unordered:p.gc_unordered
-          ~gc_ordered:p.gc_ordered ();
-      replier = Replier.create p.lb_policy ~bound:p.bound ~n:p.n ~rng:(Rng.split rng);
+        Unordered.create ~now ~gc_unordered:p.timing.gc_unordered
+          ~gc_ordered:p.timing.gc_ordered ();
+      replier =
+        Replier.create p.features.lb_policy ~bound:p.features.bound
+          ~nodes:members ~rng:(Rng.split rng);
       app_state = Op.create_state ();
+      members;
       alive = true;
       life = 0;
       last_activity = 0;
@@ -897,11 +1075,12 @@ let create ?trace engine fabric p ~id =
       apply_busy = false;
       applied_ptr = 0;
       pending_recovery = Rid_tbl.create 64;
-      lease_heard = Array.make p.n 0;
+      lease_heard = Hashtbl.create 16;
       completions = Rid_tbl.create 1024;
       completion_fifo = Queue.create ();
       ack_override = None;
       probe_sent_term = -1;
+      last_transfer = None;
       metrics;
       trace;
       c_replies = Metrics.counter metrics "replies_sent";
@@ -913,16 +1092,20 @@ let create ?trace engine fabric p ~id =
       c_elections = Metrics.counter metrics "elections_started";
       c_gate_blocked = Metrics.counter metrics "gate_blocked";
       c_gate_rekicks = Metrics.counter metrics "gate_rekicks";
+      c_reconfigs = Metrics.counter metrics "reconfigs_applied";
+      c_transfers = Metrics.counter metrics "transfers_initiated";
       h_recovery_ns = Metrics.histogram metrics "recovery_latency_ns";
       announce_stalled = false;
     }
   in
   (match t.raft with
-  | Some raft -> Rnode.set_observer raft (Some (on_raft_event t))
+  | Some raft ->
+      Rnode.set_observer raft (Some (on_raft_event t));
+      Rnode.set_config_decoder raft (fun (c : Protocol.cmd) -> c.Protocol.config)
   | None -> ());
   t.election_timeout <- draw_timeout t;
   let port =
-    Fabric.attach fabric ~addr:(Addr.Node id) ~rate_gbps:p.link_gbps
+    Fabric.attach fabric ~addr:(Addr.Node id) ~rate_gbps:p.cost.link_gbps
       ~handler:(on_packet t)
   in
   t.port <- Some port;
@@ -963,8 +1146,24 @@ let metrics t = t.metrics
 let trace t = t.trace
 let election_timeout t = t.election_timeout
 let redraw_election_timeout t = draw_timeout t
+let members t = t.members
+let last_transfer t = t.last_transfer
+
+let config_index t =
+  match t.raft with Some r -> Rnode.config_index r | None -> 0
+
+let raft_members t =
+  match t.raft with Some r -> Rnode.members r | None -> t.members
 
 let bootstrap t = feed_raft t Rnode.Election_timeout
+
+let propose_reconfig t ~members:ms =
+  if ms = [] then invalid_arg "Hnode.propose_reconfig: empty membership";
+  feed_raft t
+    (Rnode.Client_command
+       (Protocol.config_cmd ~members:(Array.of_list (List.sort_uniq compare ms))))
+
+let transfer_leadership t ~target = feed_raft t (Rnode.Transfer_leadership target)
 
 let preload t ops = List.iter (fun op -> ignore (Op.apply t.app_state op)) ops
 
@@ -991,10 +1190,16 @@ let snapshot t =
       ("pending_recoveries", Json.Int (Rid_tbl.length t.pending_recovery));
       ("net_busy_ns", Json.Int (Cpu.busy_time t.net));
       ("app_busy_ns", Json.Int (Cpu.busy_time t.app));
+      (* Membership: who votes, which log entry established it, and the
+         last cooperative handoff this node initiated (-1 = none). *)
+      ("members", Json.List (List.map (fun i -> Json.Int i) t.members));
+      ("config_index", Json.Int (config_index t));
+      ( "last_transfer",
+        Json.Int (match t.last_transfer with Some n -> n | None -> -1) );
     ]
   in
   let replier =
-    if is_leader t && t.p.reply_lb then
+    if is_leader t && t.p.features.reply_lb then
       [
         ( "replier",
           Json.Obj
@@ -1002,8 +1207,9 @@ let snapshot t =
               ("bound", Json.Int (Replier.bound t.replier));
               ( "depths",
                 Json.List
-                  (List.init t.p.n (fun i -> Json.Int (Replier.depth t.replier i)))
-              );
+                  (List.map
+                     (fun i -> Json.Int (Replier.depth t.replier i))
+                     (Replier.nodes t.replier)) );
             ] );
       ]
     else []
@@ -1013,25 +1219,14 @@ let snapshot t =
 let leader_hint t =
   match t.raft with Some r -> Rnode.leader_hint r | None -> None
 
-let kill t =
-  if t.alive then begin
-    t.alive <- false;
-    t.life <- t.life + 1;
-    Cpu.halt t.net;
-    Cpu.halt t.app;
-    (* Pending recoveries are volatile: their retry timers check this
-       table, so clearing it also disarms them. *)
-    Rid_tbl.reset t.pending_recovery;
-    tr t Trace.Warn ~kind:"killed" (fun () ->
-        Printf.sprintf "term=%d applied=%d" (term t) t.applied_ptr);
-    match t.port with Some p -> Fabric.set_down p true | None -> ()
-  end
+let kill = halt
 
 (* Crash–recovery (DESIGN.md): what survives is the Raft persistent state
-   (term, vote, log) and the state machine up to the applied index —
-   including the exactly-once completion records, which are part of it.
-   Everything else is rebuilt: the node re-attaches its NIC, re-enters as
-   a follower with a fresh election clock, and catches up on entries
+   (term, vote, log — and the configuration stack, derived from it) and
+   the state machine up to the applied index — including the exactly-once
+   completion records and the applied membership view, which are part of
+   it. Everything else is rebuilt: the node re-attaches its NIC, re-enters
+   as a follower with a fresh election clock, and catches up on entries
    committed while it was down through the ordinary append-entries
    backtracking, fetching bodies it missed via recovery requests. *)
 let restart t =
@@ -1042,20 +1237,20 @@ let restart t =
   t.store <-
     Unordered.create
       ~now:(fun () -> Engine.now t.engine)
-      ~gc_unordered:t.p.gc_unordered ~gc_ordered:t.p.gc_ordered ();
+      ~gc_unordered:t.p.timing.gc_unordered ~gc_ordered:t.p.timing.gc_ordered ();
   t.apply_busy <- false;
   t.announce_stalled <- false;
   t.ack_override <- None;
   t.probe_sent_term <- -1;
   t.hb_gen <- t.hb_gen + 1;
-  Array.fill t.lease_heard 0 (Array.length t.lease_heard) 0;
+  Hashtbl.reset t.lease_heard;
   (match t.raft with
   | Some raft ->
       Rnode.recover raft;
       t.applied_ptr <- Rnode.applied_index raft
   | None -> ());
   let port =
-    Fabric.attach t.fabric ~addr:(Addr.Node t.id) ~rate_gbps:t.p.link_gbps
+    Fabric.attach t.fabric ~addr:(Addr.Node t.id) ~rate_gbps:t.p.cost.link_gbps
       ~handler:(on_packet t)
   in
   t.port <- Some port;

@@ -31,13 +31,17 @@ type read_mode = Replicated_reads | Leader_leases
 val pp_mode : Format.formatter -> mode -> unit
 val mode_of_string : string -> (mode, string) result
 
-(** All knobs of a node. Build with {!params} and tweak with record
-    update. *)
-type params = {
-  mode : mode;
-  n : int;  (** Cluster size (1 for [Unreplicated]). *)
+(** {1 Parameters}
+
+    Knobs are grouped by concern: {!cost_params} calibrates the simulated
+    CPU/NIC price of every operation, {!timing_params} holds clocks and
+    windows, {!feature_params} toggles protocol variants. Build with
+    {!params} and tweak sub-records with nested [with]-update:
+    [{ p with timing = { p.timing with heartbeat = Timebase.us 100 } }]. *)
+
+(** Network- and application-thread CPU cost model. *)
+type cost_params = {
   link_gbps : float;
-  (* Network-thread CPU cost model. *)
   net_rx_packet_ns : int;  (** Base cost of receiving any packet. *)
   net_tx_packet_ns : int;  (** Base cost of sending any packet. *)
   net_per_byte_ns : float;  (** Payload touch cost, both directions. *)
@@ -51,49 +55,72 @@ type params = {
       (** Copying request bodies into per-follower AEs (VanillaRaft only —
           HovercRaft's AEs carry no bodies). *)
   app_per_op_ns : int;  (** Apply-loop overhead per log entry. *)
-  (* Consensus timing. *)
-  batch_max : int;
+}
+
+(** Clocks, timeouts and retention windows. *)
+type timing_params = {
   heartbeat : Timebase.t;
   election_min : Timebase.t;
   election_max : Timebase.t;
-  (* HovercRaft features. *)
+  lease_window : Timebase.t;
+      (** Quorum-contact freshness required to serve a lease read; must
+          stay below [election_min] (validated). *)
+  gc_interval : Timebase.t;
+  gc_unordered : Timebase.t;
+  gc_ordered : Timebase.t;
+  recovery_timeout : Timebase.t;
+  probe_timeout : Timebase.t;
+}
+
+(** Protocol variants and their knobs. *)
+type feature_params = {
+  batch_max : int;
   reply_lb : bool;  (** Load-balance replies/read-only ops (§3.3/§3.5). *)
   lb_policy : Jbsq.policy;
   bound : int;  (** Bounded-queue B (§3.4). *)
   read_mode : read_mode;
-  lease_window : Timebase.t;
-      (** Quorum-contact freshness required to serve a lease read; keep it
-          below the minimum election timeout. *)
   flow_control : bool;  (** Send FEEDBACK to the middlebox per reply. *)
   eager_commit_notify : bool;
       (** In plain HovercRaft with reply LB, let the leader broadcast a
           commit hint as soon as the commit index advances, so follower
           repliers do not wait for the next append_entries. HovercRaft++
           gets this behaviour from AGG_COMMIT regardless. *)
-  gc_interval : Timebase.t;
-  gc_unordered : Timebase.t;
-  gc_ordered : Timebase.t;
   log_retain : int;
       (** Minimum log suffix each node retains; older entries compact away
           once applied everywhere. *)
-  recovery_timeout : Timebase.t;
   recovery_retry_max : int;
       (** Unicast recovery attempts before escalating the request to a
           cluster-wide broadcast. Retries never stop while the body is
           missing — giving up would wedge the apply loop forever. *)
-  probe_timeout : Timebase.t;
   loss_prob : float;  (** Random per-packet receive loss (tests). *)
+}
+
+type params = {
+  mode : mode;
+  n : int;  (** Bootstrap cluster size (1 for [Unreplicated]). *)
   seed : int;
+  cost : cost_params;
+  timing : timing_params;
+  features : feature_params;
 }
 
 val params : ?mode:mode -> ?n:int -> unit -> params
 (** Calibrated defaults (see DESIGN.md §5); [mode] defaults to [Hover],
-    [n] to 3. *)
+    [n] to 3. Validates the result (see {!validate_params}). *)
+
+val validate_params : params -> unit
+(** Raises [Invalid_argument] on inconsistent settings: [n < 1],
+    [election_min] non-positive or above [election_max],
+    [lease_window >= election_min] (a lease must not outlive an election),
+    [bound < 1], [batch_max < 1], negative retries/retention, [loss_prob]
+    outside [[0, 1)], non-positive clocks. {!create} calls this, so
+    records assembled by [with]-update are checked too. *)
 
 type t
 
 val create :
   ?trace:Hovercraft_obs.Trace.t ->
+  ?members:int list ->
   Engine.t -> Protocol.payload Fabric.t -> params -> id:int -> t
 (** Attach node [id] (address [Node id]) to the fabric and start its
     election clock and GC loops. Nodes join the cluster multicast group
@@ -101,9 +128,14 @@ val create :
     into — pass one ring to every node of a cluster for an interleaved
     timeline (each node creates a private ring otherwise).
 
-    Raises [Invalid_argument] if [id] is outside the cluster, if
-    [election_min] is non-positive or exceeds [election_max], or if
-    [recovery_retry_max] is negative. *)
+    [members] is the node's view of the cluster at birth (default
+    [0 .. n-1]). A node joining an existing cluster is created with the
+    membership it is being added under — including its own id — and
+    catches up through the ordinary restart/recovery machinery once the
+    leader starts replicating to it.
+
+    Raises [Invalid_argument] if the params are invalid
+    ({!validate_params}) or [id] is outside [members]. *)
 
 (** {1 Observers} *)
 
@@ -148,7 +180,8 @@ val metrics : t -> Hovercraft_obs.Metrics.t
 (** The node's counter/gauge/histogram registry. Counters include
     [replies_sent], [recoveries_sent], [recovery_escalations],
     [recoveries_resolved], [rejected], [lost_rx], [elections_started],
-    [gate_blocked], [gate_rekicks] and per-payload [rx.<tag>]; histogram
+    [gate_blocked], [gate_rekicks], [reconfigs_applied],
+    [transfers_initiated] and per-payload [rx.<tag>]; histogram
     [recovery_latency_ns] tracks issue-to-resolution time. *)
 
 val trace : t -> Hovercraft_obs.Trace.t
@@ -156,7 +189,23 @@ val trace : t -> Hovercraft_obs.Trace.t
 
 val snapshot : t -> Hovercraft_obs.Json.t
 (** Point-in-time JSON roll-up: role, indices, store and recovery state,
-    replier queue depths (leader only) and the full metrics registry. *)
+    membership ([members], [config_index], [last_transfer]), replier
+    queue depths (leader only) and the full metrics registry. *)
+
+val members : t -> int list
+(** Cluster membership as of this node's {e applied} prefix, sorted. *)
+
+val raft_members : t -> int list
+(** The consensus layer's effective-on-append membership view; may run
+    ahead of {!members} by the one in-flight config entry. *)
+
+val config_index : t -> int
+(** Log index of the entry establishing the consensus layer's current
+    configuration (0 = bootstrap config). *)
+
+val last_transfer : t -> int option
+(** Target of the most recent leadership transfer this node initiated
+    (sent [Timeout_now]), if any. *)
 
 val election_timeout : t -> Timebase.t
 (** The currently armed election timeout. *)
@@ -170,6 +219,21 @@ val redraw_election_timeout : t -> Timebase.t
 val bootstrap : t -> unit
 (** Fire an immediate election timeout (used to elect a deterministic
     initial leader at simulation start). *)
+
+val propose_reconfig : t -> members:int list -> unit
+(** Leader only: append a single-server membership-change entry carrying
+    the full new member list. The consensus layer rejects the command
+    (counted in the [rejected] metric) if this node is not the leader, a
+    previous change is still uncommitted, a transfer is pending, or the
+    change touches more than one voter. Takes effect on append for
+    replication/quorum purposes, and durably — replier set, retirement,
+    aggregator hand-off — when the entry is applied. *)
+
+val transfer_leadership : t -> target:int -> unit
+(** Leader only: cooperatively hand leadership to [target] (Raft §3.10).
+    The leader stops accepting client commands, brings the target fully up
+    to date, then tells it to start an election immediately. No-op on
+    non-leaders, non-member targets, and self. *)
 
 val preload : t -> Hovercraft_apps.Op.t list -> unit
 (** Apply operations directly to the local application state, bypassing

@@ -10,7 +10,14 @@ type meta = {
   internal : bool;
 }
 
-type cmd = { meta : meta; body : Op.t }
+type cmd = {
+  meta : meta;
+  body : Op.t;
+  config : Rtypes.node_id array option;
+      (** [Some members] marks a membership-change entry (Raft §4); the
+          full new member list rides in the ordered log like any command
+          but is interpreted by the consensus layer, not the app. *)
+}
 
 let client_cmd ~rid op =
   {
@@ -23,6 +30,7 @@ let client_cmd ~rid op =
         internal = false;
       };
     body = op;
+    config = None;
   }
 
 let internal_noop =
@@ -36,7 +44,13 @@ let internal_noop =
         internal = true;
       };
     body = Op.Nop;
+    config = None;
   }
+
+(* Config entries are internal: no client reply, no replier assignment,
+   nothing for the app state machine to execute. *)
+let config_cmd ~members =
+  { internal_noop with config = Some (Array.copy members) }
 
 type payload =
   | Request of { rid : R2p2.req_id; policy : R2p2.policy; op : Op.t }
@@ -49,6 +63,9 @@ type payload =
   | Agg_commit of { term : int; commit : int; applied : int array }
   | Feedback of { rid : R2p2.req_id }
   | Nack of { rid : R2p2.req_id }
+  | Reconfig of { term : int; members : int array }
+      (** Leader -> aggregator: the membership changed; flush soft state,
+          resize the quorum and rebuild the followers fan-out group. *)
 
 let meta_wire_bytes = 32
 let hdr = R2p2.header_bytes
@@ -69,12 +86,14 @@ let payload_bytes ~with_bodies = function
   | Raft (Rtypes.Append_entries { entries; _ }) -> ae_bytes ~with_bodies entries
   | Raft (Rtypes.Request_vote _ | Rtypes.Vote _) -> hdr + 24
   | Raft (Rtypes.Append_ack _) -> hdr + 32
-  | Raft (Rtypes.Commit_to _ | Rtypes.Agg_ack _) -> hdr + 16
+  | Raft (Rtypes.Commit_to _ | Rtypes.Agg_ack _ | Rtypes.Timeout_now _) ->
+      hdr + 16
   | Recovery_request _ -> hdr + 24
   | Recovery_response { op; _ } -> hdr + 24 + Op.request_bytes op
   | Probe _ | Probe_reply _ -> hdr + 16
   | Agg_commit { applied; _ } -> hdr + 16 + (8 * Array.length applied)
   | Feedback _ | Nack _ -> hdr + 8
+  | Reconfig { members; _ } -> hdr + 16 + (8 * Array.length members)
 
 let describe = function
   | Request _ -> "request"
@@ -85,6 +104,7 @@ let describe = function
   | Raft (Rtypes.Append_ack _) -> "append_ack"
   | Raft (Rtypes.Commit_to _) -> "commit_to"
   | Raft (Rtypes.Agg_ack _) -> "agg_ack"
+  | Raft (Rtypes.Timeout_now _) -> "timeout_now"
   | Recovery_request _ -> "recovery_request"
   | Recovery_response _ -> "recovery_response"
   | Probe _ -> "probe"
@@ -92,3 +112,4 @@ let describe = function
   | Agg_commit _ -> "agg_commit"
   | Feedback _ -> "feedback"
   | Nack _ -> "nack"
+  | Reconfig _ -> "reconfig"

@@ -19,10 +19,19 @@ type meta = {
   internal : bool;  (** Leader no-op entries: no client, no multicast body. *)
 }
 
-type cmd = { meta : meta; body : Hovercraft_apps.Op.t }
+type cmd = {
+  meta : meta;
+  body : Hovercraft_apps.Op.t;
+  config : Hovercraft_raft.Types.node_id array option;
+      (** [Some members] marks a membership-change entry (Raft §4): the
+          full new member list, interpreted by the consensus layer. *)
+}
 
 val client_cmd : rid:R2p2.req_id -> Hovercraft_apps.Op.t -> cmd
 val internal_noop : cmd
+
+val config_cmd : members:Hovercraft_raft.Types.node_id array -> cmd
+(** An internal membership-change command carrying the new member list. *)
 
 (** Everything a fabric packet can carry. *)
 type payload =
@@ -39,6 +48,9 @@ type payload =
           counts for the leader's load balancing (§4). *)
   | Feedback of { rid : R2p2.req_id }
   | Nack of { rid : R2p2.req_id }
+  | Reconfig of { term : int; members : int array }
+      (** Leader -> aggregator: membership changed; flush soft state,
+          resize the quorum, rebuild the followers fan-out group. *)
 
 val meta_wire_bytes : int
 (** Fixed size of one entry's ordering metadata inside append_entries. *)

@@ -16,8 +16,17 @@ open Hovercraft_r2p2
 
 type t
 
-val create : Jbsq.policy -> bound:int -> n:int -> rng:Rng.t -> t
+val create : Jbsq.policy -> bound:int -> nodes:int list -> rng:Rng.t -> t
 val bound : t -> int
+
+val nodes : t -> int list
+(** Current node set, sorted. *)
+
+val set_nodes : t -> int list -> unit
+(** Replace the node set (membership change). Retained nodes keep their
+    queues and applied knowledge, removed nodes are forgotten (at most
+    [bound] outstanding replies are lost, as for a crash), added nodes
+    start fresh. *)
 
 val note_applied : t -> node:int -> applied:int -> unit
 (** Update a node's applied index (from local application progress, an

@@ -196,7 +196,7 @@ let run_agg cfg a payload =
         (a, agg_commit_msgs cfg a)
       else (a, [])
   | Types.Append_ack _ | Types.Request_vote _ | Types.Vote _
-  | Types.Commit_to _ | Types.Agg_ack _ ->
+  | Types.Commit_to _ | Types.Agg_ack _ | Types.Timeout_now _ ->
       (a, [])
 
 (* ------------------------------------------------------------------ *)

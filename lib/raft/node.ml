@@ -29,6 +29,7 @@ type 'cmd input =
   | Client_command of 'cmd
   | Applied_up_to of int
   | Announce_kick
+  | Transfer_leadership of Types.node_id
 
 type obs_event =
   | Obs_election_started of Types.term
@@ -37,12 +38,41 @@ type obs_event =
   | Obs_commit_advanced of int
   | Obs_announced_to of int
   | Obs_announce_gated of int
+  | Obs_config_changed of int * Types.node_id list
+  | Obs_transfer_sent of Types.node_id
+
+(* Leader-side replication state for one peer. Peers come and go with the
+   cluster configuration, so this lives in a table keyed by node id rather
+   than in fixed arrays sized at creation. *)
+type peer = {
+  mutable p_vote : bool;
+  mutable p_next : int;
+  mutable p_match : int;
+  mutable p_applied : int;
+  mutable p_in_flight : bool;
+  mutable p_direct : bool;
+  mutable p_sent_seq : int;  (* last append_entries seq sent to this peer *)
+}
 
 type 'cmd t = {
   cfg : config;
   noop : 'cmd;
   log : 'cmd Log.t;
-  slots : (Types.node_id, int) Hashtbl.t;
+  peers_tbl : (Types.node_id, peer) Hashtbl.t;
+  mutable configs : (int * Types.node_id list) list;
+      (* Membership history as a stack of (config entry index, members),
+         newest first; the bottom element is (0, bootstrap members). The
+         head is the *current* configuration — effective from the moment
+         its entry is appended (Raft §4, single-server changes). Entries
+         above the commit index can still be truncated away by a new
+         leader, which pops the stack back. The stack is persistent state:
+         it is derivable from the log plus the bootstrap config, so a
+         crash-restart keeps it (see [recover]). *)
+  mutable decoder : 'cmd -> Types.node_id array option;
+      (* Recognizes configuration entries inside the opaque command type.
+         Default: none (static membership, the pre-reconfiguration
+         behavior — the model checker and the pure-Raft tests run so). *)
+  mutable transfer_target : Types.node_id option;
   mutable term : Types.term;
   mutable role : role;
   mutable voted_for : Types.node_id option;
@@ -52,15 +82,8 @@ type 'cmd t = {
   mutable verified : int;
       (* Follower: highest index confirmed to match the current leader's
          log via an accepted append_entries; bounds Commit_to advances. *)
-  votes : bool array;
-  next_idx : int array;
-  match_idx : int array;
-  applied_of : int array;
-  in_flight : bool array;
-  direct : bool array;
   mutable announced : int;
   mutable ae_seq : int;
-  sent_seq : int array;  (* last append_entries seq sent per peer *)
   mutable gate : (int -> 'cmd -> bool) option;
   mutable observer : (obs_event -> unit) option;
   mutable use_agg : bool;
@@ -69,16 +92,32 @@ type 'cmd t = {
   mutable agg_pending_end : int;
 }
 
+let fresh_peer ?(next = 1) () =
+  {
+    p_vote = false;
+    p_next = next;
+    p_match = 0;
+    p_applied = 0;
+    p_in_flight = false;
+    p_direct = false;
+    p_sent_seq = -1;
+  }
+
 let create cfg ~noop =
   if cfg.batch_max < 1 then invalid_arg "Node.create: batch_max must be >= 1";
-  let n = Array.length cfg.peers in
-  let slots = Hashtbl.create (max n 1) in
-  Array.iteri (fun i p -> Hashtbl.replace slots p i) cfg.peers;
+  let members =
+    List.sort_uniq compare (cfg.id :: Array.to_list cfg.peers)
+  in
+  let peers_tbl = Hashtbl.create (max (Array.length cfg.peers) 1) in
+  Array.iter (fun p -> Hashtbl.replace peers_tbl p (fresh_peer ())) cfg.peers;
   {
     cfg;
     noop;
     log = Log.create ();
-    slots;
+    peers_tbl;
+    configs = [ (0, members) ];
+    decoder = (fun _ -> None);
+    transfer_target = None;
     term = 0;
     role = Follower;
     voted_for = None;
@@ -86,15 +125,8 @@ let create cfg ~noop =
     commit = 0;
     applied = 0;
     verified = 0;
-    votes = Array.make (max n 1) false;
-    next_idx = Array.make (max n 1) 1;
-    match_idx = Array.make (max n 1) 0;
-    applied_of = Array.make (max n 1) 0;
-    in_flight = Array.make (max n 1) false;
-    direct = Array.make (max n 1) false;
     announced = 0;
     ae_seq = 0;
-    sent_seq = Array.make (max n 1) (-1);
     gate = None;
     observer = None;
     use_agg = false;
@@ -112,14 +144,39 @@ let commit_index t = t.commit
 let applied_index t = t.applied
 let announced_index t = t.announced
 let voted_for t = t.voted_for
-let cluster_size t = Array.length t.cfg.peers + 1
+let members t = match t.configs with (_, m) :: _ -> m | [] -> []
+let config_index t = match t.configs with (i, _) :: _ -> i | [] -> 0
+let is_member t n = List.mem n (members t)
+let cluster_size t = List.length (members t)
 let quorum t = (cluster_size t / 2) + 1
-let slot t p = Hashtbl.find t.slots p
-let applied_index_of t p = t.applied_of.(slot t p)
-let match_index_of t p = t.match_idx.(slot t p)
+let transfer_target t = t.transfer_target
+
+(* Current peers: members other than self. A removed-but-still-leading
+   node (self outside the config, finishing the removal entry's commit)
+   replicates to every member. *)
+let current_peers t =
+  List.filter (fun m -> m <> t.cfg.id) (members t)
+
+let peer_opt t p = Hashtbl.find_opt t.peers_tbl p
+
+let ensure_peer t p =
+  match Hashtbl.find_opt t.peers_tbl p with
+  | Some st -> st
+  | None ->
+      let st = fresh_peer ~next:(Log.last_index t.log + 1) () in
+      Hashtbl.replace t.peers_tbl p st;
+      st
+
+let applied_index_of t p =
+  match peer_opt t p with Some st -> st.p_applied | None -> 0
+
+let match_index_of t p =
+  match peer_opt t p with Some st -> st.p_match | None -> 0
+
 let set_announce_gate t g = t.gate <- g
 let set_observer t f = t.observer <- f
 let notify t e = match t.observer with Some f -> f e | None -> ()
+let set_config_decoder t d = t.decoder <- d
 
 let set_aggregated t flag =
   t.use_agg <- flag;
@@ -130,6 +187,64 @@ let set_aggregated t flag =
   end
 
 let aggregated t = t.use_agg
+
+(* --- configuration bookkeeping ------------------------------------- *)
+
+(* Drop table entries of departed nodes (a re-added node starts fresh) and
+   make sure every current peer has replication state. *)
+let sync_peers t =
+  let ms = members t in
+  let stale =
+    Hashtbl.fold
+      (fun p _ acc -> if List.mem p ms then acc else p :: acc)
+      t.peers_tbl []
+  in
+  List.iter (Hashtbl.remove t.peers_tbl) stale;
+  List.iter (fun m -> ignore (ensure_peer t m)) (current_peers t)
+
+(* A configuration entry just landed in the log at [idx]: it governs from
+   now on. On a leader the aggregated fast path is stale (its quorum and
+   fan-out group are for the old membership), so drop to per-peer
+   replication; the embedder re-probes once the entry commits. *)
+let apply_config t ~idx ms =
+  let ms = List.sort_uniq compare (Array.to_list ms) in
+  t.configs <- (idx, ms) :: t.configs;
+  sync_peers t;
+  if t.role = Leader then begin
+    t.use_agg <- false;
+    t.agg_in_flight <- false
+  end;
+  notify t (Obs_config_changed (idx, ms))
+
+(* Entries from [from] on were truncated by a conflicting append: any
+   configuration they carried rolls back with them. *)
+let rollback_configs t ~from =
+  let rec pop = function
+    | (ci, _) :: (_ :: _ as rest) when ci >= from -> pop rest
+    | stack -> stack
+  in
+  let stack' = pop t.configs in
+  if stack' != t.configs then begin
+    t.configs <- stack';
+    sync_peers t;
+    notify t (Obs_config_changed (config_index t, members t))
+  end
+
+let note_appended_entry t ~idx cmd =
+  match t.decoder cmd with
+  | Some ms -> apply_config t ~idx ms
+  | None -> ()
+
+(* Single-server rule: each config entry adds or removes at most one
+   node, and only one change may be in flight (uncommitted) at a time. *)
+let config_change_allowed t ms =
+  let proposed = List.sort_uniq compare (Array.to_list ms) in
+  let current = members t in
+  let added = List.filter (fun m -> not (List.mem m current)) proposed in
+  let removed = List.filter (fun m -> not (List.mem m proposed)) current in
+  config_index t <= t.commit
+  && List.length added + List.length removed = 1
+  && proposed <> []
 
 (* --- internal helpers; [emit] appends to the (reversed) action list --- *)
 
@@ -144,6 +259,7 @@ let become_follower t ~term ~leader emit =
   t.leader_hint <- leader;
   t.use_agg <- false;
   t.agg_in_flight <- false;
+  t.transfer_target <- None;
   if was = Leader then notify t (Obs_leadership_lost t.term);
   if was <> Follower then emit (Became_follower leader)
 
@@ -190,16 +306,16 @@ let make_append_entries t ~lo ~hi ~seq =
       seq;
     }
 
-let replicate_slot t ~force s emit =
-  if (not t.in_flight.(s)) || force then begin
-    let nx = t.next_idx.(s) in
+let replicate_peer t ~force p st emit =
+  if (not st.p_in_flight) || force then begin
+    let nx = st.p_next in
     let hi = min t.announced (nx + t.cfg.batch_max - 1) in
     if hi >= nx || force then begin
       let hi = max hi (nx - 1) in
       let seq = next_seq t in
-      t.sent_seq.(s) <- seq;
-      emit (Send (t.cfg.peers.(s), make_append_entries t ~lo:nx ~hi ~seq));
-      t.in_flight.(s) <- true
+      st.p_sent_seq <- seq;
+      emit (Send (p, make_append_entries t ~lo:nx ~hi ~seq));
+      st.p_in_flight <- true
     end
   end
 
@@ -221,26 +337,38 @@ let replicate t ~force emit =
     if t.use_agg then begin
       replicate_agg t ~force emit;
       (* Peers in point-to-point recovery are served directly (§5). *)
-      Array.iteri (fun s d -> if d then replicate_slot t ~force s emit) t.direct
+      List.iter
+        (fun p ->
+          match peer_opt t p with
+          | Some st when st.p_direct -> replicate_peer t ~force p st emit
+          | Some _ | None -> ())
+        (current_peers t)
     end
     else
-      for s = 0 to Array.length t.cfg.peers - 1 do
-        replicate_slot t ~force s emit
-      done
+      List.iter
+        (fun p -> replicate_peer t ~force p (ensure_peer t p) emit)
+        (current_peers t)
   end
+
+(* A leader that removed itself keeps driving replication until the
+   removal entry commits, then steps aside (Raft §4.2.2). *)
+let maybe_step_down t emit =
+  if t.role = Leader && t.commit >= config_index t && not (is_member t t.cfg.id)
+  then become_follower t ~term:t.term ~leader:None emit
 
 let set_commit t c emit =
   if c > t.commit then begin
     t.commit <- c;
     notify t (Obs_commit_advanced c);
-    emit (Commit_advanced c)
+    emit (Commit_advanced c);
+    maybe_step_down t emit
   end
 
 let broadcast_commit_hint t emit =
   if t.cfg.eager_commit_notify then
-    Array.iter
+    List.iter
       (fun p -> emit (Send (p, Types.Commit_to { term = t.term; commit = t.commit })))
-      t.cfg.peers
+      (current_peers t)
 
 let try_advance_commit t emit =
   if t.role = Leader then begin
@@ -249,8 +377,15 @@ let try_advance_commit t emit =
     let i = ref hi in
     while !found = 0 && !i > t.commit do
       if Log.term_at t.log !i = Some t.term then begin
-        let count = ref 1 in
-        Array.iter (fun m -> if m >= !i then incr count) t.match_idx;
+        (* Majority of the *current* configuration; self counts only
+           while still a member. *)
+        let count = ref (if is_member t t.cfg.id then 1 else 0) in
+        List.iter
+          (fun p ->
+            match peer_opt t p with
+            | Some st when st.p_match >= !i -> incr count
+            | Some _ | None -> ())
+          (current_peers t);
         if !count >= quorum t then found := !i
       end;
       decr i
@@ -261,17 +396,22 @@ let try_advance_commit t emit =
     end
   end
 
+let finish_transfer t target emit =
+  t.transfer_target <- None;
+  emit (Send (target, Types.Timeout_now { term = t.term }));
+  notify t (Obs_transfer_sent target)
+
 let become_leader t emit =
   t.role <- Leader;
   t.leader_hint <- Some t.cfg.id;
   t.use_agg <- false;
   t.agg_in_flight <- false;
+  t.transfer_target <- None;
   let last = Log.last_index t.log in
-  Array.fill t.next_idx 0 (Array.length t.next_idx) (last + 1);
-  Array.fill t.match_idx 0 (Array.length t.match_idx) 0;
-  Array.fill t.applied_of 0 (Array.length t.applied_of) 0;
-  Array.fill t.in_flight 0 (Array.length t.in_flight) false;
-  Array.fill t.direct 0 (Array.length t.direct) false;
+  Hashtbl.reset t.peers_tbl;
+  List.iter
+    (fun p -> Hashtbl.replace t.peers_tbl p (fresh_peer ~next:(last + 1) ()))
+    (current_peers t);
   (* Entries inherited from previous terms were announced by their leader;
      only entries appended from here on pass through the gate. *)
   t.announced <- last;
@@ -283,34 +423,38 @@ let become_leader t emit =
   try_advance_commit t emit
 
 let start_election t emit =
-  t.term <- t.term + 1;
-  t.role <- Candidate;
-  t.voted_for <- Some t.cfg.id;
-  t.leader_hint <- None;
-  t.verified <- 0;
-  t.use_agg <- false;
-  notify t (Obs_election_started t.term);
-  Array.fill t.votes 0 (Array.length t.votes) false;
-  if quorum t = 1 then become_leader t emit
-  else
-    Array.iter
-      (fun p ->
-        emit
-          (Send
-             ( p,
-               Types.Request_vote
-                 {
-                   term = t.term;
-                   candidate = t.cfg.id;
-                   last_idx = Log.last_index t.log;
-                   last_term = Log.last_term t.log;
-                 } )))
-      t.cfg.peers
+  if is_member t t.cfg.id then begin
+    t.term <- t.term + 1;
+    t.role <- Candidate;
+    t.voted_for <- Some t.cfg.id;
+    t.leader_hint <- None;
+    t.verified <- 0;
+    t.use_agg <- false;
+    t.transfer_target <- None;
+    notify t (Obs_election_started t.term);
+    Hashtbl.iter (fun _ st -> st.p_vote <- false) t.peers_tbl;
+    if quorum t = 1 then become_leader t emit
+    else
+      List.iter
+        (fun p ->
+          ignore (ensure_peer t p);
+          emit
+            (Send
+               ( p,
+                 Types.Request_vote
+                   {
+                     term = t.term;
+                     candidate = t.cfg.id;
+                     last_idx = Log.last_index t.log;
+                     last_term = Log.last_term t.log;
+                   } )))
+        (current_peers t)
+  end
 
 (* --- message handlers --- *)
 
 let on_request_vote t ~term ~candidate ~last_idx ~last_term emit =
-  if term < t.term then
+  if term < t.term || not (is_member t candidate) then
     emit (Send (candidate, Types.Vote { term = t.term; from = t.cfg.id; granted = false }))
   else begin
     let up_to_date =
@@ -330,10 +474,15 @@ let on_request_vote t ~term ~candidate ~last_idx ~last_term emit =
   end
 
 let on_vote t ~term ~from ~granted emit =
-  if t.role = Candidate && term = t.term && granted then begin
-    t.votes.(slot t from) <- true;
-    let count = ref 1 in
-    Array.iter (fun v -> if v then incr count) t.votes;
+  if t.role = Candidate && term = t.term && granted && is_member t from then begin
+    (ensure_peer t from).p_vote <- true;
+    let count = ref (if is_member t t.cfg.id then 1 else 0) in
+    List.iter
+      (fun p ->
+        match peer_opt t p with
+        | Some st when st.p_vote -> incr count
+        | Some _ | None -> ())
+      (current_peers t);
     if !count >= quorum t then become_leader t emit
   end
 
@@ -390,8 +539,12 @@ let on_append_entries t ~term ~leader ~prev_idx ~prev_term ~entries ~commit ~seq
             idx > Log.base t.log
             && Log.term_at t.log idx <> Some e.Types.term
           then begin
-            if idx <= Log.last_index t.log then Log.truncate_from t.log idx;
-            ignore (Log.append t.log e)
+            if idx <= Log.last_index t.log then begin
+              Log.truncate_from t.log idx;
+              rollback_configs t ~from:idx
+            end;
+            ignore (Log.append t.log e);
+            note_appended_entry t ~idx e.Types.cmd
           end)
         entries;
       let new_match = prev_idx + Array.length entries in
@@ -413,37 +566,42 @@ let on_append_entries t ~term ~leader ~prev_idx ~prev_term ~entries ~commit ~seq
   end
 
 let on_append_ack t ~term ~from ~success ~seq ~match_idx ~applied_idx emit =
-  if t.role = Leader && term = t.term then begin
-    let s = slot t from in
-    t.applied_of.(s) <- max t.applied_of.(s) applied_idx;
-    (* Only acks of the latest transmission drive pacing; acks of
-       superseded (retransmitted) sends still contribute their match and
-       applied knowledge but must not spawn extra in-flight streams. The
-       sequence counter is global, so an ack with a NEWER seq than the
-       peer's last point-to-point send is the peer responding to an
-       aggregator-fanned append_entries (HovercRaft++) — that one is
-       authoritative too, notably the failure acks that start direct
-       recovery (§5). *)
-    let current = seq >= t.sent_seq.(s) in
-    if current then begin
-      t.sent_seq.(s) <- seq;
-      t.in_flight.(s) <- false
-    end;
-    if success then begin
-      t.match_idx.(s) <- max t.match_idx.(s) match_idx;
-      t.next_idx.(s) <- max t.next_idx.(s) (t.match_idx.(s) + 1);
-      if t.use_agg && t.direct.(s) && t.match_idx.(s) >= Log.last_index t.log
-      then t.direct.(s) <- false;
-      try_advance_commit t emit;
-      if current then replicate t ~force:false emit
-    end
-    else if current then begin
-      let bounded = min match_idx (t.next_idx.(s) - 1) in
-      t.next_idx.(s) <- max 1 (min bounded (Log.last_index t.log + 1));
-      if t.use_agg then t.direct.(s) <- true;
-      replicate_slot t ~force:true s emit
-    end
-  end
+  match (t.role, peer_opt t from) with
+  | Leader, Some st when term = t.term ->
+      st.p_applied <- max st.p_applied applied_idx;
+      (* Only acks of the latest transmission drive pacing; acks of
+         superseded (retransmitted) sends still contribute their match and
+         applied knowledge but must not spawn extra in-flight streams. The
+         sequence counter is global, so an ack with a NEWER seq than the
+         peer's last point-to-point send is the peer responding to an
+         aggregator-fanned append_entries (HovercRaft++) — that one is
+         authoritative too, notably the failure acks that start direct
+         recovery (§5). *)
+      let current = seq >= st.p_sent_seq in
+      if current then begin
+        st.p_sent_seq <- seq;
+        st.p_in_flight <- false
+      end;
+      if success then begin
+        st.p_match <- max st.p_match match_idx;
+        st.p_next <- max st.p_next (st.p_match + 1);
+        if t.use_agg && st.p_direct && st.p_match >= Log.last_index t.log
+        then st.p_direct <- false;
+        (match t.transfer_target with
+        | Some target
+          when target = from && st.p_match >= Log.last_index t.log ->
+            finish_transfer t target emit
+        | Some _ | None -> ());
+        try_advance_commit t emit;
+        if current then replicate t ~force:false emit
+      end
+      else if current then begin
+        let bounded = min match_idx (st.p_next - 1) in
+        st.p_next <- max 1 (min bounded (Log.last_index t.log + 1));
+        if t.use_agg then st.p_direct <- true;
+        replicate_peer t ~force:true from st emit
+      end
+  | (Leader | Follower | Candidate), _ -> ()
 
 let on_commit_to t ~term ~commit emit =
   if term = t.term && t.role = Follower then begin
@@ -459,18 +617,32 @@ let on_agg_ack t ~term ~commit emit =
     replicate t ~force:false emit
   end
 
+let on_timeout_now t ~term emit =
+  (* Cooperative transfer: the departing leader says our log is complete;
+     skip the election timeout and take over now. *)
+  if term = t.term && t.role <> Leader && is_member t t.cfg.id then
+    start_election t emit
+
 let handle t input =
   let acc = ref [] in
   let emit a = acc := a :: !acc in
   (match input with
   | Receive msg ->
       let mterm = Types.message_term msg in
-      if mterm > t.term then begin
+      let ignore_msg =
+        (* A vote request from a node outside our configuration must not
+           bump our term: a just-removed (or not-yet-added) node timing
+           out would otherwise disrupt the cluster (Raft §4.2.3). *)
+        match msg with
+        | Types.Request_vote { candidate; _ } -> not (is_member t candidate)
+        | _ -> false
+      in
+      if mterm > t.term && not ignore_msg then begin
         let leader =
           match msg with
           | Types.Append_entries { leader; _ } -> Some leader
           | Types.Request_vote _ | Types.Vote _ | Types.Append_ack _
-          | Types.Commit_to _ | Types.Agg_ack _ ->
+          | Types.Commit_to _ | Types.Agg_ack _ | Types.Timeout_now _ ->
               None
         in
         become_follower t ~term:mterm ~leader emit
@@ -486,18 +658,31 @@ let handle t input =
       | Types.Append_ack { term; from; success; seq; match_idx; applied_idx } ->
           on_append_ack t ~term ~from ~success ~seq ~match_idx ~applied_idx emit
       | Types.Commit_to { term; commit } -> on_commit_to t ~term ~commit emit
-      | Types.Agg_ack { term; commit } -> on_agg_ack t ~term ~commit emit)
+      | Types.Agg_ack { term; commit } -> on_agg_ack t ~term ~commit emit
+      | Types.Timeout_now { term } -> on_timeout_now t ~term emit)
   | Election_timeout -> if t.role <> Leader then start_election t emit
   | Heartbeat_timeout -> if t.role = Leader then replicate t ~force:true emit
   | Client_command cmd ->
-      if t.role = Leader then begin
-        let idx = Log.append t.log { Types.term = t.term; cmd } in
-        emit (Appended idx);
-        replicate t ~force:false emit;
-        (* A single-node cluster has no acks to drive the commit rule. *)
-        if quorum t = 1 then try_advance_commit t emit
+      if t.role <> Leader then emit (Reject_command cmd)
+      else if t.transfer_target <> None then
+        (* Mid-transfer the leader freezes its log so the target can catch
+           up (otherwise the handoff chases a moving tail). *)
+        emit (Reject_command cmd)
+      else begin
+        match t.decoder cmd with
+        | Some ms when not (config_change_allowed t ms) ->
+            emit (Reject_command cmd)
+        | decoded ->
+            let idx = Log.append t.log { Types.term = t.term; cmd } in
+            (match decoded with
+            | Some ms -> apply_config t ~idx ms
+            | None -> ());
+            emit (Appended idx);
+            replicate t ~force:false emit;
+            (* A cluster the leader can commit into alone (size <= 1, or a
+               quorum already matching) has no acks to drive the rule. *)
+            if quorum t = 1 then try_advance_commit t emit
       end
-      else emit (Reject_command cmd)
   | Applied_up_to i ->
       t.applied <- max t.applied (min i t.commit);
       if t.role = Leader then replicate t ~force:false emit
@@ -505,7 +690,22 @@ let handle t input =
       (* The embedder learned that a previously ineligible replier queue
          drained: re-evaluate the announce gate now instead of waiting for
          the next heartbeat. *)
-      if t.role = Leader then replicate t ~force:false emit);
+      if t.role = Leader then replicate t ~force:false emit
+  | Transfer_leadership target ->
+      if t.role = Leader && target <> t.cfg.id && is_member t target then begin
+        t.transfer_target <- Some target;
+        extend_announced t;
+        let st = ensure_peer t target in
+        if st.p_match >= Log.last_index t.log then
+          finish_transfer t target emit
+        else begin
+          (* In aggregated mode per-follower acks flow to the aggregator,
+             so the leader would never observe the target's match index;
+             serve the target point-to-point until the hand-off fires. *)
+          if t.use_agg then st.p_direct <- true;
+          replicate t ~force:true emit
+        end
+      end);
   List.rev !acc
 
 (* --- log compaction --- *)
@@ -517,13 +717,25 @@ let handle t input =
    Raft resolves that with InstallSnapshot, which is out of scope for the
    crash-stop failure model here. *)
 let compaction_bound t =
-  if t.role = Leader then Array.fold_left min t.applied t.match_idx
+  if t.role = Leader then
+    List.fold_left
+      (fun acc p -> min acc (match_index_of t p))
+      t.applied (current_peers t)
   else t.applied
 
 let compact t ~retain =
   if retain < 0 then invalid_arg "Node.compact: negative retention";
   let target = min (compaction_bound t) (Log.last_index t.log - retain) in
-  if target > Log.base t.log then Log.compact_to t.log target;
+  if target > Log.base t.log then begin
+    Log.compact_to t.log target;
+    (* Configs at or below the new base are committed and immutable; fold
+       them into the stack bottom so rollback can never cross the base. *)
+    let base = Log.base t.log in
+    let above, below = List.partition (fun (ci, _) -> ci > base) t.configs in
+    match below with
+    | [] -> ()
+    | (_, ms) :: _ -> t.configs <- above @ [ (0, ms) ]
+  end;
   Log.base t.log
 
 (* --- snapshot / restore (for the model checker) --- *)
@@ -537,15 +749,11 @@ type 'cmd dump = {
   d_applied : int;
   d_verified : int;
   d_entries : 'cmd Types.entry list;
-  d_votes : bool list;
-  d_next : int list;
-  d_match : int list;
-  d_applied_of : int list;
-  d_in_flight : bool list;
-  d_direct : bool list;
+  d_peers : (Types.node_id * (bool * int * int * int * bool * bool * int)) list;
+  d_configs : (int * Types.node_id list) list;
+  d_transfer : Types.node_id option;
   d_announced : int;
   d_ae_seq : int;
-  d_sent_seq : int list;
   d_use_agg : bool;
   d_agg_in_flight : bool;
   d_agg_next : int;
@@ -565,15 +773,24 @@ let dump t =
       (if Log.base t.log <> 0 then
          invalid_arg "Node.dump: compacted logs are not dumpable";
        Array.to_list (Log.slice t.log ~lo:1 ~hi:(Log.last_index t.log)));
-    d_votes = Array.to_list t.votes;
-    d_next = Array.to_list t.next_idx;
-    d_match = Array.to_list t.match_idx;
-    d_applied_of = Array.to_list t.applied_of;
-    d_in_flight = Array.to_list t.in_flight;
-    d_direct = Array.to_list t.direct;
+    d_peers =
+      Hashtbl.fold
+        (fun p st acc ->
+          ( p,
+            ( st.p_vote,
+              st.p_next,
+              st.p_match,
+              st.p_applied,
+              st.p_in_flight,
+              st.p_direct,
+              st.p_sent_seq ) )
+          :: acc)
+        t.peers_tbl []
+      |> List.sort compare;
+    d_configs = t.configs;
+    d_transfer = t.transfer_target;
     d_announced = t.announced;
     d_ae_seq = t.ae_seq;
-    d_sent_seq = Array.to_list t.sent_seq;
     d_use_agg = t.use_agg;
     d_agg_in_flight = t.agg_in_flight;
     d_agg_next = t.agg_next;
@@ -590,16 +807,24 @@ let restore cfg ~noop d =
   t.applied <- d.d_applied;
   t.verified <- d.d_verified;
   List.iter (fun e -> ignore (Log.append t.log e)) d.d_entries;
-  let fill dst l = List.iteri (fun i v -> dst.(i) <- v) l in
-  fill t.votes d.d_votes;
-  fill t.next_idx d.d_next;
-  fill t.match_idx d.d_match;
-  fill t.applied_of d.d_applied_of;
-  fill t.in_flight d.d_in_flight;
-  fill t.direct d.d_direct;
+  Hashtbl.reset t.peers_tbl;
+  List.iter
+    (fun (p, (v, nx, m, a, inf, dir, seq)) ->
+      Hashtbl.replace t.peers_tbl p
+        {
+          p_vote = v;
+          p_next = nx;
+          p_match = m;
+          p_applied = a;
+          p_in_flight = inf;
+          p_direct = dir;
+          p_sent_seq = seq;
+        })
+    d.d_peers;
+  t.configs <- d.d_configs;
+  t.transfer_target <- d.d_transfer;
   t.announced <- d.d_announced;
   t.ae_seq <- d.d_ae_seq;
-  fill t.sent_seq d.d_sent_seq;
   t.use_agg <- d.d_use_agg;
   t.agg_in_flight <- d.d_agg_in_flight;
   t.agg_next <- d.d_agg_next;
@@ -610,13 +835,15 @@ let compare_dump = Stdlib.compare
 
 (* --- crash recovery --- *)
 
-(* Simulated-crash semantics (see DESIGN.md): term, vote and the log are
-   persistent, and the state machine is durable up to [applied] (the apply
-   loop checkpoints synchronously). Everything else — commit knowledge
-   beyond the applied prefix, leadership, per-peer replication state, the
-   aggregated fast path — is volatile and rebuilt after rejoin. Applied
-   entries are committed, so flooring [commit] and [verified] at [applied]
-   is safe: by leader completeness every future leader carries them. *)
+(* Simulated-crash semantics (see DESIGN.md): term, vote, the log — and
+   with it the configuration stack, which is derived from the log plus the
+   bootstrap config — are persistent, and the state machine is durable up
+   to [applied] (the apply loop checkpoints synchronously). Everything
+   else — commit knowledge beyond the applied prefix, leadership, per-peer
+   replication state, the aggregated fast path — is volatile and rebuilt
+   after rejoin. Applied entries are committed, so flooring [commit] and
+   [verified] at [applied] is safe: by leader completeness every future
+   leader carries them. *)
 let recover t =
   t.role <- Follower;
   t.leader_hint <- None;
@@ -628,13 +855,9 @@ let recover t =
   t.agg_next <- 1;
   t.agg_pending_end <- 0;
   t.announced <- 0;
-  Array.fill t.votes 0 (Array.length t.votes) false;
-  Array.fill t.next_idx 0 (Array.length t.next_idx) (Log.last_index t.log + 1);
-  Array.fill t.match_idx 0 (Array.length t.match_idx) 0;
-  Array.fill t.applied_of 0 (Array.length t.applied_of) 0;
-  Array.fill t.in_flight 0 (Array.length t.in_flight) false;
-  Array.fill t.direct 0 (Array.length t.direct) false;
-  Array.fill t.sent_seq 0 (Array.length t.sent_seq) (-1)
+  t.transfer_target <- None;
+  Hashtbl.reset t.peers_tbl;
+  List.iter (fun p -> ignore (ensure_peer t p)) (current_peers t)
 
 type 'cmd dump_info = {
   i_term : Types.term;

@@ -17,7 +17,15 @@
     - {e aggregated replication} (HovercRaft++): when enabled, in-sync
       followers are served by a single append_entries addressed to the
       aggregator; followers that fail an append_entries fall back to
-      point-to-point recovery with the leader until they catch up. *)
+      point-to-point recovery with the leader until they catch up.
+
+    Membership is {e dynamic} (Raft §4, single-server changes): the
+    embedder installs a decoder recognizing configuration entries inside
+    the command type; a config entry adds or removes exactly one voter,
+    takes effect the moment it is appended, and only one change may be in
+    flight at a time. Quorums are majorities of the current configuration.
+    {!input.Transfer_leadership} implements cooperative handoff via
+    {!Types.message.Timeout_now}. *)
 
 type role = Follower | Candidate | Leader
 
@@ -25,7 +33,9 @@ val pp_role : Format.formatter -> role -> unit
 
 type config = {
   id : Types.node_id;
-  peers : Types.node_id array;  (** All other cluster members. *)
+  peers : Types.node_id array;
+      (** Other members of the {e bootstrap} configuration; config-change
+          log entries replace the member set from there on. *)
   batch_max : int;  (** Max entries per append_entries. *)
   eager_commit_notify : bool;
       (** Broadcast [Commit_to] as soon as the commit index advances and no
@@ -59,6 +69,11 @@ type 'cmd input =
       (** A previously gate-blocked announce may now pass (e.g. a bounded
           replier queue drained): re-run replication without waiting for
           the next heartbeat. No-op on non-leaders. *)
+  | Transfer_leadership of Types.node_id
+      (** Leader only: stop accepting client commands, bring the target
+          fully up to date, then send it [Timeout_now]. Cleared on any
+          role or term change. No-op on non-leaders, on non-member
+          targets, and on self. *)
 
 (** Protocol milestones surfaced to the observability layer (never part of
     the action list — observers must not influence the algorithm). *)
@@ -70,6 +85,12 @@ type obs_event =
   | Obs_announced_to of int
   | Obs_announce_gated of int
       (** The announce gate vetoed this index (all replier queues full). *)
+  | Obs_config_changed of int * Types.node_id list
+      (** A configuration (entry index, member list) became current —
+          on append, or by rollback when a conflicting leader truncates an
+          uncommitted config entry away. *)
+  | Obs_transfer_sent of Types.node_id
+      (** [Timeout_now] was sent to this transfer target. *)
 
 type 'cmd t
 
@@ -88,7 +109,22 @@ val commit_index : 'cmd t -> int
 val applied_index : 'cmd t -> int
 val announced_index : 'cmd t -> int
 val voted_for : 'cmd t -> Types.node_id option
+
 val cluster_size : 'cmd t -> int
+(** Size of the current configuration. *)
+
+val members : 'cmd t -> Types.node_id list
+(** The current configuration's member list, sorted. *)
+
+val config_index : 'cmd t -> int
+(** Log index of the entry that established the current configuration
+    (0 for the bootstrap config). [config_index t > commit_index t] means
+    a membership change is still in flight. *)
+
+val is_member : 'cmd t -> Types.node_id -> bool
+
+val transfer_target : 'cmd t -> Types.node_id option
+(** Pending leadership-transfer target, if any (leader only). *)
 
 val applied_index_of : 'cmd t -> Types.node_id -> int
 (** Leader's latest knowledge of a peer's applied index (0 initially). *)
@@ -105,6 +141,14 @@ val set_announce_gate : 'cmd t -> (int -> 'cmd -> bool) option -> unit
 val set_observer : 'cmd t -> (obs_event -> unit) option -> unit
 (** Install a callback receiving {!obs_event}s as they happen. Purely
     observational; not preserved across {!dump}/{!restore}. *)
+
+val set_config_decoder : 'cmd t -> ('cmd -> Types.node_id array option) -> unit
+(** Teach the node to recognize configuration entries inside the opaque
+    command type: [Some members] marks a config entry carrying the full
+    new member list. Without a decoder (the default) membership is static.
+    A leader rejects ({!action.Reject_command}) config commands that
+    change more than one voter, arrive while a previous change is
+    uncommitted, or arrive mid-transfer. *)
 
 val set_aggregated : 'cmd t -> bool -> unit
 (** Toggle the HovercRaft++ fast path. The embedder switches it on only
@@ -127,7 +171,8 @@ val compact : 'cmd t -> retain:int -> int
 
 val recover : 'cmd t -> unit
 (** Rebuild volatile state after a simulated crash–restart. Persistent
-    state (term, vote, log) and the applied prefix of the state machine
+    state (term, vote, log — and the configuration stack, derivable from
+    the log plus the bootstrap config) and the applied prefix of the state machine
     survive; the node re-enters as a follower with [commit] and
     [verified] floored at [applied] (applied entries are committed, so by
     leader completeness every future leader carries them), no leader

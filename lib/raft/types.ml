@@ -53,6 +53,10 @@ type 'cmd message =
   | Agg_ack of { term : term; commit : int }
       (** The aggregator's single reply to the leader once a quorum of
           followers acknowledged (HovercRaft++, §4). *)
+  | Timeout_now of { term : term }
+      (** Cooperative leadership transfer (Raft §3.10): the leader, having
+          brought the target fully up to date, tells it to start an
+          election immediately without waiting for its election timer. *)
 
 let message_term = function
   | Request_vote { term; _ }
@@ -60,7 +64,8 @@ let message_term = function
   | Append_entries { term; _ }
   | Append_ack { term; _ }
   | Commit_to { term; _ }
-  | Agg_ack { term; _ } ->
+  | Agg_ack { term; _ }
+  | Timeout_now { term } ->
       term
 
 let pp_message fmt = function
@@ -77,3 +82,4 @@ let pp_message fmt = function
         from success match_idx applied_idx
   | Commit_to { term; commit } -> Format.fprintf fmt "commit_to(t=%d,%d)" term commit
   | Agg_ack { term; commit } -> Format.fprintf fmt "agg_ack(t=%d,%d)" term commit
+  | Timeout_now { term } -> Format.fprintf fmt "timeout_now(t=%d)" term

@@ -14,13 +14,14 @@ let workload = Service.sample (Service.spec ~read_fraction:0.5 ())
    cluster's commit point and converges to the same application state. *)
 let test_restart_catches_up () =
   let params =
+    let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
     {
-      (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
-      gc_ordered = Timebase.s 2;
-      log_retain = max_int / 2;
+      p with
+      Hnode.timing = { p.Hnode.timing with Hnode.gc_ordered = Timebase.s 2 };
+      features = { p.Hnode.features with Hnode.log_retain = max_int / 2 };
     }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let engine = deploy.Deploy.engine in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:40_000. ~workload ~seed:11 ()
@@ -41,7 +42,7 @@ let test_restart_catches_up () =
   check_int "no stuck recoveries" 0 (Deploy.total_pending_recoveries deploy)
 
 let test_restart_requires_dead () =
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover ~n:3 ())) in
   check "restarting a live node rejected" true
     (try
        Deploy.restart_node deploy 1;
@@ -55,10 +56,12 @@ let test_kill_restart_kill_new_leader () =
   let outcome =
     Chaos.run
       ~params:
-        {
-          (Hnode.params ~mode:Hnode.Hover_pp ~n:5 ()) with
-          flow_control = true;
-        }
+        (let p = Hnode.params ~mode:Hnode.Hover_pp ~n:5 () in
+         {
+           p with
+           Hnode.features =
+             { p.Hnode.features with Hnode.flow_control = true };
+         })
       ~rate_rps:40_000. ~flow_cap:500 ~bucket:(Timebase.ms 100)
       ~duration:(Timebase.ms 700)
       ~schedule:
@@ -130,7 +133,9 @@ let test_random_schedule_keeps_quorum () =
           | Chaos.Kill i -> Hashtbl.replace dead i ()
           | Chaos.Kill_leader -> incr anon
           | Chaos.Restart i -> Hashtbl.remove dead i
-          | Chaos.Partition _ | Chaos.Heal -> ());
+          | Chaos.Partition _ | Chaos.Heal | Chaos.Add_node
+          | Chaos.Remove_node _ | Chaos.Transfer _ ->
+              ());
           check "minority dead" true (Hashtbl.length dead + !anon <= 2))
         steps;
       check_int "id-kills all restarted" 0 (Hashtbl.length dead))

@@ -10,14 +10,15 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let test_deploy_elects_node0 () =
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover ~n:3 ())) in
   match Deploy.leader deploy with
   | Some l -> check_int "node0 bootstrapped as leader" 0 (Hnode.id l)
   | None -> Alcotest.fail "no leader after create"
 
 let test_deploy_client_targets () =
   let target mode ?flow_cap () =
-    Deploy.client_target (Deploy.create ?flow_cap (Hnode.params ~mode ~n:3 ()))
+    Deploy.client_target
+      (Deploy.create (Deploy.config ?flow_cap (Hnode.params ~mode ~n:3 ())))
   in
   check "unrep -> node" true
     (Addr.equal (target Hnode.Unreplicated ()) (Addr.Node 0));
@@ -28,13 +29,13 @@ let test_deploy_client_targets () =
     (Addr.equal (target Hnode.Hover_pp ~flow_cap:100 ()) Addr.Middlebox)
 
 let test_deploy_hoverpp_has_aggregator () =
-  let d = Deploy.create (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) in
+  let d = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ())) in
   check "aggregator present" true (d.Deploy.aggregator <> None);
-  let d' = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  let d' = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover ~n:3 ())) in
   check "no aggregator in plain hover" true (d'.Deploy.aggregator = None)
 
 let test_deploy_kill_leader_reelects () =
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover ~n:3 ())) in
   let killed = Deploy.kill_leader deploy in
   Alcotest.(check (option int)) "killed node0" (Some 0) killed;
   Deploy.quiesce deploy ~extra:(Timebase.ms 30) ();
@@ -43,7 +44,7 @@ let test_deploy_kill_leader_reelects () =
   | None -> Alcotest.fail "no re-election"
 
 let test_loadgen_open_loop_rate () =
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ())) in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:100_000.
       ~workload:(Service.sample (Service.spec ())) ~seed:1 ()
@@ -55,7 +56,7 @@ let test_loadgen_open_loop_rate () =
   check_int "no losses" 0 report.Loadgen.lost
 
 let test_loadgen_measures_latency () =
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Unreplicated ~n:1 ())) in
   let gen =
     Loadgen.create deploy ~clients:2 ~rate_rps:10_000.
       ~workload:(Service.sample (Service.spec ())) ~seed:2 ()
@@ -69,7 +70,7 @@ let test_loadgen_measures_latency () =
 
 let test_loadgen_deterministic () =
   let run () =
-    let deploy = Deploy.create (Hnode.params ~mode:Hnode.Hover ~n:3 ()) in
+    let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover ~n:3 ())) in
     let gen =
       Loadgen.create deploy ~clients:2 ~rate_rps:20_000.
         ~workload:(Service.sample (Service.spec ())) ~seed:3 ()
@@ -116,11 +117,16 @@ let test_failure_outcome_shape () =
   let outcome =
     Failure.run
       ~params:
-        {
-          (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
-          reply_lb = true;
-          flow_control = true;
-        }
+        (let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+         {
+           p with
+           Hnode.features =
+             {
+               p.Hnode.features with
+               Hnode.reply_lb = true;
+               flow_control = true;
+             };
+         })
       ~rate_rps:50_000. ~flow_cap:500 ~bucket:(Timebase.ms 50)
       ~duration:(Timebase.ms 400) ~kill_after:(Timebase.ms 150)
       ~workload:(Service.sample spec) ~seed:5 ()
@@ -165,7 +171,7 @@ let test_merge_series_nack_only_bucket () =
 let test_client_target_leaderless_fallback () =
   (* Regression: mid-election, unicast modes fell back to Addr.Node 0 even
      when node 0 was the freshly killed leader. *)
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Vanilla ~n:3 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Vanilla ~n:3 ())) in
   let killed = Deploy.kill_leader deploy in
   Alcotest.(check (option int)) "node0 led" (Some 0) killed;
   check "mid-election: no leader" true (Deploy.leader deploy = None);
@@ -176,7 +182,7 @@ let test_client_target_leaderless_fallback () =
 let test_kill_leader_mid_election () =
   (* Regression: a second kill during the election used to return None,
      letting a failure experiment run with the fault silently skipped. *)
-  let deploy = Deploy.create (Hnode.params ~mode:Hnode.Vanilla ~n:5 ()) in
+  let deploy = Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Vanilla ~n:5 ())) in
   let first = Deploy.kill_leader deploy in
   Alcotest.(check (option int)) "kills node0 first" (Some 0) first;
   check "mid-election: no leader" true (Deploy.leader deploy = None);

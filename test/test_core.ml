@@ -77,7 +77,7 @@ let test_unordered_readd_keeps_ordered () =
 (* --- replier ----------------------------------------------------------- *)
 
 let test_replier_bound_and_applied () =
-  let r = Replier.create Jbsq.Jbsq ~bound:2 ~n:2 ~rng:(Rng.create 1) in
+  let r = Replier.create Jbsq.Jbsq ~bound:2 ~nodes:[ 0; 1 ] ~rng:(Rng.create 1) in
   Replier.assign r ~node:0 ~index:1;
   Replier.assign r ~node:0 ~index:2;
   check_int "depth" 2 (Replier.depth r 0);
@@ -92,7 +92,7 @@ let test_replier_dead_node_bounded () =
   (* A dead node's applied never advances: it receives at most [bound]
      assignments — the paper's at-most-B-lost-replies guarantee (§3.4). *)
   let bound = 4 in
-  let r = Replier.create Jbsq.Jbsq ~bound ~n:3 ~rng:(Rng.create 2) in
+  let r = Replier.create Jbsq.Jbsq ~bound ~nodes:[ 0; 1; 2 ] ~rng:(Rng.create 2) in
   let assigned_to_dead = ref 0 in
   let idx = ref 0 in
   for _ = 1 to 1000 do
@@ -107,7 +107,7 @@ let test_replier_dead_node_bounded () =
   check "dead node capped at bound" true (!assigned_to_dead <= bound)
 
 let test_replier_reset () =
-  let r = Replier.create Jbsq.Jbsq ~bound:2 ~n:2 ~rng:(Rng.create 3) in
+  let r = Replier.create Jbsq.Jbsq ~bound:2 ~nodes:[ 0; 1 ] ~rng:(Rng.create 3) in
   Replier.assign r ~node:0 ~index:5;
   Replier.set_excluded r 1 true;
   Replier.reset r;
@@ -116,7 +116,7 @@ let test_replier_reset () =
   Replier.assign r ~node:0 ~index:1
 
 let test_replier_assign_monotone () =
-  let r = Replier.create Jbsq.Jbsq ~bound:8 ~n:1 ~rng:(Rng.create 4) in
+  let r = Replier.create Jbsq.Jbsq ~bound:8 ~nodes:[ 0 ] ~rng:(Rng.create 4) in
   Replier.assign r ~node:0 ~index:5;
   Alcotest.check_raises "indices must increase"
     (Invalid_argument "Replier.assign: indices must be increasing per node")
@@ -223,8 +223,9 @@ let make_agg_env n =
   let engine = Engine.create () in
   let fabric = Fabric.create engine () in
   let agg =
-    Aggregator.create engine fabric ~n ~cluster_group:0 ~followers_group:1
-      ~rate_gbps:100.
+    Aggregator.create engine fabric
+      ~members:(List.init n Fun.id)
+      ~cluster_group:0 ~followers_group:1 ~rate_gbps:100.
   in
   let leader_got = ref [] in
   let follower_got = Array.init n (fun _ -> ref []) in
@@ -328,7 +329,7 @@ let test_aggregator_down () =
 let drive ?(n = 3) ?(mode = Hnode.Hover_pp) ?(rate = 50_000.) ?(requests = 2_000)
     ?(tweak = fun p -> p) ?flow_cap ~seed () =
   let params = tweak (Hnode.params ~mode ~n ()) in
-  let deploy = Deploy.create ?flow_cap params in
+  let deploy = Deploy.create (Deploy.config ?flow_cap params) in
   let spec = Service.spec ~read_fraction:0.5 () in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:rate
@@ -369,7 +370,8 @@ let test_cluster_recovery_under_loss () =
      recovery protocol must fill the gaps without losing consistency. *)
   let deploy, report =
     drive ~mode:Hnode.Hover ~rate:20_000. ~requests:1_500
-      ~tweak:(fun p -> { p with loss_prob = 0.02 })
+      ~tweak:(fun p ->
+        { p with Hnode.features = { p.Hnode.features with Hnode.loss_prob = 0.02 } })
       ~seed:24 ()
   in
   check "most requests still served" true
@@ -383,8 +385,11 @@ let test_cluster_recovery_under_loss () =
   check "recovery path exercised" true (recoveries > 0)
 
 let test_cluster_leader_failover () =
-  let params = { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with reply_lb = true } in
-  let deploy = Deploy.create params in
+  let params =
+    let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+    { p with Hnode.features = { p.Hnode.features with Hnode.reply_lb = true } }
+  in
+  let deploy = Deploy.create (Deploy.config params) in
   let spec = Service.spec () in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
@@ -407,7 +412,8 @@ let test_cluster_flow_control_prevents_collapse () =
      requests, goodput stays near capacity and clients see NACKs. *)
   let deploy, report =
     drive ~mode:Hnode.Hover_pp ~rate:2_000_000. ~requests:20_000
-      ~tweak:(fun p -> { p with flow_control = true })
+      ~tweak:(fun p ->
+        { p with Hnode.features = { p.Hnode.features with Hnode.flow_control = true } })
       ~flow_cap:500 ~seed:26 ()
   in
   check "NACKs issued" true (report.Loadgen.nacked > 0);
@@ -428,7 +434,7 @@ let test_cluster_hover_vs_vanilla_same_results () =
 
 let test_cluster_kv_workload_applies () =
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let counter = ref 0 in
   let workload _rng =
     incr counter;

@@ -19,7 +19,7 @@ let run_cluster ?(mode = Hnode.Hover_pp) ?(n = 3) ?(rate = 40_000.)
     ?(duration = Timebase.ms 60) ?(read_fraction = 0.5) ?(tweak = fun p -> p)
     ?on_engine ~seed () =
   let params = tweak (Hnode.params ~mode ~n ()) in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   (match on_engine with Some f -> f deploy | None -> ());
   let spec = Service.spec ~read_fraction () in
   let gen =
@@ -118,13 +118,18 @@ let test_leader_message_complexity () =
      per-follower modes receive ~N. *)
   let per_request mode =
     let params =
+      let p = Hnode.params ~mode ~n:5 () in
       {
-        (Hnode.params ~mode ~n:5 ()) with
-        reply_lb = true;
-        eager_commit_notify = false;
+        p with
+        Hnode.features =
+          {
+            p.Hnode.features with
+            Hnode.reply_lb = true;
+            eager_commit_notify = false;
+          };
       }
     in
-    let deploy = Deploy.create params in
+    let deploy = Deploy.create (Deploy.config params) in
     let gen =
       Loadgen.create deploy ~clients:4 ~rate_rps:10_000.
         ~workload:(Service.sample (Service.spec ())) ~seed:46 ()
@@ -144,7 +149,8 @@ let test_bounded_queue_limits_failover_loss () =
   let bound = 8 in
   let deploy, report =
     run_cluster ~rate:30_000. ~duration:(Timebase.ms 80)
-      ~tweak:(fun p -> { p with bound })
+      ~tweak:(fun p ->
+        { p with Hnode.features = { p.Hnode.features with Hnode.bound } })
       ~on_engine:(fun deploy ->
         Engine.after deploy.Deploy.engine (Timebase.ms 25) (fun () ->
             ignore (Deploy.kill_leader deploy)))
@@ -166,7 +172,7 @@ let test_store_drains_after_quiesce () =
   (* The unordered/ordered body store is garbage collected: after load
      stops and GC windows elapse, it returns to (near) empty. *)
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
       ~workload:(Service.sample (Service.spec ())) ~seed:49 ()
@@ -183,9 +189,10 @@ let test_exactly_once_under_loss () =
   (* 5% receive loss + client retries with the same rid: every request is
      eventually answered, and no operation executes twice. *)
   let params =
-    { (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with loss_prob = 0.05 }
+    let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+    { p with Hnode.features = { p.Hnode.features with Hnode.loss_prob = 0.05 } }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let writes = ref 0 in
   let workload _rng =
     incr writes;
@@ -209,7 +216,7 @@ let test_duplicate_requests_not_reexecuted () =
   (* Without loss, aggressive retries must not inflate execution counts:
      completion records answer the duplicates. *)
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let count = ref 0 in
   let workload _rng =
     incr count;
@@ -235,13 +242,15 @@ let test_duplicate_requests_not_reexecuted () =
 (* --- read leases -------------------------------------------------------- *)
 
 let lease_params () =
+  let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
   {
-    (Hnode.params ~mode:Hnode.Hover_pp ~n:3 ()) with
-    read_mode = Hnode.Leader_leases;
+    p with
+    Hnode.features =
+      { p.Hnode.features with Hnode.read_mode = Hnode.Leader_leases };
   }
 
 let test_leases_serve_reads_on_leader () =
-  let deploy = Deploy.create (lease_params ()) in
+  let deploy = Deploy.create (Deploy.config (lease_params ())) in
   let spec = Service.spec ~read_fraction:1.0 () in
   let gen =
     Loadgen.create deploy ~clients:2 ~rate_rps:20_000.
@@ -264,7 +273,7 @@ let test_leases_serve_reads_on_leader () =
 let test_leases_expire_without_quorum () =
   (* Kill both followers: the lease lapses and the leader must stop
      answering reads rather than serve potentially stale data. *)
-  let deploy = Deploy.create (lease_params ()) in
+  let deploy = Deploy.create (Deploy.config (lease_params ())) in
   Hnode.kill deploy.Deploy.nodes.(1);
   Hnode.kill deploy.Deploy.nodes.(2);
   Deploy.quiesce deploy ~extra:(Timebase.ms 10) ();
@@ -280,7 +289,7 @@ let test_leases_expire_without_quorum () =
 let test_lease_reads_see_writes () =
   (* Writes go through consensus; subsequent lease reads must observe
      them. *)
-  let deploy = Deploy.create (lease_params ()) in
+  let deploy = Deploy.create (Deploy.config (lease_params ())) in
   let phase = ref 0 in
   let workload _rng =
     incr phase;
@@ -301,7 +310,7 @@ let test_lease_reads_see_writes () =
 
 let test_router_balances_unrestricted_reads () =
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create ~router_bound:16 params in
+  let deploy = Deploy.create (Deploy.config ~router_bound:16 params) in
   let spec = Service.spec ~read_fraction:1.0 () in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
@@ -325,7 +334,7 @@ let test_router_balances_unrestricted_reads () =
 
 let test_router_feedback_credits () =
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create ~router_bound:4 params in
+  let deploy = Deploy.create (Deploy.config ~router_bound:4 params) in
   let spec = Service.spec ~read_fraction:1.0 () in
   let gen =
     Loadgen.create deploy ~clients:2 ~rate_rps:10_000.
@@ -343,7 +352,7 @@ let test_router_mixed_with_replicated () =
   (* Replicated writes and unrestricted reads share the cluster: writes
      stay consistent, reads stay cheap. *)
   let params = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
-  let deploy = Deploy.create ~router_bound:16 params in
+  let deploy = Deploy.create (Deploy.config ~router_bound:16 params) in
   let count = ref 0 in
   let workload _rng =
     incr count;

@@ -159,9 +159,15 @@ let test_election_draw_inclusive () =
   (* Degenerate interval: min = max must mean a constant draw, not an
      out-of-range Rng.int. *)
   let p =
-    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
-      Hnode.election_min = Timebase.ms 3;
-      election_max = Timebase.ms 3;
+    let b = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+    {
+      b with
+      Hnode.timing =
+        {
+          b.Hnode.timing with
+          Hnode.election_min = Timebase.ms 3;
+          election_max = Timebase.ms 3;
+        };
     }
   in
   let node = Hnode.create engine fabric p ~id:0 in
@@ -172,9 +178,16 @@ let test_election_draw_inclusive () =
   let engine2 = Engine.create () in
   let fabric2 = Fabric.create engine2 () in
   let p2 =
-    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
-      Hnode.election_min = 10;
-      election_max = 13;
+    let b = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+    {
+      b with
+      Hnode.timing =
+        {
+          b.Hnode.timing with
+          Hnode.election_min = 10;
+          election_max = 13;
+          lease_window = 5;
+        };
     }
   in
   let node2 = Hnode.create engine2 fabric2 p2 ~id:0 in
@@ -191,9 +204,15 @@ let test_election_draw_inclusive () =
   check "min > max rejected" true
     (try
        let p3 =
-         { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
-           Hnode.election_min = Timebase.ms 4;
-           election_max = Timebase.ms 2;
+         let b = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+         {
+           b with
+           Hnode.timing =
+             {
+               b.Hnode.timing with
+               Hnode.election_min = Timebase.ms 4;
+               election_max = Timebase.ms 2;
+             };
          }
        in
        ignore (Hnode.create (Engine.create ()) fabric p3 ~id:0);
@@ -208,13 +227,19 @@ let test_election_draw_inclusive () =
    node falls back to a cluster-group broadcast and must converge. *)
 let test_lossy_no_wedge () =
   let params =
-    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with
-      Hnode.loss_prob = 0.2;
-      recovery_retry_max = 1;
-      seed = 11;
+    let b = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+    {
+      b with
+      Hnode.seed = 11;
+      features =
+        {
+          b.Hnode.features with
+          Hnode.loss_prob = 0.2;
+          recovery_retry_max = 1;
+        };
     }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:30_000.
       ~workload:(Service.sample (Service.spec ()))
@@ -264,9 +289,14 @@ let test_lossy_no_wedge () =
    records gate_rekicks and still drains everything. *)
 let test_gated_announce_rekicks () =
   let params =
-    { (Hnode.params ~mode:Hnode.Hover ~n:3 ()) with Hnode.bound = 2; seed = 5 }
+    let b = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+    {
+      b with
+      Hnode.seed = 5;
+      features = { b.Hnode.features with Hnode.bound = 2 };
+    }
   in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let gen =
     Loadgen.create deploy ~clients:4 ~rate_rps:150_000.
       ~workload:
@@ -306,7 +336,7 @@ let test_gated_announce_rekicks () =
 let test_loadgen_counts_late_replies () =
   let delay = Timebase.ms 5 in
   let params = Hnode.params ~mode:Hnode.Unreplicated ~n:1 () in
-  let deploy = Deploy.create params in
+  let deploy = Deploy.create (Deploy.config params) in
   let engine = deploy.Deploy.engine in
   let server = Addr.Client 99 in
   let port = ref None in
