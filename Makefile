@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check snapshot chaos reconfig clean
+.PHONY: all build test check obs-snapshot snapshot chaos reconfig clean
 
 all: build
 
@@ -14,8 +14,14 @@ check: build test
 
 # End-to-end observability smoke: a lossy HovercRaft run that must
 # converge and emit hovercraft_snapshot.json.
-snapshot:
+obs-snapshot:
 	dune exec bench/main.exe -- snapshot
+
+# Snapshot/compaction smoke: crash a follower, run past the retention
+# window, restart it; the follower must rejoin via Install_snapshot with
+# a compacted leader log. Exits non-zero on any checker violation.
+snapshot:
+	dune exec bin/hovercraft.exe -- snapshot --seed 4 --duration-ms 1500
 
 # Seeded chaos smoke: kill/restart/partition schedule under load; the
 # history checker makes the command exit non-zero on any violation.

@@ -117,6 +117,7 @@ let bench_raft_roundtrip () =
             peers = Array.init 2 (fun i -> if i < id then i else i + 1);
             batch_max = 64;
             eager_commit_notify = false;
+            snap_chunk_bytes = Hovercraft_net.Wire.snap_chunk_bytes;
           }
           ~noop:(-1)
       in

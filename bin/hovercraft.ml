@@ -8,10 +8,15 @@
      failover  — leader-kill timeline with flow control;
      chaos     — seeded kill/restart/partition schedule with the
                  crash-recovery history checker (--reconfig adds
-                 add/remove/transfer membership churn to the mix);
+                 add/remove/transfer membership churn to the mix,
+                 --snapshot-interval turns on checkpoint/compaction and
+                 the snapshot-aware checker);
      reconfig  — scripted membership-change scenario under load: grow
                  3 -> 5, transfer leadership, remove the old leader,
                  crash-and-restart a follower, then run the checker;
+     snapshot  — snapshot/compaction smoke: crash a follower, run past
+                 the retention window, restart it and assert it rejoins
+                 via Install_snapshot rather than log replay;
      repro     — regenerate the paper's tables and figures by id;
      mc        — model-check bounded Raft / HovercRaft++ instances. *)
 
@@ -86,6 +91,14 @@ let bound_arg =
   let doc = "Bounded-queue size B (max assigned-but-unapplied ops per node)." in
   Arg.(value & opt int 128 & info [ "bound" ] ~doc)
 
+let snapshot_interval_arg =
+  let doc =
+    "Checkpoint the state machine every this many applied entries and let \
+     the log compact past lagging followers (they catch up via \
+     Install_snapshot); 0 disables snapshots."
+  in
+  Arg.(value & opt int 0 & info [ "snapshot-interval" ] ~doc)
+
 let flow_cap_arg =
   let doc = "Enable the flow-control middlebox with this many in-flight requests." in
   Arg.(value & opt (some int) None & info [ "flow-cap" ] ~doc)
@@ -147,7 +160,8 @@ let emit_snapshot ~metrics_out ~trace_level (deploy : Deploy.t) extra =
           Printf.eprintf "hovercraft: cannot write metrics snapshot: %s\n" e
       end
 
-let make_params mode n no_lb random_lb bound flow_cap seed =
+let make_params ?(snapshot_interval = 0) mode n no_lb random_lb bound flow_cap
+    seed =
   let p =
     Hnode.params ~mode ~n:(if mode = Hnode.Unreplicated then max n 1 else n) ()
   in
@@ -161,6 +175,7 @@ let make_params mode n no_lb random_lb bound flow_cap seed =
         lb_policy = (if random_lb then Jbsq.Random_choice else Jbsq.Jbsq);
         bound;
         flow_control = flow_cap <> None;
+        snapshot_interval;
       };
   }
 
@@ -211,9 +226,11 @@ let print_nodes (deploy : Deploy.t) =
 
 let run_cmd =
   let action mode n rate duration_ms seed service_us read_fraction req_bytes
-      rep_bytes bimodal ycsb no_lb random_lb bound flow_cap metrics_out
-      trace_level =
-    let params = make_params mode n no_lb random_lb bound flow_cap seed in
+      rep_bytes bimodal ycsb no_lb random_lb bound flow_cap snapshot_interval
+      metrics_out trace_level =
+    let params =
+      make_params ~snapshot_interval mode n no_lb random_lb bound flow_cap seed
+    in
     let workload, preload =
       make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
         ~rep_bytes ~seed
@@ -242,7 +259,7 @@ let run_cmd =
       const action $ mode_arg $ nodes_arg $ rate_arg $ duration_arg $ seed_arg
       $ service_us_arg $ read_fraction_arg $ req_bytes_arg $ rep_bytes_arg
       $ bimodal_arg $ ycsb_arg $ no_lb_arg $ random_lb_arg $ bound_arg
-      $ flow_cap_arg $ metrics_arg $ trace_arg)
+      $ flow_cap_arg $ snapshot_interval_arg $ metrics_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive one deployment at a fixed load.") term
 
@@ -404,6 +421,8 @@ let print_chaos_outcome ~seed (outcome : Chaos.outcome) =
   Printf.printf "final members: [%s]; pending recoveries: %d\n"
     (String.concat ";" (List.map string_of_int outcome.Chaos.final_members))
     outcome.Chaos.pending_recoveries;
+  Printf.printf "max log base: %d; snapshot installs: %d\n"
+    outcome.Chaos.max_log_base outcome.Chaos.installs;
   if outcome.Chaos.violations <> [] then begin
     List.iter (Printf.printf "VIOLATION: %s\n") outcome.Chaos.violations;
     exit 1
@@ -417,12 +436,16 @@ let chaos_workload =
        ~read_fraction:0.5 ())
 
 let chaos_cmd =
-  let action n rate seed duration_ms events reconfig =
+  let action n rate seed duration_ms events reconfig snapshot_interval =
     let duration = Timebase.ms duration_ms in
+    let snapshots =
+      if snapshot_interval > 0 then Some snapshot_interval else None
+    in
     let outcome =
       Chaos.run
         ~params:(chaos_params ~n ~seed)
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
+        ?snapshots
         ~schedule:(Chaos.random_schedule ~events ~reconfig ~n ~duration ~seed ())
         ~workload:chaos_workload ~seed ()
     in
@@ -445,7 +468,9 @@ let chaos_cmd =
           ~doc:"Mix add-node / remove-node / transfer-leadership churn into the schedule.")
   in
   let term =
-    Term.(const action $ nodes $ rate $ seed_arg $ dur $ events $ reconfig)
+    Term.(
+      const action $ nodes $ rate $ seed_arg $ dur $ events $ reconfig
+      $ snapshot_interval_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -457,8 +482,11 @@ let chaos_cmd =
 (* --- reconfig ----------------------------------------------------------------- *)
 
 let reconfig_cmd =
-  let action rate seed duration_ms =
+  let action rate seed duration_ms snapshot_interval =
     let duration = Timebase.ms duration_ms in
+    let snapshots =
+      if snapshot_interval > 0 then Some snapshot_interval else None
+    in
     let at pct = duration * pct / 100 in
     (* Starts as HovercRaft++ N=3 with node 0 leading (bootstrap). Grow to
        five voters, hand leadership to one of the newcomers, retire the old
@@ -478,12 +506,19 @@ let reconfig_cmd =
       Chaos.run
         ~params:(chaos_params ~n:3 ~seed)
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
-        ~schedule ~workload:chaos_workload ~seed ()
+        ?snapshots ~schedule ~workload:chaos_workload ~seed ()
     in
     print_chaos_outcome ~seed outcome;
     if outcome.Chaos.pending_recoveries <> 0 then begin
       Printf.printf "VIOLATION: %d pending recoveries after quiesce\n"
         outcome.Chaos.pending_recoveries;
+      exit 1
+    end;
+    (* With snapshots on, the newcomers must have been served the image:
+       the leader does not retain history below its base on their behalf. *)
+    if snapshots <> None && outcome.Chaos.installs = 0 then begin
+      Printf.printf
+        "VIOLATION: snapshot run finished without a single install\n";
       exit 1
     end
   in
@@ -491,7 +526,9 @@ let reconfig_cmd =
     Arg.(value & opt float 100_000. & info [ "rate" ] ~doc:"Offered load in RPS.")
   in
   let dur = Arg.(value & opt int 2000 & info [ "duration-ms" ] ~doc:"Run length.") in
-  let term = Term.(const action $ rate $ seed_arg $ dur) in
+  let term =
+    Term.(const action $ rate $ seed_arg $ dur $ snapshot_interval_arg)
+  in
   Cmd.v
     (Cmd.info "reconfig"
        ~doc:
@@ -499,6 +536,67 @@ let reconfig_cmd =
           transfer leadership, remove the old leader, crash and restart a \
           follower), verified by the history checker; exits non-zero on any \
           violation.")
+    term
+
+(* --- snapshot ----------------------------------------------------------------- *)
+
+let snapshot_cmd =
+  let action n rate seed duration_ms interval =
+    let duration = Timebase.ms duration_ms in
+    let at pct = duration * pct / 100 in
+    (* A follower sleeps through most of the run while the cluster commits
+       far past the retention window; on restart the only way back is the
+       leader's image. The snapshot-aware checker then verifies state
+       equivalence, and we additionally assert the mechanism itself: the
+       leader's log base advanced (compaction did not wait for the crashed
+       follower) and the rejoin went through Install_snapshot. *)
+    let schedule =
+      [
+        { Chaos.at = at 15; event = Chaos.Kill 1 };
+        { Chaos.at = at 70; event = Chaos.Restart 1 };
+      ]
+    in
+    let outcome =
+      Chaos.run
+        ~params:(chaos_params ~n ~seed)
+        ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
+        ~snapshots:interval ~schedule ~workload:chaos_workload ~seed ()
+    in
+    print_chaos_outcome ~seed outcome;
+    if outcome.Chaos.max_log_base = 0 then begin
+      Printf.printf "VIOLATION: log never compacted (base stayed 0)\n";
+      exit 1
+    end;
+    if outcome.Chaos.installs = 0 then begin
+      Printf.printf
+        "VIOLATION: restarted follower caught up by replay, not by \
+         Install_snapshot\n";
+      exit 1
+    end;
+    Printf.printf "snapshot smoke OK\n"
+  in
+  let nodes =
+    Arg.(value & opt int 5 & info [ "n"; "nodes" ] ~doc:"Cluster size (>= 3).")
+  in
+  let rate =
+    Arg.(value & opt float 120_000. & info [ "rate" ] ~doc:"Offered load in RPS.")
+  in
+  let dur = Arg.(value & opt int 2000 & info [ "duration-ms" ] ~doc:"Run length.") in
+  let interval =
+    Arg.(
+      value & opt int 2000
+      & info [ "snapshot-interval" ] ~doc:"Checkpoint interval in entries.")
+  in
+  let term =
+    Term.(const action $ nodes $ rate $ seed_arg $ dur $ interval)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Snapshot/compaction smoke test: crash a follower, run past the \
+          retention window, restart it and require catch-up via \
+          Install_snapshot with a compacted leader log; exits non-zero on \
+          any violation.")
     term
 
 (* --- mc ------------------------------------------------------------------------ *)
@@ -588,6 +686,7 @@ let () =
             failover_cmd;
             chaos_cmd;
             reconfig_cmd;
+            snapshot_cmd;
             repro_cmd;
             mc_cmd;
           ]))

@@ -207,10 +207,57 @@ let fingerprint t =
     (fun k v acc -> acc lxor Hashtbl.hash (k, digest_value v))
     t.table 0
 
+(* --- snapshots ---
+
+   An image is a detached deep copy: the mutable structures (hashes,
+   sets, thread arrays) are copied both when the image is cut and when it
+   is installed, so snapshots never alias live store state and one image
+   can be installed on many replicas. Keys are sorted so identical stores
+   produce structurally equal images. *)
+
+type image = (string * value) list
+
+let copy_value = function
+  | (Str _ | List _) as v -> v (* immutable payloads *)
+  | Hash h -> Hash (Hashtbl.copy h)
+  | Set s -> Set (Hashtbl.copy s)
+  | Thread (store, used) -> Thread (ref (Array.copy !store), ref !used)
+
+let snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, copy_value v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let install t img =
+  Hashtbl.reset t.table;
+  List.iter (fun (k, v) -> Hashtbl.replace t.table k (copy_value v)) img
+
 (* --- sizing --- *)
 
 let record_bytes r =
   List.fold_left (fun acc (f, v) -> acc + String.length f + String.length v) 0 r
+
+let value_bytes = function
+  | Str s -> 16 + String.length s
+  | List (f, b, _) ->
+      List.fold_left
+        (fun acc s -> acc + 4 + String.length s)
+        16 (List.rev_append b f)
+  | Hash h ->
+      Hashtbl.fold
+        (fun f v acc -> acc + 8 + String.length f + String.length v)
+        h 16
+  | Set s -> Hashtbl.fold (fun m () acc -> acc + 4 + String.length m) s 16
+  | Thread (store, used) ->
+      let acc = ref 16 in
+      for i = 0 to !used - 1 do
+        acc := !acc + 16 + record_bytes !store.(i)
+      done;
+      !acc
+
+let image_bytes img =
+  List.fold_left
+    (fun acc (k, v) -> acc + 8 + String.length k + value_bytes v)
+    16 img
 
 let cmd_bytes = function
   | Nop -> 8

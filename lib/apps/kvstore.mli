@@ -61,6 +61,24 @@ val fingerprint : t -> int
     applied the same command sequence have equal fingerprints; used by the
     replication safety tests. *)
 
+(** {1 Snapshots}
+
+    Serialize/restore hooks for the snapshot subsystem: an {!image} is a
+    detached deep copy of the full store, safe to ship to other replicas
+    and install any number of times. *)
+
+type image
+
+val snapshot : t -> image
+(** Cut a detached deep copy of the store. *)
+
+val install : t -> image -> unit
+(** Replace the store's contents with the image (deep-copied again, so
+    the image stays reusable). *)
+
+val image_bytes : image -> int
+(** Estimated serialized size, for transfer-chunking arithmetic. *)
+
 (** {1 Sizing and cost model}
 
     Request/reply wire sizes and CPU costs for the simulator. The cost

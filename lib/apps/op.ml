@@ -58,6 +58,31 @@ let reply_bytes op result =
 
 let executed state = state.applied
 
+(* --- snapshots --- *)
+
+type image = {
+  im_kv : Kvstore.image;
+  im_applied : int;
+  im_rw_ops : int;
+  im_synth_digest : int;
+}
+
+let snapshot state =
+  {
+    im_kv = Kvstore.snapshot state.kv;
+    im_applied = state.applied;
+    im_rw_ops = state.rw_ops;
+    im_synth_digest = state.synth_digest;
+  }
+
+let install state img =
+  Kvstore.install state.kv img.im_kv;
+  state.applied <- img.im_applied;
+  state.rw_ops <- img.im_rw_ops;
+  state.synth_digest <- img.im_synth_digest
+
+let image_bytes img = 32 + Kvstore.image_bytes img.im_kv
+
 (* Deliberately excludes the execution counter: read-only operations run on
    a single replica (§3.5), so replicas agree on state, not on how many
    operations they executed. *)

@@ -39,4 +39,24 @@ val fingerprint : state -> int
 (** Digest covering both the op count and the store contents; replicas that
     applied the same sequence agree. *)
 
+(** {1 Snapshots}
+
+    The whole-machine serialize/restore hooks (see
+    {!Service.Snapshottable}): the image captures the kv store plus the
+    synthetic service's digest state, so a replica installing it is
+    indistinguishable — fingerprint included — from one that applied
+    every covered operation. *)
+
+type image
+
+val snapshot : state -> image
+(** Cut a detached deep copy of the replica state. *)
+
+val install : state -> image -> unit
+(** Overwrite the replica state with the image (in place: the [state]
+    value keeps its identity, as embedders hold it by reference). *)
+
+val image_bytes : image -> int
+(** Estimated serialized size in bytes, for transfer chunking. *)
+
 val pp : Format.formatter -> t -> unit

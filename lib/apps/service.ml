@@ -21,3 +21,25 @@ let sample t rng =
 let pp_spec fmt t =
   Format.fprintf fmt "synth{S=%a, req=%dB, rep=%dB, ro=%.0f%%}" Dist.pp
     t.service t.req_bytes t.rep_bytes (100. *. t.read_fraction)
+
+(* --- snapshots --- *)
+
+module type Snapshottable = sig
+  type state
+  type image
+
+  val snapshot : state -> image
+  val install : state -> image -> unit
+  val image_bytes : image -> int
+end
+
+(* Both replicated services satisfy the interface; binding them here is a
+   compile-time proof, and what the SMR layer checkpoints is [Machine]
+   (the synthetic service's digest state rides inside [Op.image] next to
+   the store). *)
+module Machine : Snapshottable with type state = Op.state and type image = Op.image =
+  Op
+
+module Store :
+  Snapshottable with type state := Kvstore.t and type image := Kvstore.image =
+  Kvstore

@@ -25,3 +25,28 @@ val sample : spec -> Rng.t -> Op.t
 (** Draw one operation. *)
 
 val pp_spec : Format.formatter -> spec -> unit
+
+(** {1 Snapshottable state machines}
+
+    What the snapshot subsystem requires of a replicated service: cut a
+    detached image of the applied state, install one in place, and
+    estimate its serialized size (which drives chunked transfer). The
+    synthetic service's replicated state is its write digest; it is
+    checkpointed through {!Machine} (i.e. {!Op}'s whole-machine image,
+    which carries the digest alongside the kv store). *)
+
+module type Snapshottable = sig
+  type state
+  type image
+
+  val snapshot : state -> image
+  val install : state -> image -> unit
+  val image_bytes : image -> int
+end
+
+module Machine : Snapshottable with type state = Op.state and type image = Op.image
+(** The full replica state machine (synthetic digest + kv store): this is
+    what HovercRaft checkpoints and ships. *)
+
+module Store : Snapshottable with type state := Kvstore.t and type image := Kvstore.image
+(** The kv store alone, for direct store-level tests. *)

@@ -188,14 +188,17 @@ type outcome = {
   retried : int;
   pending_recoveries : int;
   final_members : int list;
+  max_log_base : int;
+  installs : int;
 }
 
 (* -------------------------------------------------------------------- *)
 (* History checker                                                       *)
 
-(* Committed non-internal commands of a node, in log order. Chaos runs pin
-   [log_retain] high enough that nothing compacts, so the scan covers the
-   whole history. *)
+(* Committed non-internal commands of a node, in log order. Legacy chaos
+   runs pin [log_retain] high enough that nothing compacts, so the scan
+   covers the whole history; snapshot-aware runs scan whatever suffix
+   survives compaction and lean on state fingerprints for the rest. *)
 let committed_cmds node =
   match Hnode.raft_node node with
   | None -> []
@@ -232,11 +235,30 @@ let expected_executions node =
           end);
       Some !count
 
-let check deploy ~completed_writes =
+let check ?(snapshots = false) deploy ~completed_writes =
   let violations = ref [] in
   let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   let live = Deploy.live_nodes deploy in
   let mode = deploy.Deploy.params.Hnode.mode in
+  (* The legacy checker's log scans silently lose their teeth on a
+     compacted log — an exactly-once miss below the base would just not be
+     counted. Refuse loudly rather than pass vacuously. *)
+  if not snapshots then
+    List.iter
+      (fun n ->
+        if Hnode.log_base n > 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Chaos.check: node%d compacted its log to base %d under the \
+                legacy history checker; rerun with the snapshot-aware \
+                checker (snapshots:true / --snapshot-interval)"
+               (Hnode.id n) (Hnode.log_base n)))
+      live;
+  (* A node whose history is only partially scannable (compacted prefix,
+     or state installed wholesale from a snapshot) cannot be held to the
+     exact log-derived execution count; catch-up and fingerprint agreement
+     carry the weight for it instead. *)
+  let full_history n = Hnode.log_base n = 0 && Hnode.installs_received n = 0 in
   (* Reference replica: the live node with the longest committed prefix. *)
   let reference =
     List.fold_left
@@ -255,7 +277,7 @@ let check deploy ~completed_writes =
      the leader of the moment, so only writes give a firm floor. *)
   List.iter
     (fun n ->
-      match expected_executions n with
+      match (if full_history n then expected_executions n else None) with
       | None -> ()
       | Some expected -> (
           let got = Hnode.executed_ops n in
@@ -297,7 +319,11 @@ let check deploy ~completed_writes =
               (committed_cmds n))
         live);
   (* 3. Committed-stays-committed: every write the client saw answered is
-     in the reference replica's committed log, whatever crashed since. *)
+     in the reference replica's committed log, whatever crashed since.
+     Once the reference compacted, writes ordered below its base are no
+     longer scannable — their preservation is then vouched for by the
+     snapshot identity plus fingerprint agreement, so a miss only counts
+     as a violation while the full history is present. *)
   let committed_preserved = ref true in
   (match reference with
   | None -> if completed_writes <> [] then committed_preserved := false
@@ -306,13 +332,15 @@ let check deploy ~completed_writes =
       List.iter
         (fun (_, _, (m : Protocol.meta)) -> Rid_tbl.replace committed m.rid ())
         (committed_cmds ref_node);
+      let scannable = Hnode.log_base ref_node = 0 in
       List.iter
         (fun rid ->
-          if not (Rid_tbl.mem committed rid) then begin
-            committed_preserved := false;
-            bad "client-completed write %s missing from committed log"
-              (Format.asprintf "%a" R2p2.pp_req_id rid)
-          end)
+          if not (Rid_tbl.mem committed rid) then
+            if scannable then begin
+              committed_preserved := false;
+              bad "client-completed write %s missing from committed log"
+                (Format.asprintf "%a" R2p2.pp_req_id rid)
+            end)
         completed_writes);
   (* 4. Catch-up: after the heal-and-restart epilogue every live replica
      must have applied everything any replica committed. *)
@@ -398,8 +426,8 @@ let apply_event deploy ~t0 ~timeline event =
 
 let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
     ?(bucket = Timebase.ms 100) ?(duration = Timebase.s 2)
-    ?(drain = Timebase.ms 100) ?(reconfig = false) ?schedule ~workload ~seed ()
-    =
+    ?(drain = Timebase.ms 100) ?(reconfig = false) ?snapshots ?schedule
+    ~workload ~seed () =
   let params =
     match params with
     | Some p -> p
@@ -407,9 +435,13 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
   in
   let n = params.Hnode.n in
   (* Crashes must be recoverable for the whole run: peers keep ordered
-     bodies past any downtime (so a restarted node can refetch them) and
-     no log prefix compacts away (so catch-up backtracking — and the
-     checker — can reach index 1). *)
+     bodies past any downtime (so a restarted node can refetch them). In
+     legacy runs no log prefix may compact away either (catch-up
+     backtracking — and the checker — must reach index 1); with
+     [snapshots = Some interval] the opposite is the point: checkpoint
+     every [interval] entries and retain only that much log, so lagging
+     nodes are forced through the install path and the snapshot-aware
+     checker is exercised. *)
   let params =
     {
       params with
@@ -418,7 +450,16 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
           params.Hnode.timing with
           Hnode.gc_ordered = (2 * duration) + drain + Timebase.s 1;
         };
-      features = { params.Hnode.features with Hnode.log_retain = max_int / 2 };
+      features =
+        (match snapshots with
+        | None ->
+            { params.Hnode.features with Hnode.log_retain = max_int / 2 }
+        | Some interval ->
+            {
+              params.Hnode.features with
+              Hnode.log_retain = interval;
+              snapshot_interval = interval;
+            });
     }
   in
   let schedule =
@@ -475,7 +516,15 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
   in
   settle 50;
   let violations, exactly_once_ok, committed_preserved, caught_up, consistent =
-    check deploy ~completed_writes:!completed_writes
+    check ~snapshots:(snapshots <> None) deploy
+      ~completed_writes:!completed_writes
+  in
+  let live = Deploy.live_nodes deploy in
+  let max_log_base =
+    List.fold_left (fun acc nd -> max acc (Hnode.log_base nd)) 0 live
+  in
+  let installs =
+    List.fold_left (fun acc nd -> acc + Hnode.installs_received nd) 0 live
   in
   {
     series =
@@ -498,4 +547,6 @@ let run ?params ?(n = 5) ?(rate_rps = 120_000.) ?(flow_cap = 1000)
           match Deploy.live_nodes deploy with
           | m :: _ -> Hnode.members m
           | [] -> []));
+    max_log_base;
+    installs;
   }

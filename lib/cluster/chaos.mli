@@ -85,14 +85,33 @@ type outcome = {
   final_members : int list;
       (** The leader's applied configuration after the epilogue — what the
           membership churn converged to. *)
+  max_log_base : int;
+      (** Highest compaction base across live nodes after the epilogue;
+          0 unless the run compacted (snapshot runs should see it advance
+          past crash points). *)
+  installs : int;
+      (** Total snapshots installed across live nodes — catch-ups served
+          via [Install_snapshot] rather than entry replay. *)
 }
 
-val check : Deploy.t -> completed_writes:R2p2.req_id list -> string list * bool * bool * bool * bool
+val check :
+  ?snapshots:bool ->
+  Deploy.t ->
+  completed_writes:R2p2.req_id list ->
+  string list * bool * bool * bool * bool
 (** Run the history checker against a quiesced deployment.
     [completed_writes] are the request ids of non-read operations whose
     replies clients received. Returns
     [(violations, exactly_once_ok, committed_preserved, caught_up,
-    consistent)]. Exposed for tests; {!run} calls it for you. *)
+    consistent)]. Exposed for tests; {!run} calls it for you.
+
+    With [snapshots] (default false) the checker is compaction-aware:
+    exact log-derived execution counts apply only to nodes whose full
+    history is scannable (base 0, no installs); catch-up-via-install is
+    verified through state fingerprints instead of raw log prefixes, and
+    committed-stays-committed only flags misses while the reference log
+    is complete. Without it, any compacted log raises [Invalid_argument]
+    immediately — the legacy scans would otherwise pass vacuously. *)
 
 val run :
   ?params:Hnode.params ->
@@ -103,6 +122,7 @@ val run :
   ?duration:Timebase.t ->
   ?drain:Timebase.t ->
   ?reconfig:bool ->
+  ?snapshots:int ->
   ?schedule:step list ->
   workload:(Rng.t -> Hovercraft_apps.Op.t) ->
   seed:int ->
@@ -114,6 +134,10 @@ val run :
     open-loop load with client retries. [params]' body-retention and log
     windows are widened so crashes stay recoverable and the checker can
     scan full logs: [gc_ordered] covers the run and [log_retain] disables
-    compaction for its duration. After the load window and [drain], any
-    surviving partition is healed and dead nodes restarted, the cluster
-    quiesces, and the history checker runs. *)
+    compaction for its duration. With [snapshots = Some interval] the run
+    instead checkpoints every [interval] applied entries and retains only
+    [interval] log entries, forcing lagging or restarted nodes through
+    the [Install_snapshot] path, and the snapshot-aware checker is used.
+    After the load window and [drain], any surviving partition is healed
+    and dead nodes restarted, the cluster quiesces, and the history
+    checker runs. *)

@@ -116,7 +116,10 @@ val add_node : t -> int
     currently leads until the addition lands (a single proposal can be
     lost to a leader change, a partition, or the one-change-at-a-time
     rule). Returns the new node's id immediately; the membership change
-    completes asynchronously as the engine runs. *)
+    completes asynchronously as the engine runs. When the leader holds a
+    snapshot, the newcomer catches up by installing the image rather than
+    replaying history — the leader need not retain any entry below its
+    compaction base on its behalf. *)
 
 val remove_node : t -> int -> unit
 (** Shrink the cluster by one voter. The leader itself is a valid target:

@@ -146,6 +146,19 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
         if term = t.term then
           transmit t ~dst:(Addr.Node leader) (Protocol.Probe_reply { term })
     | Protocol.Reconfig { term; members } -> reconfigure t ~term ~members
+    | Protocol.Raft (Rtypes.Install_snapshot { term; _ }) ->
+        (* Snapshot transfer is point-to-point leader->follower and does
+           not touch the match/completed registers; if a chunk transits
+           the aggregator (leader addressing the fan-out group in
+           aggregated mode) it is passed through unmodified. Receivers
+           already past the snapshot index just ack it as covered. *)
+        if term >= t.term then
+          transmit t ~dst:(Addr.Group t.followers_group) pkt.payload
+    | Protocol.Raft (Rtypes.Install_ack { term; _ }) ->
+        (* Ack side of the pass-through: flow-control acks belong to the
+           leader, not to the dataplane quorum registers. *)
+        if term = t.term && t.leader >= 0 then
+          transmit t ~dst:(Addr.Node t.leader) pkt.payload
     | Protocol.Raft
         ( Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _
         | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ )

@@ -66,6 +66,7 @@ type feature_params = {
   flow_control : bool;
   eager_commit_notify : bool;
   log_retain : int;
+  snapshot_interval : int;
   recovery_retry_max : int;
   loss_prob : float;
 }
@@ -103,6 +104,8 @@ let validate_params p =
   if p.features.batch_max < 1 then
     fail "batch_max must be >= 1 (got %d)" p.features.batch_max;
   if p.features.log_retain < 0 then fail "log_retain must be non-negative";
+  if p.features.snapshot_interval < 0 then
+    fail "snapshot_interval must be non-negative (0 disables snapshots)";
   if p.features.recovery_retry_max < 0 then
     fail "recovery_retry_max must be non-negative";
   if p.features.loss_prob < 0. || p.features.loss_prob >= 1. then
@@ -149,6 +152,7 @@ let params ?(mode = Hover) ?(n = 3) () =
           flow_control = false;
           eager_commit_notify = true;
           log_retain = 8192;
+          snapshot_interval = 0;
           recovery_retry_max = 100;
           loss_prob = 0.;
         };
@@ -173,7 +177,7 @@ type t = {
   net : Cpu.t;
   app : Cpu.t;
   rng : Rng.t;
-  raft : Protocol.cmd Rnode.t option;
+  raft : (Protocol.cmd, Protocol.snap) Rnode.t option;
   mutable store : Unordered.t;
       (* The body store is RAM: a crash empties it (bodies for unapplied
          entries come back via the recovery path after restart). *)
@@ -207,6 +211,13 @@ type t = {
   mutable probe_sent_term : int;
   mutable last_transfer : int option;
       (* Target of the most recent leadership transfer this node initiated. *)
+  mutable last_snap : int;
+      (* Index of the newest checkpoint this node holds (taken locally or
+         installed); the apply loop cuts the next one [snapshot_interval]
+         entries later. *)
+  xfer_start : (int, Timebase.t) Hashtbl.t;
+      (* Leader: when the in-flight snapshot transfer to each peer began,
+         for the install-latency histogram. *)
   (* Observability. The registry owns every counter; the [c_*] handles are
      pre-resolved so the hot paths never pay a by-name lookup. *)
   metrics : Metrics.t;
@@ -222,7 +233,13 @@ type t = {
   c_gate_rekicks : Metrics.counter;
   c_reconfigs : Metrics.counter;
   c_transfers : Metrics.counter;
+  c_snapshots : Metrics.counter;
+  c_installs_recv : Metrics.counter;
+  c_installs_sent : Metrics.counter;
+  g_log_base : Metrics.gauge;
+  g_snap_index : Metrics.gauge;
   h_recovery_ns : Metrics.histogram;
+  h_install_ns : Metrics.histogram;
   mutable announce_stalled : bool;
       (* The announce gate returned None (every replier queue full): nothing
          will be announced until [note_applied] drains a queue and re-kicks
@@ -330,8 +347,13 @@ let raft_send_extra t = function
         + int_of_float (t.p.cost.ae_body_ns_per_byte *. float_of_int body_bytes)
       end
       else base
+  | Rtypes.Install_snapshot { len; _ } ->
+      (* Serializing a chunk of the image costs like serializing the same
+         bytes of entry bodies. *)
+      int_of_float (t.p.cost.ae_body_ns_per_byte *. float_of_int len)
   | Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Append_ack _
-  | Rtypes.Commit_to _ | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ ->
+  | Rtypes.Commit_to _ | Rtypes.Agg_ack _ | Rtypes.Timeout_now _
+  | Rtypes.Install_ack _ ->
       0
 
 let rec feed_raft t input =
@@ -367,6 +389,7 @@ and perform t action =
       transmit_net t ~dst:Addr.Netagg ~extra:(raft_send_extra t msg)
         (Protocol.Raft msg)
   | Rnode.Commit_advanced _ -> pump t
+  | Rnode.Snapshot_installed meta -> on_snapshot_installed t meta
   | Rnode.Appended idx -> on_appended t idx
   | Rnode.Became_leader -> on_became_leader t
   | Rnode.Became_follower _ -> on_became_follower t
@@ -507,11 +530,11 @@ and on_config_applied t ms =
        leader down, so the node's duty is done: power off. Deferred one
        engine step so the current apply finishes cleanly.
 
-       Exception: a freshly added node catching up from an empty log
-       replays every historical config entry, including those that
-       predate its own addition — it must only retire if the exclusion
-       still stands in the consensus layer's current (effective-on-append)
-       configuration. *)
+       The uniform rule: retire only if the exclusion still stands in the
+       consensus layer's current (effective-on-append) configuration.
+       Newcomers catching up via snapshot never even apply historical
+       config entries (the image's membership supersedes them), but a
+       snapshot-less bootstrap still replays history, so the guard stays. *)
     let still_removed =
       match t.raft with
       | Some raft -> not (Rnode.is_member raft t.id)
@@ -536,6 +559,77 @@ and on_config_applied t ms =
             (Protocol.Probe { term; leader = t.id })
       | None -> ()
   end
+
+(* The consensus layer accepted a full snapshot (emitted strictly before
+   the accompanying commit advance): replace the state machine wholesale.
+   The completion records ride in the image — a retransmission of a
+   request the snapshot covers must be answered from the record, never
+   re-executed, so exactly-once survives the install. Everything volatile
+   that referred to the replaced prefix (pending body recoveries) is
+   superseded by the image and dropped. *)
+and on_snapshot_installed t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta) =
+  let s = meta.Hovercraft_raft.Snapshot.data in
+  Op.install t.app_state s.Protocol.s_app;
+  Rid_tbl.reset t.completions;
+  Queue.clear t.completion_fifo;
+  List.iter
+    (fun (rid, result, at) ->
+      Rid_tbl.replace t.completions rid (result, at);
+      Queue.push (rid, at) t.completion_fifo)
+    s.Protocol.s_completions;
+  Rid_tbl.reset t.pending_recovery;
+  t.members <- meta.Hovercraft_raft.Snapshot.members;
+  t.applied_ptr <- max t.applied_ptr meta.Hovercraft_raft.Snapshot.last_idx;
+  t.last_snap <- max t.last_snap meta.Hovercraft_raft.Snapshot.last_idx;
+  Metrics.incr t.c_installs_recv;
+  Metrics.set t.g_snap_index meta.Hovercraft_raft.Snapshot.last_idx;
+  tr t Trace.Info ~kind:"snapshot_installed" (fun () ->
+      Printf.sprintf "idx=%d term=%d bytes=%d"
+        meta.Hovercraft_raft.Snapshot.last_idx
+        meta.Hovercraft_raft.Snapshot.last_term
+        meta.Hovercraft_raft.Snapshot.size);
+  (* Same retirement rule as an applied config entry: the image's
+     membership is durable state, but only the consensus layer's current
+     configuration decides whether the exclusion still stands. *)
+  if not (List.mem t.id t.members) then begin
+    let still_removed =
+      match t.raft with
+      | Some raft -> not (Rnode.is_member raft t.id)
+      | None -> true
+    in
+    if still_removed then Engine.after t.engine 0 (fun () -> halt t)
+  end
+  else if is_leader t then Replier.set_nodes t.replier t.members
+
+(* Cut a checkpoint of the applied state machine: the deep-copied image,
+   the live completion records (in FIFO order, so expiry keeps working
+   after an install) and the applied-prefix membership, identified by
+   (idx, term-at-idx). Runs inside apply_one's pre-delay atomic section,
+   so the image is exactly the state after entry [idx]. *)
+and take_snapshot t raft idx =
+  let completions =
+    List.rev
+      (Queue.fold
+         (fun acc (rid, _) ->
+           match Rid_tbl.find_opt t.completions rid with
+           | Some (result, at) -> (rid, result, at) :: acc
+           | None -> acc)
+         [] t.completion_fifo)
+  in
+  let data = { Protocol.s_app = Op.snapshot t.app_state; s_completions = completions } in
+  let last_term = (Rlog.get (Rnode.log raft) idx).Rtypes.term in
+  let meta =
+    Hovercraft_raft.Snapshot.make ~last_idx:idx ~last_term ~members:t.members
+      ~size:(Protocol.snap_bytes data) ~data
+  in
+  (* The consensus layer's applied counter normally advances after the
+     apply delay (it only feeds ack piggybacking); the checkpoint is cut
+     inside the atomic section, so tell it about [idx] first or it would
+     reject a snapshot "beyond" what it thinks is applied. *)
+  feed_raft t (Rnode.Applied_up_to idx);
+  Rnode.set_snapshot raft meta;
+  t.last_snap <- idx;
+  Metrics.set t.g_snap_index idx
 
 and apply_one t idx (cmd : Protocol.cmd) op =
   t.apply_busy <- true;
@@ -589,6 +683,15 @@ and apply_one t idx (cmd : Protocol.cmd) op =
   (match cmd.Protocol.config with
   | Some ms -> on_config_applied t ms
   | None -> ());
+  (* Checkpointing is part of the same atomic section: the image must
+     reflect exactly the prefix up to [idx], including the completion
+     record and membership written just above. *)
+  (match t.raft with
+  | Some raft
+    when t.p.features.snapshot_interval > 0
+         && idx - t.last_snap >= t.p.features.snapshot_interval ->
+      take_snapshot t raft idx
+  | Some _ | None -> ());
   Cpu.exec t.app ~cost (fun () ->
       if should_reply then begin
         Metrics.incr t.c_replies;
@@ -878,8 +981,18 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
           end;
           feed_raft t (Rnode.Receive msg);
           pump t
+      | Rtypes.Install_ack { from; applied_idx; _ } ->
+          (* Install acks piggyback the applied index like append acks:
+             the transfer target's progress feeds the leader's bounded
+             queues and lease. *)
+          if is_leader t then begin
+            note_applied t ~node:from ~applied:applied_idx;
+            lease_note_contact t from
+          end;
+          feed_raft t (Rnode.Receive msg);
+          pump t
       | Rtypes.Request_vote _ | Rtypes.Vote _ | Rtypes.Commit_to _
-      | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ ->
+      | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ | Rtypes.Install_snapshot _ ->
           feed_raft t (Rnode.Receive msg);
           pump t)
   | Protocol.Recovery_request { rid; asker } -> (
@@ -968,7 +1081,8 @@ let start_gc_loop t =
           done;
           (match t.raft with
           | Some raft ->
-              ignore (Rnode.compact raft ~retain:t.p.features.log_retain)
+              let base = Rnode.compact raft ~retain:t.p.features.log_retain in
+              Metrics.set t.g_log_base base
           | None -> ());
           loop ()
         end)
@@ -1010,6 +1124,23 @@ let on_raft_event t = function
       t.last_transfer <- Some target;
       tr t Trace.Info ~kind:"transfer_sent" (fun () ->
           Printf.sprintf "target=%d" target)
+  | Rnode.Obs_snapshot_taken idx ->
+      Metrics.incr t.c_snapshots;
+      tr t Trace.Info ~kind:"snapshot_taken" (fun () ->
+          Printf.sprintf "idx=%d" idx)
+  | Rnode.Obs_install_started (peer, idx) ->
+      Hashtbl.replace t.xfer_start peer (Engine.now t.engine);
+      tr t Trace.Info ~kind:"install_started" (fun () ->
+          Printf.sprintf "peer=%d idx=%d" peer idx)
+  | Rnode.Obs_install_completed (peer, idx) ->
+      Metrics.incr t.c_installs_sent;
+      (match Hashtbl.find_opt t.xfer_start peer with
+      | Some t0 ->
+          Metrics.observe t.h_install_ns (Engine.now t.engine - t0);
+          Hashtbl.remove t.xfer_start peer
+      | None -> ());
+      tr t Trace.Info ~kind:"install_completed" (fun () ->
+          Printf.sprintf "peer=%d idx=%d" peer idx)
 
 let create ?trace ?members engine fabric p ~id =
   validate_params p;
@@ -1040,6 +1171,7 @@ let create ?trace ?members engine fabric p ~id =
                eager_commit_notify =
                  (p.features.eager_commit_notify && p.mode = Hover
                  && p.features.reply_lb);
+               snap_chunk_bytes = Hovercraft_net.Wire.snap_chunk_bytes;
              }
              ~noop:Protocol.internal_noop)
   in
@@ -1081,6 +1213,8 @@ let create ?trace ?members engine fabric p ~id =
       ack_override = None;
       probe_sent_term = -1;
       last_transfer = None;
+      last_snap = 0;
+      xfer_start = Hashtbl.create 8;
       metrics;
       trace;
       c_replies = Metrics.counter metrics "replies_sent";
@@ -1094,7 +1228,13 @@ let create ?trace ?members engine fabric p ~id =
       c_gate_rekicks = Metrics.counter metrics "gate_rekicks";
       c_reconfigs = Metrics.counter metrics "reconfigs_applied";
       c_transfers = Metrics.counter metrics "transfers_initiated";
+      c_snapshots = Metrics.counter metrics "snapshots_taken";
+      c_installs_recv = Metrics.counter metrics "snapshots_installed";
+      c_installs_sent = Metrics.counter metrics "installs_sent";
+      g_log_base = Metrics.gauge metrics "log_base";
+      g_snap_index = Metrics.gauge metrics "snapshot_index";
       h_recovery_ns = Metrics.histogram metrics "recovery_latency_ns";
+      h_install_ns = Metrics.histogram metrics "install_transfer_ns";
       announce_stalled = false;
     }
   in
@@ -1130,6 +1270,14 @@ let applied_index t = t.applied_ptr
 
 let log_length t =
   match t.raft with Some r -> Rlog.last_index (Rnode.log r) | None -> 0
+
+let log_base t = match t.raft with Some r -> Rlog.base (Rnode.log r) | None -> 0
+
+let snapshot_index t =
+  match t.raft with Some r -> Rnode.snapshot_index r | None -> 0
+
+let snapshots_taken t = Metrics.value t.c_snapshots
+let installs_received t = Metrics.value t.c_installs_recv
 
 let app_fingerprint t = Op.fingerprint t.app_state
 let executed_ops t = Op.executed t.app_state
@@ -1186,6 +1334,8 @@ let snapshot t =
       ("commit", Json.Int (commit_index t));
       ("applied", Json.Int t.applied_ptr);
       ("log_length", Json.Int (log_length t));
+      ("log_base", Json.Int (log_base t));
+      ("snapshot_index", Json.Int (snapshot_index t));
       ("store_size", Json.Int (Unordered.size t.store));
       ("pending_recoveries", Json.Int (Rid_tbl.length t.pending_recovery));
       ("net_busy_ns", Json.Int (Cpu.busy_time t.net));
@@ -1247,8 +1397,12 @@ let restart t =
   (match t.raft with
   | Some raft ->
       Rnode.recover raft;
-      t.applied_ptr <- Rnode.applied_index raft
+      t.applied_ptr <- Rnode.applied_index raft;
+      (* The checkpoint is durable (part of the applied state machine's
+         persistence); restart from it rather than re-cutting early. *)
+      t.last_snap <- Rnode.snapshot_index raft
   | None -> ());
+  Hashtbl.reset t.xfer_start;
   let port =
     Fabric.attach t.fabric ~addr:(Addr.Node t.id) ~rate_gbps:t.p.cost.link_gbps
       ~handler:(on_packet t)

@@ -87,7 +87,12 @@ type feature_params = {
           gets this behaviour from AGG_COMMIT regardless. *)
   log_retain : int;
       (** Minimum log suffix each node retains; older entries compact away
-          once applied everywhere. *)
+          once applied everywhere (or, with snapshots on, once covered by
+          the checkpoint — regardless of follower progress). *)
+  snapshot_interval : int;
+      (** Checkpoint the applied state machine every this many applied
+          entries; 0 disables snapshots entirely (the seed behaviour:
+          compaction then waits for every follower). *)
   recovery_retry_max : int;
       (** Unicast recovery attempts before escalating the request to a
           cluster-wide broadcast. Retries never stop while the body is
@@ -152,6 +157,20 @@ val term : t -> int
 val commit_index : t -> int
 val applied_index : t -> int
 val log_length : t -> int
+
+val log_base : t -> int
+(** Compaction base of the consensus log: entries at or below it have
+    been discarded (0 = nothing compacted). *)
+
+val snapshot_index : t -> int
+(** Last index covered by this node's newest checkpoint (taken locally or
+    installed); 0 when none. *)
+
+val snapshots_taken : t -> int
+val installs_received : t -> int
+(** Snapshots this node installed from a leader (catch-up via
+    [Install_snapshot] rather than entry replay). *)
+
 val app_fingerprint : t -> int
 val executed_ops : t -> int
 val replies_sent : t -> int
@@ -173,7 +192,7 @@ val rx_census : t -> (string * int) list
 
 val net_busy_time : t -> Timebase.t
 val app_busy_time : t -> Timebase.t
-val raft_node : t -> Protocol.cmd Hovercraft_raft.Node.t option
+val raft_node : t -> (Protocol.cmd, Protocol.snap) Hovercraft_raft.Node.t option
 (** The embedded consensus state machine ([None] when unreplicated). *)
 
 val metrics : t -> Hovercraft_obs.Metrics.t
@@ -181,16 +200,20 @@ val metrics : t -> Hovercraft_obs.Metrics.t
     [replies_sent], [recoveries_sent], [recovery_escalations],
     [recoveries_resolved], [rejected], [lost_rx], [elections_started],
     [gate_blocked], [gate_rekicks], [reconfigs_applied],
-    [transfers_initiated] and per-payload [rx.<tag>]; histogram
-    [recovery_latency_ns] tracks issue-to-resolution time. *)
+    [transfers_initiated], [snapshots_taken], [snapshots_installed],
+    [installs_sent] and per-payload [rx.<tag>]; gauges [log_base] and
+    [snapshot_index]; histogram [recovery_latency_ns] tracks
+    issue-to-resolution time and [install_transfer_ns] the leader-side
+    duration of completed snapshot transfers. *)
 
 val trace : t -> Hovercraft_obs.Trace.t
 (** The protocol-event ring this node records into. *)
 
 val snapshot : t -> Hovercraft_obs.Json.t
-(** Point-in-time JSON roll-up: role, indices, store and recovery state,
-    membership ([members], [config_index], [last_transfer]), replier
-    queue depths (leader only) and the full metrics registry. *)
+(** Point-in-time JSON roll-up: role, indices (including [log_base] and
+    [snapshot_index]), store and recovery state, membership ([members],
+    [config_index], [last_transfer]), replier queue depths (leader only)
+    and the full metrics registry. *)
 
 val members : t -> int list
 (** Cluster membership as of this node's {e applied} prefix, sorted. *)

@@ -52,10 +52,25 @@ let internal_noop =
 let config_cmd ~members =
   { internal_noop with config = Some (Array.copy members) }
 
+type snap = {
+  s_app : Op.image;
+  s_completions : (R2p2.req_id * Op.result * Hovercraft_sim.Timebase.t) list;
+}
+
+(* Completion records ride inside the snapshot image: a replica that
+   installs one must answer retransmissions of covered requests from the
+   record, not by re-executing them (exactly-once across install). Each
+   record is roughly a rid triple + result + timestamp on the wire. *)
+let completion_wire_bytes = 40
+
+let snap_bytes s =
+  Op.image_bytes s.s_app
+  + (completion_wire_bytes * List.length s.s_completions)
+
 type payload =
   | Request of { rid : R2p2.req_id; policy : R2p2.policy; op : Op.t }
   | Response of { rid : R2p2.req_id }
-  | Raft of cmd Rtypes.message
+  | Raft of (cmd, snap) Rtypes.message
   | Recovery_request of { rid : R2p2.req_id; asker : int }
   | Recovery_response of { rid : R2p2.req_id; op : Op.t }
   | Probe of { term : int; leader : int }
@@ -88,6 +103,11 @@ let payload_bytes ~with_bodies = function
   | Raft (Rtypes.Append_ack _) -> hdr + 32
   | Raft (Rtypes.Commit_to _ | Rtypes.Agg_ack _ | Rtypes.Timeout_now _) ->
       hdr + 16
+  | Raft (Rtypes.Install_snapshot { snap; len; _ }) ->
+      (* Per-chunk framing (identity, offset, member list) plus the chunk
+         itself; [len] is the slice of the serialized image on this wire. *)
+      hdr + 48 + (8 * List.length snap.Hovercraft_raft.Snapshot.members) + len
+  | Raft (Rtypes.Install_ack _) -> hdr + 40
   | Recovery_request _ -> hdr + 24
   | Recovery_response { op; _ } -> hdr + 24 + Op.request_bytes op
   | Probe _ | Probe_reply _ -> hdr + 16
@@ -105,6 +125,8 @@ let describe = function
   | Raft (Rtypes.Commit_to _) -> "commit_to"
   | Raft (Rtypes.Agg_ack _) -> "agg_ack"
   | Raft (Rtypes.Timeout_now _) -> "timeout_now"
+  | Raft (Rtypes.Install_snapshot _) -> "install_snapshot"
+  | Raft (Rtypes.Install_ack _) -> "install_ack"
   | Recovery_request _ -> "recovery_request"
   | Recovery_response _ -> "recovery_response"
   | Probe _ -> "probe"

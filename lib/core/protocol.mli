@@ -33,11 +33,26 @@ val internal_noop : cmd
 val config_cmd : members:Hovercraft_raft.Types.node_id array -> cmd
 (** An internal membership-change command carrying the new member list. *)
 
+type snap = {
+  s_app : Hovercraft_apps.Op.image;
+      (** Deep-copied application state at the checkpoint index. *)
+  s_completions :
+    (R2p2.req_id * Hovercraft_apps.Op.result * Hovercraft_sim.Timebase.t) list;
+      (** Exactly-once completion records covering the checkpoint:
+          without them, a retransmission of an already-applied request
+          would re-execute on a freshly installed replica. *)
+}
+(** What a snapshot carries besides the consensus metadata: this is the
+    ['snap] instantiation the whole core layer uses. *)
+
+val snap_bytes : snap -> int
+(** Estimated serialized size — what chunked transfer divides up. *)
+
 (** Everything a fabric packet can carry. *)
 type payload =
   | Request of { rid : R2p2.req_id; policy : R2p2.policy; op : Hovercraft_apps.Op.t }
   | Response of { rid : R2p2.req_id }
-  | Raft of cmd Hovercraft_raft.Types.message
+  | Raft of (cmd, snap) Hovercraft_raft.Types.message
   | Recovery_request of { rid : R2p2.req_id; asker : int }
   | Recovery_response of { rid : R2p2.req_id; op : Hovercraft_apps.Op.t }
   | Probe of { term : int; leader : int }

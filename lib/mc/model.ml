@@ -27,7 +27,9 @@ type dst = To_node of int | To_agg
 type msg = {
   dst : dst;
   via_agg : bool;  (* an append_entries fanned out by the aggregator *)
-  payload : int Types.message;
+  payload : (int, unit) Types.message;
+      (* The model never checkpoints, so the snapshot payload is [unit];
+         install messages are still representable and passed through. *)
 }
 
 (* The aggregator's soft state, mirroring its P4 registers (§6.4). *)
@@ -42,7 +44,7 @@ type agg = {
 }
 
 type state = {
-  nodes : int Node.dump array;
+  nodes : (int, unit) Node.dump array;
   messages : msg list;  (* kept sorted: canonical multiset *)
   agg : agg option;
   cmds : int;  (* client commands injected so far *)
@@ -56,6 +58,7 @@ let node_config cfg i =
     peers = Array.init (cfg.n - 1) (fun k -> if k < i then k else k + 1);
     batch_max = 8;
     eager_commit_notify = false;
+    snap_chunk_bytes = 1024;
   }
 
 let fresh_agg cfg ~term ~leader =
@@ -112,7 +115,8 @@ let run_node cfg dump i input ~reply_via_agg =
         | Node.Commit_advanced c ->
             consume (Node.handle node (Node.Applied_up_to c))
         | Node.Appended _ | Node.Became_leader | Node.Became_follower _
-        | Node.Leader_activity | Node.Reject_command _ ->
+        | Node.Leader_activity | Node.Reject_command _
+        | Node.Snapshot_installed _ ->
             ())
       actions
   in
@@ -196,7 +200,8 @@ let run_agg cfg a payload =
         (a, agg_commit_msgs cfg a)
       else (a, [])
   | Types.Append_ack _ | Types.Request_vote _ | Types.Vote _
-  | Types.Commit_to _ | Types.Agg_ack _ | Types.Timeout_now _ ->
+  | Types.Commit_to _ | Types.Agg_ack _ | Types.Timeout_now _
+  | Types.Install_snapshot _ | Types.Install_ack _ ->
       (a, [])
 
 (* ------------------------------------------------------------------ *)
@@ -296,7 +301,16 @@ let successors cfg state =
 
 exception Bad of string
 
-let entry_at entries idx = List.nth_opt entries (idx - 1)
+(* Entries are indexed from [i_base + 1] (the dump of a compacted log
+   starts above its base); anything at or below the base is gone — its
+   effect lives in the snapshot, whose identity the Log Matching property
+   covers, so pairwise checks skip those indices rather than fail. *)
+let entry_at info idx =
+  let base = info.Node.i_base in
+  if idx <= base then None
+  else List.nth_opt info.Node.i_entries (idx - base - 1)
+
+let last_of info = info.Node.i_base + List.length info.Node.i_entries
 
 let check cfg state =
   ignore cfg;
@@ -324,18 +338,18 @@ let check cfg state =
           (fun j b ->
             if i < j then begin
               (* Log matching on the shared suffix where terms agree. *)
-              let la = a.Node.i_entries and lb = b.Node.i_entries in
-              let upto = min (List.length la) (List.length lb) in
+              let floor_idx = max a.Node.i_base b.Node.i_base in
+              let upto = min (last_of a) (last_of b) in
               let rec anchor k =
-                if k < 1 then 0
+                if k <= floor_idx then 0
                 else
-                  match (entry_at la k, entry_at lb k) with
+                  match (entry_at a k, entry_at b k) with
                   | Some ea, Some eb when ea.Types.term = eb.Types.term -> k
                   | _ -> anchor (k - 1)
               in
               let m = anchor upto in
-              for idx = 1 to m do
-                match (entry_at la idx, entry_at lb idx) with
+              for idx = floor_idx + 1 to m do
+                match (entry_at a idx, entry_at b idx) with
                 | Some ea, Some eb when ea = eb -> ()
                 | _ ->
                     raise
@@ -345,8 +359,8 @@ let check cfg state =
               done;
               (* State-machine safety. *)
               let c = min a.Node.i_commit b.Node.i_commit in
-              for idx = 1 to c do
-                match (entry_at la idx, entry_at lb idx) with
+              for idx = floor_idx + 1 to c do
+                match (entry_at a idx, entry_at b idx) with
                 | Some ea, Some eb when ea = eb -> ()
                 | _ ->
                     raise
@@ -371,10 +385,9 @@ let check cfg state =
           Array.iteri
             (fun j jinfo ->
               if jinfo.Node.i_term <= linfo.Node.i_term then
-              for idx = 1 to jinfo.Node.i_commit do
-                match
-                  (entry_at linfo.Node.i_entries idx, entry_at jinfo.Node.i_entries idx)
-                with
+              for idx = max linfo.Node.i_base jinfo.Node.i_base + 1
+                  to jinfo.Node.i_commit do
+                match (entry_at linfo idx, entry_at jinfo idx) with
                 | Some ea, Some eb when ea = eb -> ()
                 | _ ->
                     raise

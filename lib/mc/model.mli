@@ -44,7 +44,7 @@ val compare_state : state -> state -> int
 
 val initial : config -> state
 
-val of_nodes : config -> int Hovercraft_raft.Node.dump array -> state
+val of_nodes : config -> (int, unit) Hovercraft_raft.Node.dump array -> state
 (** A state with the given node dumps, no in-flight messages and a fresh
     aggregator; used by tests to plant invariant violations and prove the
     checker detects them. *)

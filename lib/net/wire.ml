@@ -1,6 +1,12 @@
 let mtu = 1500
 let frame_overhead = 64
 
+(* One snapshot chunk per frame: the MTU minus room for the R2P2 header
+   and the install message's own framing (identity, offset, member list).
+   Keeping each Install_snapshot inside a single frame means a lost frame
+   costs exactly one chunk retransmission, never a partial chunk. *)
+let snap_chunk_bytes = mtu - 256
+
 let frames ~payload =
   if payload <= 0 then 1 else (payload + mtu - 1) / mtu
 

@@ -12,6 +12,12 @@ val mtu : int
 val frame_overhead : int
 (** Header + inter-frame overhead charged per frame, in bytes. *)
 
+val snap_chunk_bytes : int
+(** Default snapshot-transfer chunk: the largest slice of a serialized
+    state-machine image that fits in one frame alongside the install
+    message's framing, so chunked transfer degrades one-frame-at-a-time
+    under loss. *)
+
 val frames : payload:int -> int
 (** Number of frames needed for a payload (>= 1; empty payloads still send
     one frame). *)

@@ -70,6 +70,13 @@ let first_index_of_term_at t i =
   in
   back i
 
+let install t ~base ~base_term =
+  if base < 0 then invalid_arg "Log.install: negative base";
+  t.entries <- [||];
+  t.size <- 0;
+  t.base <- base;
+  t.base_term <- base_term
+
 let compact_to t i =
   if i > last_index t then
     invalid_arg "Log.compact_to: compaction point beyond the log";

@@ -2,10 +2,10 @@
     sentinel with term 0, as in the Raft paper.
 
     Supports prefix compaction: entries up to a compaction point are
-    discarded once every relevant party has applied them (the leader never
-    compacts past what a follower still needs, see
-    {!Node.compaction_bound}). Compaction only moves the base — indices
-    are stable forever. *)
+    discarded once they are applied locally (with a snapshot covering the
+    discarded prefix, a lagging follower is served the snapshot instead —
+    see {!Node.compaction_bound}). Compaction only moves the base —
+    indices are stable forever. *)
 
 type 'cmd t
 
@@ -52,3 +52,10 @@ val compact_to : 'cmd t -> int -> unit
 (** [compact_to t i] discards entries at indices <= [i]. [i] must not
     exceed [last_index]; compacting at or below the current base is a
     no-op. Frees the discarded storage. *)
+
+val install : 'cmd t -> base:int -> base_term:Types.term -> unit
+(** Discard {e all} retained entries and reset the compaction point to
+    [(base, base_term)]: the log becomes empty with [last_index = base].
+    Used when a received snapshot supersedes the local log (its covered
+    prefix conflicts with or extends past everything retained), and by
+    {!Node.restore} to rebuild a compacted log. *)

@@ -10,20 +10,22 @@ type config = {
   peers : Types.node_id array;
   batch_max : int;
   eager_commit_notify : bool;
+  snap_chunk_bytes : int;
 }
 
-type 'cmd action =
-  | Send of Types.node_id * 'cmd Types.message
-  | Send_aggregate of 'cmd Types.message
+type ('cmd, 'snap) action =
+  | Send of Types.node_id * ('cmd, 'snap) Types.message
+  | Send_aggregate of ('cmd, 'snap) Types.message
   | Commit_advanced of int
   | Appended of int
   | Became_leader
   | Became_follower of Types.node_id option
   | Leader_activity
   | Reject_command of 'cmd
+  | Snapshot_installed of 'snap Snapshot.meta
 
-type 'cmd input =
-  | Receive of 'cmd Types.message
+type ('cmd, 'snap) input =
+  | Receive of ('cmd, 'snap) Types.message
   | Election_timeout
   | Heartbeat_timeout
   | Client_command of 'cmd
@@ -40,6 +42,9 @@ type obs_event =
   | Obs_announce_gated of int
   | Obs_config_changed of int * Types.node_id list
   | Obs_transfer_sent of Types.node_id
+  | Obs_snapshot_taken of int
+  | Obs_install_started of Types.node_id * int
+  | Obs_install_completed of Types.node_id * int
 
 (* Leader-side replication state for one peer. Peers come and go with the
    cluster configuration, so this lives in a table keyed by node id rather
@@ -52,9 +57,13 @@ type peer = {
   mutable p_in_flight : bool;
   mutable p_direct : bool;
   mutable p_sent_seq : int;  (* last append_entries seq sent to this peer *)
+  mutable p_snap : int option;
+      (* Snapshot transfer in progress: byte offset of the next chunk to
+         send. Shares the seq/in-flight pacing with append_entries — one
+         chunk in flight, heartbeats retransmit the unacked chunk. *)
 }
 
-type 'cmd t = {
+type ('cmd, 'snap) t = {
   cfg : config;
   noop : 'cmd;
   log : 'cmd Log.t;
@@ -90,6 +99,13 @@ type 'cmd t = {
   mutable agg_in_flight : bool;
   mutable agg_next : int;
   mutable agg_pending_end : int;
+  mutable snapshot : 'snap Snapshot.meta option;
+      (* Latest state-machine checkpoint, set by the embedder
+         ([set_snapshot]) or received via Install_snapshot. Persistent:
+         it is the durable applied-prefix image, so a crash-restart keeps
+         it (see [recover]). *)
+  mutable incoming : 'snap Snapshot.progress option;
+      (* Chunked install in progress from the current leader. Volatile. *)
 }
 
 let fresh_peer ?(next = 1) () =
@@ -101,10 +117,13 @@ let fresh_peer ?(next = 1) () =
     p_in_flight = false;
     p_direct = false;
     p_sent_seq = -1;
+    p_snap = None;
   }
 
 let create cfg ~noop =
   if cfg.batch_max < 1 then invalid_arg "Node.create: batch_max must be >= 1";
+  if cfg.snap_chunk_bytes < 1 then
+    invalid_arg "Node.create: snap_chunk_bytes must be >= 1";
   let members =
     List.sort_uniq compare (cfg.id :: Array.to_list cfg.peers)
   in
@@ -133,6 +152,8 @@ let create cfg ~noop =
     agg_in_flight = false;
     agg_next = 1;
     agg_pending_end = 0;
+    snapshot = None;
+    incoming = None;
   }
 
 let id t = t.cfg.id
@@ -187,6 +208,22 @@ let set_aggregated t flag =
   end
 
 let aggregated t = t.use_agg
+let snapshot t = t.snapshot
+
+let snapshot_index t =
+  match t.snapshot with Some s -> s.Snapshot.last_idx | None -> 0
+
+(* The embedder checkpointed its state machine: remember the newest image
+   so compaction can discard the covered prefix and lagging followers can
+   be served the image instead of replayed entries. *)
+let set_snapshot t snap =
+  if snap.Snapshot.last_idx > t.applied then
+    invalid_arg "Node.set_snapshot: snapshot beyond the applied index";
+  match t.snapshot with
+  | Some cur when cur.Snapshot.last_idx >= snap.Snapshot.last_idx -> ()
+  | Some _ | None ->
+      t.snapshot <- Some snap;
+      notify t (Obs_snapshot_taken snap.Snapshot.last_idx)
 
 (* --- configuration bookkeeping ------------------------------------- *)
 
@@ -306,8 +343,50 @@ let make_append_entries t ~lo ~hi ~seq =
       seq;
     }
 
+(* A follower is served the snapshot image instead of entries when entry
+   replay is impossible (its next_index fell below the log base — the
+   entries it needs were compacted away) or pointless (its log is empty:
+   the conflict hint told us to start from 1, which is how a freshly
+   added node announces itself — §4.4 catch-up ships the checkpoint, not
+   history). A transfer in progress continues until acked complete. *)
+let needs_snapshot t st =
+  match t.snapshot with
+  | None -> false
+  | Some snap ->
+      st.p_snap <> None
+      || st.p_next <= Log.base t.log
+      || (st.p_match = 0 && st.p_next <= 1 && snap.Snapshot.last_idx > 0)
+
+let send_snapshot t ~force p st emit =
+  match t.snapshot with
+  | None -> ()
+  | Some snap ->
+      if (not st.p_in_flight) || force then begin
+        let offset =
+          match st.p_snap with
+          | Some o when o <= snap.Snapshot.size -> o
+          | Some _ (* superseded by a smaller image: restart *) | None ->
+              notify t (Obs_install_started (p, snap.Snapshot.last_idx));
+              0
+        in
+        st.p_snap <- Some offset;
+        let chunk_bytes = t.cfg.snap_chunk_bytes in
+        let len = Snapshot.chunk_len snap ~chunk_bytes ~offset in
+        let last = Snapshot.is_last snap ~chunk_bytes ~offset in
+        let seq = next_seq t in
+        st.p_sent_seq <- seq;
+        st.p_in_flight <- true;
+        emit
+          (Send
+             ( p,
+               Types.Install_snapshot
+                 { term = t.term; leader = t.cfg.id; snap; offset; len; last; seq }
+             ))
+      end
+
 let replicate_peer t ~force p st emit =
-  if (not st.p_in_flight) || force then begin
+  if needs_snapshot t st then send_snapshot t ~force p st emit
+  else if (not st.p_in_flight) || force then begin
     let nx = st.p_next in
     let hi = min t.announced (nx + t.cfg.batch_max - 1) in
     if hi >= nx || force then begin
@@ -603,6 +682,127 @@ let on_append_ack t ~term ~from ~success ~seq ~match_idx ~applied_idx emit =
       end
   | (Leader | Follower | Candidate), _ -> ()
 
+(* The image is fully received: splice it in. If our log already has a
+   matching entry at the snapshot's last index (Log Matching: the whole
+   prefix matches) the suffix beyond it is kept and only the covered
+   prefix is dropped; otherwise the retained log conflicts with (or falls
+   short of) the committed prefix the snapshot represents and is
+   discarded wholesale. Either way the snapshot's membership becomes the
+   configuration-stack bottom, exactly as [compact] folds committed
+   config entries. *)
+let install_received t snap emit =
+  let idx = snap.Snapshot.last_idx and tm = snap.Snapshot.last_term in
+  let suffix_kept = Log.term_at t.log idx = Some tm in
+  if suffix_kept then Log.compact_to t.log idx
+  else Log.install t.log ~base:idx ~base_term:tm;
+  (* Config entries above idx survive only with the log suffix; the rest
+     fold into the snapshot's membership at the stack bottom. *)
+  let above =
+    if suffix_kept then List.filter (fun (ci, _) -> ci > idx) t.configs else []
+  in
+  t.configs <- above @ [ (0, snap.Snapshot.members) ];
+  sync_peers t;
+  notify t (Obs_config_changed (config_index t, members t));
+  t.snapshot <- Some snap;
+  t.applied <- max t.applied idx;
+  t.verified <- max t.verified idx;
+  (* Tell the embedder to load the image *before* it sees the commit
+     advance, so the apply loop never tries to execute entries the
+     snapshot already covers. *)
+  emit (Snapshot_installed snap);
+  set_commit t idx emit
+
+let on_install_snapshot t ~term ~leader ~snap ~offset ~len ~last:_ ~seq emit =
+  if term < t.term then
+    emit
+      (Send
+         ( leader,
+           Types.Install_ack
+             {
+               term = t.term;
+               from = t.cfg.id;
+               snap_idx = snap.Snapshot.last_idx;
+               next_offset = 0;
+               seq;
+               applied_idx = t.applied;
+             } ))
+  else begin
+    if t.role <> Follower then become_follower t ~term ~leader:(Some leader) emit;
+    t.leader_hint <- Some leader;
+    emit Leader_activity;
+    let next_offset =
+      if snap.Snapshot.last_idx <= t.applied then
+        (* Our state machine already covers this prefix (a retransmit, or
+           we caught up by entries in the meantime): report the transfer
+           complete so the leader resumes entry replication. *)
+        snap.Snapshot.size
+      else begin
+        let prog =
+          match t.incoming with
+          | Some p when Snapshot.same_identity (Snapshot.meta_of p) snap -> p
+          | Some _ (* different snapshot, e.g. new leader: restart *) | None ->
+              let p = Snapshot.start snap in
+              t.incoming <- Some p;
+              p
+        in
+        ignore (Snapshot.accept prog ~offset ~len);
+        if Snapshot.complete prog then begin
+          t.incoming <- None;
+          install_received t snap emit;
+          snap.Snapshot.size
+        end
+        else Snapshot.received prog
+      end
+    in
+    emit
+      (Send
+         ( leader,
+           Types.Install_ack
+             {
+               term = t.term;
+               from = t.cfg.id;
+               snap_idx = snap.Snapshot.last_idx;
+               next_offset;
+               seq;
+               applied_idx = t.applied;
+             } ))
+  end
+
+let on_install_ack t ~term ~from ~snap_idx ~next_offset ~seq ~applied_idx emit =
+  match (t.role, peer_opt t from) with
+  | Leader, Some st when term = t.term -> (
+      st.p_applied <- max st.p_applied applied_idx;
+      let current = seq >= st.p_sent_seq in
+      if current then begin
+        st.p_sent_seq <- seq;
+        st.p_in_flight <- false
+      end;
+      match t.snapshot with
+      | Some snap when st.p_snap <> None ->
+          if snap_idx = snap.Snapshot.last_idx then
+            if next_offset >= snap.Snapshot.size then begin
+              (* Image complete and installed: the follower now matches
+                 the covered prefix; resume entry replication after it. *)
+              st.p_snap <- None;
+              st.p_match <- max st.p_match snap.Snapshot.last_idx;
+              st.p_next <- max st.p_next (snap.Snapshot.last_idx + 1);
+              notify t (Obs_install_completed (from, snap.Snapshot.last_idx));
+              try_advance_commit t emit;
+              if current then replicate t ~force:false emit
+            end
+            else begin
+              st.p_snap <- Some next_offset;
+              if current then replicate_peer t ~force:true from st emit
+            end
+          else if current then begin
+            (* Ack for a superseded snapshot (a newer checkpoint replaced
+               it mid-transfer): restart the new image from the top. *)
+            st.p_snap <- Some 0;
+            replicate_peer t ~force:true from st emit
+          end
+      | Some _ | None -> ())
+  | (Leader | Follower | Candidate), _ -> ()
+
 let on_commit_to t ~term ~commit emit =
   if term = t.term && t.role = Follower then begin
     emit Leader_activity;
@@ -640,9 +840,12 @@ let handle t input =
       if mterm > t.term && not ignore_msg then begin
         let leader =
           match msg with
-          | Types.Append_entries { leader; _ } -> Some leader
+          | Types.Append_entries { leader; _ }
+          | Types.Install_snapshot { leader; _ } ->
+              Some leader
           | Types.Request_vote _ | Types.Vote _ | Types.Append_ack _
-          | Types.Commit_to _ | Types.Agg_ack _ | Types.Timeout_now _ ->
+          | Types.Commit_to _ | Types.Agg_ack _ | Types.Timeout_now _
+          | Types.Install_ack _ ->
               None
         in
         become_follower t ~term:mterm ~leader emit
@@ -659,7 +862,13 @@ let handle t input =
           on_append_ack t ~term ~from ~success ~seq ~match_idx ~applied_idx emit
       | Types.Commit_to { term; commit } -> on_commit_to t ~term ~commit emit
       | Types.Agg_ack { term; commit } -> on_agg_ack t ~term ~commit emit
-      | Types.Timeout_now { term } -> on_timeout_now t ~term emit)
+      | Types.Timeout_now { term } -> on_timeout_now t ~term emit
+      | Types.Install_snapshot { term; leader; snap; offset; len; last; seq } ->
+          on_install_snapshot t ~term ~leader ~snap ~offset ~len ~last ~seq emit
+      | Types.Install_ack { term; from; snap_idx; next_offset; seq; applied_idx }
+        ->
+          on_install_ack t ~term ~from ~snap_idx ~next_offset ~seq ~applied_idx
+            emit)
   | Election_timeout -> if t.role <> Leader then start_election t emit
   | Heartbeat_timeout -> if t.role = Leader then replicate t ~force:true emit
   | Client_command cmd ->
@@ -710,18 +919,23 @@ let handle t input =
 
 (* --- log compaction --- *)
 
-(* The highest index that is safe to discard: everything at or below it
-   has been applied locally and (on a leader) is known replicated on every
-   follower, so no retransmission, conflict back-off or recovery path can
-   ever need it again. A crashed follower pins the leader's bound — full
-   Raft resolves that with InstallSnapshot, which is out of scope for the
-   crash-stop failure model here. *)
+(* The highest index that is safe to discard. With a snapshot it is
+   simply the checkpointed prefix: a follower that later turns out to
+   need discarded entries is served the image instead (Install_snapshot),
+   so a crashed follower no longer pins the leader's bound. Without one
+   (the embedder never checkpoints — the pure-Raft tests and the model
+   checker run so) replay is the only recovery path, and the bound falls
+   back to the pre-snapshot rule: applied locally and, on a leader, known
+   replicated on every follower. *)
 let compaction_bound t =
-  if t.role = Leader then
-    List.fold_left
-      (fun acc p -> min acc (match_index_of t p))
-      t.applied (current_peers t)
-  else t.applied
+  match t.snapshot with
+  | Some snap -> snap.Snapshot.last_idx
+  | None ->
+      if t.role = Leader then
+        List.fold_left
+          (fun acc p -> min acc (match_index_of t p))
+          t.applied (current_peers t)
+      else t.applied
 
 let compact t ~retain =
   if retain < 0 then invalid_arg "Node.compact: negative retention";
@@ -740,7 +954,7 @@ let compact t ~retain =
 
 (* --- snapshot / restore (for the model checker) --- *)
 
-type 'cmd dump = {
+type ('cmd, 'snap) dump = {
   d_term : Types.term;
   d_role : role;
   d_voted_for : Types.node_id option;
@@ -748,8 +962,14 @@ type 'cmd dump = {
   d_commit : int;
   d_applied : int;
   d_verified : int;
-  d_entries : 'cmd Types.entry list;
-  d_peers : (Types.node_id * (bool * int * int * int * bool * bool * int)) list;
+  d_base : int;
+  d_base_term : Types.term;
+  d_entries : 'cmd Types.entry list;  (* retained: index d_base + 1 first *)
+  d_snapshot : 'snap Snapshot.meta option;
+  d_incoming : ('snap Snapshot.meta * int) option;  (* meta, bytes received *)
+  d_peers :
+    (Types.node_id * (bool * int * int * int * bool * bool * int * int option))
+    list;
   d_configs : (int * Types.node_id list) list;
   d_transfer : Types.node_id option;
   d_announced : int;
@@ -769,10 +989,17 @@ let dump t =
     d_commit = t.commit;
     d_applied = t.applied;
     d_verified = t.verified;
+    d_base = Log.base t.log;
+    d_base_term =
+      (match Log.term_at t.log (Log.base t.log) with Some tm -> tm | None -> 0);
     d_entries =
-      (if Log.base t.log <> 0 then
-         invalid_arg "Node.dump: compacted logs are not dumpable";
-       Array.to_list (Log.slice t.log ~lo:1 ~hi:(Log.last_index t.log)));
+      Array.to_list
+        (Log.slice t.log ~lo:(Log.first_index t.log) ~hi:(Log.last_index t.log));
+    d_snapshot = t.snapshot;
+    d_incoming =
+      (match t.incoming with
+      | Some p -> Some (Snapshot.meta_of p, Snapshot.received p)
+      | None -> None);
     d_peers =
       Hashtbl.fold
         (fun p st acc ->
@@ -783,7 +1010,8 @@ let dump t =
               st.p_applied,
               st.p_in_flight,
               st.p_direct,
-              st.p_sent_seq ) )
+              st.p_sent_seq,
+              st.p_snap ) )
           :: acc)
         t.peers_tbl []
       |> List.sort compare;
@@ -806,10 +1034,16 @@ let restore cfg ~noop d =
   t.commit <- d.d_commit;
   t.applied <- d.d_applied;
   t.verified <- d.d_verified;
+  Log.install t.log ~base:d.d_base ~base_term:d.d_base_term;
   List.iter (fun e -> ignore (Log.append t.log e)) d.d_entries;
+  t.snapshot <- d.d_snapshot;
+  t.incoming <-
+    (match d.d_incoming with
+    | Some (meta, got) -> Some (Snapshot.resume meta ~got)
+    | None -> None);
   Hashtbl.reset t.peers_tbl;
   List.iter
-    (fun (p, (v, nx, m, a, inf, dir, seq)) ->
+    (fun (p, (v, nx, m, a, inf, dir, seq, snap)) ->
       Hashtbl.replace t.peers_tbl p
         {
           p_vote = v;
@@ -819,6 +1053,7 @@ let restore cfg ~noop d =
           p_in_flight = inf;
           p_direct = dir;
           p_sent_seq = seq;
+          p_snap = snap;
         })
     d.d_peers;
   t.configs <- d.d_configs;
@@ -850,6 +1085,11 @@ let recover t =
   t.commit <- t.applied;
   t.verified <- t.applied;
   t.gate <- None;
+  t.incoming <- None;
+  (* [t.snapshot] survives: it is the durable applied-prefix checkpoint
+     (the embedder's state machine is persistent up to [applied], and the
+     image was cut from it). A half-received install, by contrast, is
+     volatile and the transfer restarts from offset 0. *)
   t.use_agg <- false;
   t.agg_in_flight <- false;
   t.agg_next <- 1;
@@ -863,8 +1103,15 @@ type 'cmd dump_info = {
   i_term : Types.term;
   i_role : role;
   i_commit : int;
+  i_base : int;
   i_entries : 'cmd Types.entry list;
 }
 
 let dump_info d =
-  { i_term = d.d_term; i_role = d.d_role; i_commit = d.d_commit; i_entries = d.d_entries }
+  {
+    i_term = d.d_term;
+    i_role = d.d_role;
+    i_commit = d.d_commit;
+    i_base = d.d_base;
+    i_entries = d.d_entries;
+  }

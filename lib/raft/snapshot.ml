@@ -1,0 +1,66 @@
+(* Snapshot descriptors and chunked-transfer bookkeeping.
+
+   This module is deliberately free of dependencies on the rest of the
+   Raft library: a snapshot is described by plain integers (indices,
+   terms, byte counts) plus an opaque state-machine image supplied by the
+   embedder. [Node] layers the protocol state machine on top; here live
+   only the data definitions and the offset arithmetic both ends of a
+   transfer share. *)
+
+type 'snap meta = {
+  last_idx : int;  (* highest log index the snapshot covers *)
+  last_term : int;  (* term of entry [last_idx] *)
+  members : int list;  (* cluster membership as of [last_idx], sorted *)
+  size : int;  (* serialized size in bytes; drives chunking *)
+  data : 'snap;  (* the embedder's state-machine image *)
+}
+
+let make ~last_idx ~last_term ~members ~size ~data =
+  if last_idx < 0 then invalid_arg "Snapshot.make: negative index";
+  if size < 0 then invalid_arg "Snapshot.make: negative size";
+  { last_idx; last_term; members = List.sort_uniq compare members; size; data }
+
+(* Two descriptors name the same snapshot iff they cover the same log
+   prefix. (last_idx, last_term) identifies the prefix by the Log
+   Matching property, so resuming a transfer only needs these two. *)
+let same_identity a b = a.last_idx = b.last_idx && a.last_term = b.last_term
+
+let chunk_len t ~chunk_bytes ~offset =
+  if chunk_bytes < 1 then invalid_arg "Snapshot.chunk_len: chunk_bytes < 1";
+  if offset < 0 || offset > t.size then
+    invalid_arg "Snapshot.chunk_len: offset outside snapshot"
+  else min chunk_bytes (t.size - offset)
+
+let is_last t ~chunk_bytes ~offset = offset + chunk_len t ~chunk_bytes ~offset >= t.size
+
+(* --- receiver side ---
+
+   The follower accepts chunks strictly in order and remembers how many
+   contiguous bytes it holds; every chunk is answered with that count, so
+   a dropped or reordered chunk makes the leader resend from exactly the
+   right offset (offset-based flow control, one chunk in flight). *)
+
+type 'snap progress = {
+  p_meta : 'snap meta;
+  mutable p_got : int;  (* contiguous bytes received so far *)
+}
+
+let start meta = { p_meta = meta; p_got = 0 }
+
+let resume meta ~got =
+  if got < 0 || got > meta.size then invalid_arg "Snapshot.resume";
+  { p_meta = meta; p_got = got }
+
+(* [accept] is idempotent: a duplicate (offset < p_got) or a gap
+   (offset > p_got) leaves the progress untouched; only the next expected
+   chunk advances it. Returns whether the chunk advanced the transfer. *)
+let accept t ~offset ~len =
+  if offset = t.p_got && len >= 0 && offset + len <= t.p_meta.size then begin
+    t.p_got <- offset + len;
+    true
+  end
+  else false
+
+let received t = t.p_got
+let meta_of t = t.p_meta
+let complete t = t.p_got >= t.p_meta.size

@@ -1,0 +1,61 @@
+(** Snapshot descriptors and chunked-transfer bookkeeping.
+
+    A snapshot is a checkpoint of the applied state machine: an opaque
+    image plus the metadata Raft needs to splice it into a log — the last
+    covered index and its term (the Log Matching identity of the covered
+    prefix), the membership as of that index, and a serialized size that
+    drives chunked transfer over the fabric. [Node] owns the protocol;
+    this module owns the data and the offset arithmetic. *)
+
+type 'snap meta = {
+  last_idx : int;  (** Highest log index the snapshot covers. *)
+  last_term : int;  (** Term of entry [last_idx]. *)
+  members : int list;  (** Cluster membership as of [last_idx], sorted. *)
+  size : int;  (** Serialized size in bytes; drives chunking. *)
+  data : 'snap;  (** The embedder's state-machine image. *)
+}
+
+val make :
+  last_idx:int ->
+  last_term:int ->
+  members:int list ->
+  size:int ->
+  data:'snap ->
+  'snap meta
+(** Validating constructor; sorts and dedups [members]. *)
+
+val same_identity : 'snap meta -> 'snap meta -> bool
+(** Whether two descriptors cover the same log prefix
+    ([last_idx], [last_term] equal). Transfers resume only across
+    identical identities; a mid-transfer leader change with a different
+    snapshot restarts from offset 0. *)
+
+val chunk_len : 'snap meta -> chunk_bytes:int -> offset:int -> int
+(** Bytes of the chunk starting at [offset] (the final chunk may be
+    short; 0 only for an empty snapshot). *)
+
+val is_last : 'snap meta -> chunk_bytes:int -> offset:int -> bool
+(** Whether the chunk at [offset] is the final one. *)
+
+(** {1 Receiver-side progress}
+
+    Chunks are accepted strictly in order; the receiver acknowledges
+    every chunk with the count of contiguous bytes it holds, which is
+    exactly the offset the sender must (re)transmit next. *)
+
+type 'snap progress
+
+val start : 'snap meta -> 'snap progress
+
+val resume : 'snap meta -> got:int -> 'snap progress
+(** Rebuild progress from a dumped (meta, received-bytes) pair. *)
+
+val accept : 'snap progress -> offset:int -> len:int -> bool
+(** Record a chunk. Returns [true] iff it was the next expected chunk
+    and advanced the transfer; duplicates and gaps are ignored. *)
+
+val received : 'snap progress -> int
+(** Contiguous bytes received so far — the next expected offset. *)
+
+val meta_of : 'snap progress -> 'snap meta
+val complete : 'snap progress -> bool

@@ -1,8 +1,12 @@
-(** Raft wire types, polymorphic in the replicated command.
+(** Raft wire types, polymorphic in the replicated command and in the
+    snapshot image.
 
     VanillaRaft instantiates ['cmd] with full request bodies; HovercRaft
     instantiates it with fixed-size ordering metadata (§3.2), which is what
-    makes its append_entries cost independent of request size. *)
+    makes its append_entries cost independent of request size. ['snap] is
+    the embedder's serialized state-machine image, carried by
+    [Install_snapshot]; the pure-Raft tests and the model checker use
+    simple concrete types there. *)
 
 type term = int
 type node_id = int
@@ -12,7 +16,7 @@ type node_id = int
     before first announcement, §3.3). *)
 type 'cmd entry = { term : term; cmd : 'cmd }
 
-type 'cmd message =
+type ('cmd, 'snap) message =
   | Request_vote of {
       term : term;
       candidate : node_id;
@@ -57,6 +61,33 @@ type 'cmd message =
       (** Cooperative leadership transfer (Raft §3.10): the leader, having
           brought the target fully up to date, tells it to start an
           election immediately without waiting for its election timer. *)
+  | Install_snapshot of {
+      term : term;
+      leader : node_id;
+      snap : 'snap Snapshot.meta;
+      offset : int;  (** Byte offset of this chunk within the image. *)
+      len : int;  (** Bytes carried by this chunk. *)
+      last : bool;  (** Final chunk of the image. *)
+      seq : int;
+          (** Same pacing counter as append_entries: one chunk in flight
+              per follower, heartbeats retransmit the unacked chunk. *)
+    }
+      (** Leader -> lagging follower: one chunk of a state-machine
+          checkpoint, sent point-to-point whenever the follower's
+          next_index has fallen below the leader's log base (the entries
+          it would need were compacted away) or the follower is brand new
+          (PR 3 [add_node] catch-up). *)
+  | Install_ack of {
+      term : term;
+      from : node_id;
+      snap_idx : int;  (** Echo of the snapshot identity being acked. *)
+      next_offset : int;
+          (** Contiguous bytes received: exactly the offset the leader
+              must send next; >= the snapshot size means the image is
+              complete and installed. *)
+      seq : int;
+      applied_idx : int;
+    }
 
 let message_term = function
   | Request_vote { term; _ }
@@ -65,7 +96,9 @@ let message_term = function
   | Append_ack { term; _ }
   | Commit_to { term; _ }
   | Agg_ack { term; _ }
-  | Timeout_now { term } ->
+  | Timeout_now { term }
+  | Install_snapshot { term; _ }
+  | Install_ack { term; _ } ->
       term
 
 let pp_message fmt = function
@@ -83,3 +116,10 @@ let pp_message fmt = function
   | Commit_to { term; commit } -> Format.fprintf fmt "commit_to(t=%d,%d)" term commit
   | Agg_ack { term; commit } -> Format.fprintf fmt "agg_ack(t=%d,%d)" term commit
   | Timeout_now { term } -> Format.fprintf fmt "timeout_now(t=%d)" term
+  | Install_snapshot { term; leader; snap; offset; len; last; _ } ->
+      Format.fprintf fmt "install_snapshot(t=%d,l=%d,idx=%d@%d,off=%d,len=%d%s)"
+        term leader snap.Snapshot.last_idx snap.Snapshot.last_term offset len
+        (if last then ",last" else "")
+  | Install_ack { term; from; snap_idx; next_offset; applied_idx; _ } ->
+      Format.fprintf fmt "install_ack(t=%d,from=%d,idx=%d,next=%d,applied=%d)"
+        term from snap_idx next_offset applied_idx

@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.suite);
       ("cluster", Test_cluster.suite);
       ("chaos", Test_chaos.suite);
+      ("snapshot", Test_snapshot.suite);
       ("reconfig", Test_reconfig.suite);
       ("invariants", Test_invariants.suite);
       ("mc", Test_mc.suite);

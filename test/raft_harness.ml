@@ -13,12 +13,15 @@ module Log = Hovercraft_raft.Log
 module Types = Hovercraft_raft.Types
 
 type cmd = int
+type snap = int
+(* The snapshot payload in harness tests is just a marker int; the
+   consensus layer treats it opaquely. *)
 
 type t = {
-  nodes : cmd Node.t array;
+  nodes : (cmd, snap) Node.t array;
   crashed : bool array;
   (* In-flight messages as (destination, message). *)
-  mutable bag : (int * cmd Types.message) list;
+  mutable bag : (int * (cmd, snap) Types.message) list;
   rng : Rng.t;
   mutable committed : (int * cmd Types.entry) list;
       (* Every (index, entry) ever observed committed anywhere; used for
@@ -37,6 +40,7 @@ let create ?(n = 3) ~seed () =
               peers = peers id;
               batch_max = 8;
               eager_commit_notify = false;
+              snap_chunk_bytes = 64;
             }
             ~noop:(-1));
     crashed = Array.make n false;
@@ -146,7 +150,8 @@ let perform t src actions =
           (* Eager application: report progress immediately. *)
           ignore (Node.handle t.nodes.(src) (Node.Applied_up_to c))
       | Node.Appended _ | Node.Became_leader | Node.Became_follower _
-      | Node.Leader_activity | Node.Reject_command _ ->
+      | Node.Leader_activity | Node.Reject_command _
+      | Node.Snapshot_installed _ ->
           ())
     actions
 

@@ -49,6 +49,7 @@ let forced_leader id n =
         peers = Array.init (n - 1) (fun k -> if k < id then k else k + 1);
         batch_max = 8;
         eager_commit_notify = false;
+        snap_chunk_bytes = 64;
       }
       ~noop:(-1)
   in
@@ -66,7 +67,7 @@ let test_detects_election_violation () =
   let follower =
     Node.dump
       (Node.create
-         { Node.id = 2; peers = [| 0; 1 |]; batch_max = 8; eager_commit_notify = false }
+         { Node.id = 2; peers = [| 0; 1 |]; batch_max = 8; eager_commit_notify = false; snap_chunk_bytes = 64 }
          ~noop:(-1))
   in
   let bad =
@@ -115,7 +116,7 @@ let test_detects_commit_divergence () =
   ignore (Node.handle b Node.Election_timeout);
   let follower =
     Node.create
-      { Node.id = 2; peers = [| 0; 1 |]; batch_max = 8; eager_commit_notify = false }
+      { Node.id = 2; peers = [| 0; 1 |]; batch_max = 8; eager_commit_notify = false; snap_chunk_bytes = 64 }
       ~noop:(-1)
   in
   let bad = Model.of_nodes cfg [| Node.dump a; Node.dump b; Node.dump follower |] in

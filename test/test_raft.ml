@@ -174,7 +174,7 @@ let test_announce_gate_blocks () =
 let test_aggregated_send () =
   let nd =
     Node.create
-      { Node.id = 0; peers = [| 1; 2 |]; batch_max = 8; eager_commit_notify = false }
+      { Node.id = 0; peers = [| 1; 2 |]; batch_max = 8; eager_commit_notify = false; snap_chunk_bytes = 64 }
       ~noop:(-1)
   in
   ignore (Node.handle nd Node.Election_timeout);
@@ -196,7 +196,7 @@ let test_aggregated_send () =
 let test_agg_failure_ack_triggers_direct () =
   let nd =
     Node.create
-      { Node.id = 0; peers = [| 1; 2 |]; batch_max = 8; eager_commit_notify = false }
+      { Node.id = 0; peers = [| 1; 2 |]; batch_max = 8; eager_commit_notify = false; snap_chunk_bytes = 64 }
       ~noop:(-1)
   in
   ignore (Node.handle nd Node.Election_timeout);
