@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check obs-snapshot snapshot chaos reconfig clean
+.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard clean
 
 all: build
 
@@ -33,6 +33,17 @@ chaos:
 # any history-checker violation or a wedged recovery.
 reconfig:
 	dune exec bin/hovercraft.exe -- reconfig --seed 4 --duration-ms 2000
+
+# Multi-Raft sharding smoke: 4 groups / 2 active, split both onto the
+# dormant targets and rebalance slots back with a live move_shard, all
+# under sustained YCSB-B load; exits non-zero on any per-group or
+# cross-map history-checker violation.
+shard:
+	dune exec bin/hovercraft.exe -- shard --seed 4 --duration-ms 1500
+
+# kRPS-under-SLO vs shard count on a fixed per-host budget (YCSB-B).
+bench-shard:
+	dune exec bench/main.exe -- shardscale
 
 clean:
 	dune clean

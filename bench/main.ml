@@ -9,7 +9,11 @@
      dune exec bench/main.exe                  # everything, fast windows
      dune exec bench/main.exe -- fig9 fig13    # a subset
      dune exec bench/main.exe -- --full all    # longer measurement windows
-     dune exec bench/main.exe -- micro         # microbenchmarks only *)
+     dune exec bench/main.exe -- micro         # microbenchmarks only
+     dune exec bench/main.exe -- shardscale    # kRPS@SLO vs shard count
+
+   JSON artifacts (the observability snapshot) default to _build/ or the
+   temp dir; --out PATH overrides. *)
 
 open Hovercraft_sim
 open Hovercraft_cluster
@@ -226,21 +230,68 @@ let obs_snapshot ~file () =
     (Deploy.total_pending_recoveries deploy)
     file
 
+(* ------------------------------------------------------------------ *)
+(* shardscale: kRPS under a p99 SLO as the shard count grows on a FIXED
+   per-host budget (Shard_experiment.shardscale), YCSB-B. *)
+
+let shardscale ~quality () =
+  Printf.printf
+    "\n\
+     === shardscale: YCSB-B kRPS under 500us p99 SLO vs shard count ===\n\
+     (per-host NIC/switch budget fixed; each group runs on a 1/S slice)\n";
+  let results = Hovercraft_shard.Shard_experiment.shardscale ~quality () in
+  let base =
+    match results with (1, knee) :: _ -> knee | _ -> nan
+  in
+  let rows =
+    List.map
+      (fun (s, knee) ->
+        [
+          string_of_int s;
+          Printf.sprintf "%.0f" (knee /. 1e3);
+          (if Float.is_nan base || base <= 0. then "-"
+           else Printf.sprintf "%.2fx" (knee /. base));
+        ])
+      results
+  in
+  Table.print ~header:[ "shards"; "kRPS@SLO"; "vs S=1" ] rows
+
+(* Artifacts land under _build/ (or the temp dir when there is no build
+   tree), never the repository root; --out overrides. *)
+let default_out name =
+  let dir =
+    if Sys.file_exists "_build" && Sys.is_directory "_build" then "_build"
+    else Filename.get_temp_dir_name ()
+  in
+  Filename.concat dir name
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quality =
     if List.mem "--full" args then Experiment.Full else Experiment.Fast
   in
+  let rec extract_out acc = function
+    | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> extract_out (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let out, args = extract_out [] args in
   let args = List.filter (fun a -> a <> "--full") args in
-  let wanted_figures, want_micro, want_snapshot =
+  let out =
+    match out with Some p -> p | None -> default_out "hovercraft_snapshot.json"
+  in
+  let special = [ "micro"; "snapshot"; "shardscale" ] in
+  let wanted_figures, want_micro, want_snapshot, want_shardscale =
     match args with
-    | [] -> (Figures.names |> List.filter (fun n -> n <> "all"), true, true)
-    | [ "micro" ] -> ([], true, false)
-    | [ "snapshot" ] -> ([], false, true)
+    | [] -> (Figures.names |> List.filter (fun n -> n <> "all"), true, true, false)
+    | [ "micro" ] -> ([], true, false, false)
+    | [ "snapshot" ] -> ([], false, true, false)
+    | [ "shardscale" ] -> ([], false, false, true)
     | names ->
-        ( List.filter (fun n -> n <> "micro" && n <> "snapshot") names,
+        ( List.filter (fun n -> not (List.mem n special)) names,
           List.mem "micro" names,
-          List.mem "snapshot" names )
+          List.mem "snapshot" names,
+          List.mem "shardscale" names )
   in
   List.iter
     (fun name ->
@@ -248,7 +299,8 @@ let () =
       | Some run -> run ~quality ()
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
-            (String.concat ", " ("micro" :: "snapshot" :: Figures.names)))
+            (String.concat ", " (special @ Figures.names)))
     wanted_figures;
-  if want_snapshot then obs_snapshot ~file:"hovercraft_snapshot.json" ();
+  if want_shardscale then shardscale ~quality ();
+  if want_snapshot then obs_snapshot ~file:out ();
   if want_micro then microbenchmarks ()

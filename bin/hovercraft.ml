@@ -17,6 +17,9 @@
      snapshot  — snapshot/compaction smoke: crash a follower, run past
                  the retention window, restart it and assert it rejoins
                  via Install_snapshot rather than log replay;
+     shard     — Multi-Raft sharding smoke: split the active groups onto
+                 dormant ones and rebalance with a live move_shard under
+                 YCSB-B load, checked by the shard-aware history checker;
      repro     — regenerate the paper's tables and figures by id;
      mc        — model-check bounded Raft / HovercRaft++ instances. *)
 
@@ -27,6 +30,7 @@ open Hovercraft_cluster
 module Service = Hovercraft_apps.Service
 module Ycsb = Hovercraft_apps.Ycsb
 module Jbsq = Hovercraft_r2p2.Jbsq
+module Shard_chaos = Hovercraft_shard.Shard_chaos
 
 (* --- shared arguments ------------------------------------------------ *)
 
@@ -599,6 +603,115 @@ let snapshot_cmd =
           any violation.")
     term
 
+(* --- shard -------------------------------------------------------------------- *)
+
+let shard_cmd =
+  let action n shards active rate seed duration_ms events =
+    let duration = Timebase.ms duration_ms in
+    let kv = Ycsb.Kv.workload_b ~seed in
+    let schedule =
+      if events > 0 then
+        Some (Chaos.random_schedule ~events ~shards ~n ~duration ~seed ())
+      else Some []
+    in
+    (* The smoke scenario: start with [active] groups owning the map,
+       split each live group onto a dormant one (active -> 2*active, e.g.
+       2 -> 4), then move a few slots back — a plain rebalance — all
+       under sustained YCSB-B load. *)
+    let at pct = duration * pct / 100 in
+    let splits =
+      List.init (min active (shards - active)) (fun i ->
+          ( at (20 + (25 * i)),
+            Shard_chaos.Split { source = i; target = active + i } ))
+    in
+    let migrations =
+      if shards > active then
+        splits
+        @ [
+            (* By 75% the first split has long finished: its target owns
+               the upper half of group 0's original block. Move two of
+               those slots back — exercising move_shard proper. *)
+            ( at 78,
+              Shard_chaos.Move
+                { slots = [ 64 / (2 * active); (64 / (2 * active)) + 1 ];
+                  target = 0 } );
+          ]
+      else []
+    in
+    let outcome =
+      Shard_chaos.run
+        ~params:(chaos_params ~n ~seed)
+        ~shards ~active ~rate_rps:rate ~flow_cap:1000 ~duration ?schedule
+        ~migrations
+        ~preload:(Ycsb.Kv.preload_ops kv)
+        ~workload:(fun _rng -> Ycsb.Kv.next kv)
+        ~seed ()
+    in
+    Printf.printf "timeline (seed %d, %d shards, %d active):\n" seed shards
+      active;
+    List.iter
+      (fun (t_s, what) -> Printf.printf "  t=%.2fs  %s\n" t_s what)
+      outcome.Shard_chaos.events;
+    Printf.printf "completed %d, nacked %d, lost %d, retried %d, rerouted %d\n"
+      outcome.Shard_chaos.report.Loadgen.completed
+      outcome.Shard_chaos.report.Loadgen.nacked
+      outcome.Shard_chaos.report.Loadgen.lost outcome.Shard_chaos.retried
+      outcome.Shard_chaos.rerouted;
+    Printf.printf "p50 %.1f us, p99 %.1f us, goodput %.1f kRPS\n"
+      outcome.Shard_chaos.report.Loadgen.p50_us
+      outcome.Shard_chaos.report.Loadgen.p99_us
+      (outcome.Shard_chaos.report.Loadgen.goodput_rps /. 1e3);
+    Printf.printf "migrations %d, final map version %d\n"
+      outcome.Shard_chaos.migrations outcome.Shard_chaos.map_version;
+    Printf.printf
+      "exactly-once %b; committed-preserved %b; caught-up %b; consistent %b; \
+       pending recoveries %d\n"
+      outcome.Shard_chaos.exactly_once_ok
+      outcome.Shard_chaos.committed_preserved outcome.Shard_chaos.caught_up
+      outcome.Shard_chaos.consistent outcome.Shard_chaos.pending_recoveries;
+    if outcome.Shard_chaos.violations <> [] then begin
+      List.iter (Printf.printf "VIOLATION: %s\n") outcome.Shard_chaos.violations;
+      exit 1
+    end
+  in
+  let nodes =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Nodes per Raft group.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~doc:"Total Raft groups (dormant split targets included).")
+  in
+  let active =
+    Arg.(
+      value & opt int 2
+      & info [ "active" ] ~doc:"Groups initially owning the key space.")
+  in
+  let rate =
+    Arg.(value & opt float 80_000. & info [ "rate" ] ~doc:"Offered load in RPS.")
+  in
+  let dur =
+    Arg.(value & opt int 2000 & info [ "duration-ms" ] ~doc:"Run length.")
+  in
+  let events =
+    Arg.(
+      value & opt int 0
+      & info [ "events" ]
+          ~doc:"Per-shard fault budget (0 = migrations only, no faults).")
+  in
+  let term =
+    Term.(
+      const action $ nodes $ shards $ active $ rate $ seed_arg $ dur $ events)
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Multi-Raft sharding smoke: split the active groups onto dormant \
+          ones and rebalance with a live move_shard, under sustained YCSB-B \
+          load, then run the shard-aware history checker; exits non-zero on \
+          any violation.")
+    term
+
 (* --- mc ------------------------------------------------------------------------ *)
 
 let mc_cmd =
@@ -687,6 +800,7 @@ let () =
             chaos_cmd;
             reconfig_cmd;
             snapshot_cmd;
+            shard_cmd;
             repro_cmd;
             mc_cmd;
           ]))

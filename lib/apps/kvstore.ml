@@ -180,6 +180,29 @@ let execute t cmd =
           Records !out
       | Some _ -> Wrong_type)
 
+let key_of = function
+  | Nop -> None
+  | Get k | Put (k, _) | Del k | Lpush (k, _) | Rpush (k, _)
+  | Lrange (k, _, _) | Llen k | Hset (k, _, _) | Hget (k, _) | Hgetall k
+  | Sadd (k, _) | Srem (k, _) | Sismember (k, _) | Scard k ->
+      Some k
+  | Insert { thread; _ } | Scan { thread; _ } -> Some thread
+
+(* FNV-1a over the key bytes, folded modulo the slot count. The shard map
+   partitions on this: it must be a stable function of the key string
+   alone (Hashtbl.hash would tie the partitioning to the runtime's
+   internal hashing), and it must spread YCSB's "userNNNNNNNN" keys
+   evenly — the distribution test holds it to ±20% of uniform. *)
+let slot_of_key ~slots key =
+  if slots <= 0 then invalid_arg "Kvstore.slot_of_key: slots must be positive";
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193)
+    key;
+  (!h land max_int) mod slots
+
 let is_read_only = function
   | Nop | Get _ | Lrange _ | Llen _ | Hget _ | Hgetall _ | Sismember _
   | Scard _ | Scan _ ->
@@ -230,6 +253,28 @@ let snapshot t =
 let install t img =
   Hashtbl.reset t.table;
   List.iter (fun (k, v) -> Hashtbl.replace t.table k (copy_value v)) img
+
+(* Sub-range images, for shard migration: [extract] cuts a deep copy of
+   just the keys a predicate keeps, [merge] unions an image into a live
+   store (per-key replace, no reset), and [prune] drops the keys a
+   predicate rejects. All three keep the deep-copy discipline of
+   [snapshot]/[install] so images never alias live state. *)
+
+let extract t ~keep =
+  Hashtbl.fold
+    (fun k v acc -> if keep k then (k, copy_value v) :: acc else acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge t img =
+  List.iter (fun (k, v) -> Hashtbl.replace t.table k (copy_value v)) img
+
+let prune t ~keep =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if keep k then acc else k :: acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  List.length doomed
 
 (* --- sizing --- *)
 

@@ -53,6 +53,16 @@ val is_read_only : cmd -> bool
 (** Whether the command leaves the store unchanged; read-only commands may
     be load-balanced to a single replica (§3.5). *)
 
+val key_of : cmd -> string option
+(** The single key (or thread) a command touches — every command is
+    single-key, which is what makes hash sharding sound. [None] only for
+    [Nop]. *)
+
+val slot_of_key : slots:int -> string -> int
+(** Deterministic FNV-1a partitioner: maps a key to a slot in
+    [0, slots). Stable across runs and runtimes (unlike [Hashtbl.hash]);
+    the shard map routes on it. *)
+
 val keys : t -> int
 (** Number of live keys (threads count as one key each). *)
 
@@ -78,6 +88,19 @@ val install : t -> image -> unit
 
 val image_bytes : image -> int
 (** Estimated serialized size, for transfer-chunking arithmetic. *)
+
+val extract : t -> keep:(string -> bool) -> image
+(** Cut a detached deep copy of just the keys [keep] accepts — the
+    shard-migration sub-range image. *)
+
+val merge : t -> image -> unit
+(** Union an image into the store (per-key replace; keys outside the
+    image are untouched). The image stays reusable. *)
+
+val prune : t -> keep:(string -> bool) -> int
+(** Drop every key [keep] rejects; returns how many were removed. The
+    migration epilogue runs this on the source shard once ownership has
+    moved. *)
 
 (** {1 Sizing and cost model}
 

@@ -9,8 +9,20 @@ type t =
       rep_bytes : int;
     }
   | Kv of Kvstore.cmd
+  | Merge of { chunk : Kvstore.image; completions : completion list }
+  | Prune of { slots : int; drop : int list }
 
-type result = Done | Kv_reply of Kvstore.reply
+and result = Done | Kv_reply of Kvstore.reply
+
+and completion = {
+  c_rid : Hovercraft_r2p2.R2p2.req_id;
+  c_result : result;
+  c_at : Timebase.t;
+}
+
+(* Roughly a rid triple + result + timestamp on the wire; matches the
+   snapshot subsystem's per-record accounting. *)
+let completion_wire_bytes = 40
 
 type state = {
   kv : Kvstore.t;
@@ -39,22 +51,46 @@ let apply state op =
   | Kv cmd ->
       let reply = Kvstore.execute state.kv cmd in
       (Kv_reply reply, Kvstore.cost_ns cmd reply)
+  | Merge { chunk; _ } ->
+      (* The sub-range lands in the store wholesale; cost scales with the
+         image (a memcpy-rate install, not per-command execution). The
+         carried completion records are seeded by the SMR layer, which
+         owns the completion table. *)
+      Kvstore.merge state.kv chunk;
+      (Done, 2_000 + (Kvstore.image_bytes chunk / 16))
+  | Prune { slots; drop } ->
+      let removed =
+        Kvstore.prune state.kv ~keep:(fun k ->
+            not (List.mem (Kvstore.slot_of_key ~slots k) drop))
+      in
+      (Done, 2_000 + (1_000 * removed))
 
 let read_only = function
   | Nop -> true
   | Synth { read_only; _ } -> read_only
   | Kv cmd -> Kvstore.is_read_only cmd
+  | Merge _ | Prune _ -> false
+
+let key = function
+  | Kv cmd -> Kvstore.key_of cmd
+  | Nop | Synth _ | Merge _ | Prune _ -> None
 
 let request_bytes = function
   | Nop -> 8
   | Synth { req_bytes; _ } -> req_bytes
   | Kv cmd -> Kvstore.cmd_bytes cmd
+  | Merge { completions; _ } ->
+      (* The bulk image was pre-staged at the target group by the chunked
+         snapshot transfer (Shard migration); the ordered entry carries
+         only the handle and the completion records. *)
+      64 + (completion_wire_bytes * List.length completions)
+  | Prune { drop; _ } -> 24 + (8 * List.length drop)
 
 let reply_bytes op result =
   match (op, result) with
   | Synth { rep_bytes; _ }, _ -> rep_bytes
   | _, Kv_reply r -> Kvstore.reply_bytes r
-  | (Nop | Kv _), Done -> 8
+  | (Nop | Kv _ | Merge _ | Prune _), Done -> 8
 
 let executed state = state.applied
 
@@ -83,6 +119,8 @@ let install state img =
 
 let image_bytes img = 32 + Kvstore.image_bytes img.im_kv
 
+let extract_kv state ~keep = Kvstore.extract state.kv ~keep
+
 (* Deliberately excludes the execution counter: read-only operations run on
    a single replica (§3.5), so replicas agree on state, not on how many
    operations they executed. *)
@@ -96,3 +134,7 @@ let pp fmt = function
         (if read_only then "ro" else "rw")
         req_bytes rep_bytes
   | Kv _ -> Format.pp_print_string fmt "kv"
+  | Merge { chunk; completions } ->
+      Format.fprintf fmt "merge(%dB,%d recs)" (Kvstore.image_bytes chunk)
+        (List.length completions)
+  | Prune { drop; _ } -> Format.fprintf fmt "prune(%d slots)" (List.length drop)

@@ -16,8 +16,26 @@ type t =
       rep_bytes : int;  (** Reply payload size. *)
     }
   | Kv of Kvstore.cmd
+  | Merge of { chunk : Kvstore.image; completions : completion list }
+      (** Shard migration: union a pre-staged sub-range image into the
+          store, carrying the source group's completion records so
+          exactly-once survives the ownership handoff. Ordered through
+          the target group's log like any write, so every current and
+          future replica applies it at the same position. *)
+  | Prune of { slots : int; drop : int list }
+      (** Shard migration epilogue on the source group: drop every key
+          hashing (mod [slots]) into one of the [drop] slots. *)
 
-type result = Done | Kv_reply of Kvstore.reply
+and result = Done | Kv_reply of Kvstore.reply
+
+and completion = {
+  c_rid : Hovercraft_r2p2.R2p2.req_id;
+  c_result : result;
+  c_at : Timebase.t;
+}
+(** One exactly-once completion record riding inside a [Merge]. *)
+
+val completion_wire_bytes : int
 
 type state
 (** One replica's application state. *)
@@ -29,6 +47,12 @@ val apply : state -> t -> result * Timebase.t
     CPU time the execution costs. Deterministic. *)
 
 val read_only : t -> bool
+
+val key : t -> string option
+(** The key the operation routes on, for shard partitioning. [None] for
+    keyless operations (Nop, Synth, the migration ops themselves) — a
+    shard filter must accept those everywhere. *)
+
 val request_bytes : t -> int
 val reply_bytes : t -> result -> int
 
@@ -58,5 +82,10 @@ val install : state -> image -> unit
 
 val image_bytes : image -> int
 (** Estimated serialized size in bytes, for transfer chunking. *)
+
+val extract_kv : state -> keep:(string -> bool) -> Kvstore.image
+(** Cut a deep-copied image of just the store keys [keep] accepts (the
+    migration export); the synthetic service's digest state stays put —
+    only the partitioned store moves between shards. *)
 
 val pp : Format.formatter -> t -> unit

@@ -41,6 +41,11 @@ type event =
   | Transfer of int
       (** Cooperative leadership transfer to a node id; skipped if the
           target is dead or removed. *)
+  | Shard of int * event
+      (** Route the inner event to Raft group [g] of a sharded (multi-
+          group) deployment. The single-group {!run} ignores these with a
+          timeline note; the sharded runner unwraps the tag and applies
+          the inner event to the right group. *)
 
 type step = { at : Timebase.t; event : event }
 (** [at] is relative to the start of the chaos run. *)
@@ -50,6 +55,7 @@ val pp_event : Format.formatter -> event -> unit
 val random_schedule :
   ?events:int ->
   ?reconfig:bool ->
+  ?shards:int ->
   n:int ->
   duration:Timebase.t ->
   seed:int ->
@@ -63,7 +69,14 @@ val random_schedule :
     [Add_node] / [Remove_node] / [Transfer] membership churn, tracked in
     the same model (removals only while everything is healthy and at least
     four members remain); without it, schedules are identical to what
-    older seeds produced. Deterministic per [seed]. Requires [n >= 3]. *)
+    older seeds produced. Deterministic per [seed]. Requires [n >= 3].
+
+    [shards] (default 1) targets a sharded deployment: each group [g] of
+    [shards] gets an independent schedule of up to [events] faults under a
+    seed derived from [seed], wrapped in [Shard g] and merged in time
+    order. [shards = 1] is a strict no-op — the caller's seed drives the
+    single-group generator directly, with zero extra RNG draws, so every
+    historical seed replays byte for byte. *)
 
 type outcome = {
   series : Failure.bucket list;
@@ -93,6 +106,18 @@ type outcome = {
       (** Total snapshots installed across live nodes — catch-ups served
           via [Install_snapshot] rather than entry replay. *)
 }
+
+val apply_event :
+  Deploy.t ->
+  t0:Timebase.t ->
+  timeline:(float * string) list ref ->
+  event ->
+  unit
+(** Apply one event to a deployment right now, appending a human-readable
+    note (seconds since [t0], description) to [timeline] — including for
+    events skipped as illegal (dead target, unknown node, [Shard]-tagged
+    in a single-group run). Exposed so the sharded chaos runner can unwrap
+    [Shard] tags and drive each group's deployment itself. *)
 
 val check :
   ?snapshots:bool ->
@@ -131,7 +156,10 @@ val run :
 (** Drive [schedule] (default: {!random_schedule} from [seed], with
     membership churn when [reconfig] is set) against a
     fresh deployment (default: HovercRaft++, [n] = 5, flow control) under
-    open-loop load with client retries. [params]' body-retention and log
+    open-loop load with client retries. Because the run always attaches
+    the flow-control middlebox, [flow_control] is forced on in the node
+    features — without the per-reply Feedback the middlebox wedges all
+    load at the in-flight cap. [params]' body-retention and log
     windows are widened so crashes stay recoverable and the checker can
     scan full logs: [gc_ordered] covers the run and [log_retain] disables
     compaction for its duration. With [snapshots = Some interval] the run

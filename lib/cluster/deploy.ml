@@ -11,11 +11,19 @@ type config = {
   router_bound : int option;
   switch_gbps : float;
   trace : Trace.t option;
+  engine : Engine.t option;
+      (* Share an existing event engine instead of creating one: how a
+         sharded deployment co-schedules several groups in one simulated
+         timeline. None (the default) keeps the classic one-engine-per-
+         deployment behavior. *)
+  bootstrap : int;
+      (* Which node opens the first election. Staggering this across
+         co-located groups spreads initial leaders over distinct hosts. *)
   params : Hnode.params;
 }
 
 let config ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
-    ?(switch_gbps = 100.) ?trace params =
+    ?(switch_gbps = 100.) ?trace ?engine ?(bootstrap = 0) params =
   if fabric_latency < 0 then invalid_arg "Deploy.config: negative fabric latency";
   if switch_gbps <= 0. then invalid_arg "Deploy.config: switch_gbps must be positive";
   (match flow_cap with
@@ -24,8 +32,11 @@ let config ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
   (match router_bound with
   | Some b when b < 1 -> invalid_arg "Deploy.config: router_bound must be >= 1"
   | Some _ | None -> ());
+  if bootstrap < 0 || bootstrap >= params.Hnode.n then
+    invalid_arg "Deploy.config: bootstrap node outside the initial membership";
   Hnode.validate_params params;
-  { fabric_latency; flow_cap; router_bound; switch_gbps; trace; params }
+  { fabric_latency; flow_cap; router_bound; switch_gbps; trace; engine;
+    bootstrap; params }
 
 type t = {
   engine : Engine.t;
@@ -60,7 +71,9 @@ let live_nodes t = Array.to_list t.nodes |> List.filter Hnode.alive
 
 let create (cfg : config) =
   let params = cfg.params in
-  let engine = Engine.create () in
+  let engine =
+    match cfg.engine with Some e -> e | None -> Engine.create ()
+  in
   let fabric = Fabric.create engine ~latency:cfg.fabric_latency () in
   (* One shared ring for the whole cluster: events from every node
      interleave in simulated-time order, which is what you want when
@@ -118,7 +131,7 @@ let create (cfg : config) =
   (match params.Hnode.mode with
   | Hnode.Unreplicated -> ()
   | Hnode.Vanilla | Hnode.Hover | Hnode.Hover_pp ->
-      Hnode.bootstrap nodes.(0);
+      Hnode.bootstrap nodes.(cfg.bootstrap);
       (* Let leadership (and the aggregator probe) settle. *)
       Engine.run ~until:(Engine.now engine + Timebase.ms 5) engine);
   t

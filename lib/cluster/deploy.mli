@@ -24,6 +24,14 @@ type config = {
   switch_gbps : float;  (** Link rate of every middlebox port. *)
   trace : Hovercraft_obs.Trace.t option;
       (** Shared trace ring; [None] = the deployment creates its own. *)
+  engine : Engine.t option;
+      (** Share an existing event engine instead of creating a fresh one;
+          how a sharded deployment co-schedules several Raft groups in one
+          simulated timeline. [None] = classic one-engine-per-deployment. *)
+  bootstrap : int;
+      (** Node id that opens the first election (default 0). Staggering
+          this across co-located groups spreads initial leaders over
+          distinct hosts. *)
   params : Hnode.params;  (** Per-node parameters (mode, n, costs, timers). *)
 }
 
@@ -33,12 +41,16 @@ val config :
   ?router_bound:int ->
   ?switch_gbps:float ->
   ?trace:Hovercraft_obs.Trace.t ->
+  ?engine:Engine.t ->
+  ?bootstrap:int ->
   Hnode.params ->
   config
 (** [config params] builds a validated deployment config. Defaults: 1 us
     fabric latency, 100 Gbps middlebox links, no flow control, no router,
-    fresh trace. Raises [Invalid_argument] on nonsensical values (negative
-    latency, non-positive rates or caps) and re-validates [params]. *)
+    fresh trace, fresh engine, bootstrap node 0. Raises [Invalid_argument]
+    on nonsensical values (negative latency, non-positive rates or caps, a
+    bootstrap id outside the initial membership) and re-validates
+    [params]. *)
 
 type t = {
   engine : Engine.t;
@@ -64,7 +76,7 @@ val followers_group : int
 (** Multicast group id the aggregator manages (all nodes minus leader). *)
 
 val create : config -> t
-(** Build the deployment. Node 0 is bootstrapped as the initial leader and
+(** Build the deployment. The [bootstrap] node is elected initial leader and
     the engine is advanced (a few simulated ms) until leadership and — for
     HovercRaft++ — the aggregator handshake are established, so callers
     start from a quiesced cluster at a well-defined simulated time. *)

@@ -164,7 +164,8 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
         | Rtypes.Agg_ack _ | Rtypes.Timeout_now _ )
     | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
     | Protocol.Recovery_response _ | Protocol.Probe_reply _
-    | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Nack _ ->
+    | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Nack _
+    | Protocol.Wrong_shard _ ->
         ()
 
 let create engine fabric ~members ~cluster_group ~followers_group ~rate_gbps =

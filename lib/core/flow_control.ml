@@ -31,7 +31,8 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Feedback _ -> if t.inflight > 0 then t.inflight <- t.inflight - 1
   | Protocol.Response _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
-  | Protocol.Agg_commit _ | Protocol.Nack _ | Protocol.Reconfig _ ->
+  | Protocol.Agg_commit _ | Protocol.Nack _ | Protocol.Wrong_shard _
+  | Protocol.Reconfig _ ->
       ()
 
 let create engine fabric ~cap ~group ~rate_gbps =

@@ -215,6 +215,18 @@ type t = {
       (* Index of the newest checkpoint this node holds (taken locally or
          installed); the apply loop cuts the next one [snapshot_interval]
          entries later. *)
+  mutable shard_filter : (Op.t -> bool) option;
+      (* Shard-routing gate (None outside sharded deployments): accepts
+         the operations whose key this node's group owns. Keyless
+         operations must be accepted. Deployment state, not node state —
+         it survives crashes like the map that produced it. *)
+  mutable shard_version : int;
+      (* Version of the shard map the filter was installed under; rides in
+         Wrong_shard NACKs so clients know how stale their map is. *)
+  mutable preloaded : int;
+      (* Operations applied via [preload] (dataset population outside
+         consensus); the history checker subtracts these from the raw
+         execution counter, which they inflate without log entries. *)
   xfer_start : (int, Timebase.t) Hashtbl.t;
       (* Leader: when the in-flight snapshot transfer to each peer began,
          for the install-latency histogram. *)
@@ -252,6 +264,17 @@ let commit_index_internal t =
   match t.raft with Some r -> Rnode.commit_index r | None -> 0
 
 let with_bodies t = t.p.mode = Vanilla
+
+(* The live completion records in FIFO (insertion/expiry) order — the
+   form both checkpoints and shard-migration exports ship them in. *)
+let completion_records t =
+  List.rev
+    (Queue.fold
+       (fun acc (rid, _) ->
+         match Rid_tbl.find_opt t.completions rid with
+         | Some (result, at) -> (rid, result, at) :: acc
+         | None -> acc)
+       [] t.completion_fifo)
 
 (* ------------------------------------------------------------------ *)
 (* Transmission                                                        *)
@@ -607,15 +630,7 @@ and on_snapshot_installed t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta)
    (idx, term-at-idx). Runs inside apply_one's pre-delay atomic section,
    so the image is exactly the state after entry [idx]. *)
 and take_snapshot t raft idx =
-  let completions =
-    List.rev
-      (Queue.fold
-         (fun acc (rid, _) ->
-           match Rid_tbl.find_opt t.completions rid with
-           | Some (result, at) -> (rid, result, at) :: acc
-           | None -> acc)
-         [] t.completion_fifo)
-  in
+  let completions = completion_records t in
   let data = { Protocol.s_app = Op.snapshot t.app_state; s_completions = completions } in
   let last_term = (Rlog.get (Rnode.log raft) idx).Rtypes.term in
   let meta =
@@ -673,6 +688,22 @@ and apply_one t idx (cmd : Protocol.cmd) op =
      durable state, so config entries take effect inside the checkpoint
      too. *)
   t.applied_ptr <- idx;
+  (* A migration Merge carries the source group's completion records: seed
+     them before this entry's own record, inside the same atomic section.
+     A rid the source group already answered must never re-execute here —
+     e.g. a client retry of a pre-migration write that this group ordered
+     again after the map flipped resolves as a duplicate, because the
+     Merge sits earlier in the log. *)
+  (match op with
+  | Op.Merge { completions; _ } ->
+      List.iter
+        (fun { Op.c_rid; c_result; c_at } ->
+          if not (Rid_tbl.mem t.completions c_rid) then begin
+            Rid_tbl.replace t.completions c_rid (c_result, c_at);
+            Queue.push (c_rid, c_at) t.completion_fifo
+          end)
+        completions
+  | _ -> ());
   if not meta.internal then begin
     let now = Engine.now t.engine in
     if not (Rid_tbl.mem t.completions meta.rid) then begin
@@ -798,7 +829,8 @@ let rx_cost t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Raft _ | Protocol.Agg_commit _ -> base + t.p.cost.raft_msg_extra_ns
   | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
-  | Protocol.Feedback _ | Protocol.Nack _ | Protocol.Reconfig _ ->
+  | Protocol.Feedback _ | Protocol.Nack _ | Protocol.Wrong_shard _
+  | Protocol.Reconfig _ ->
       base
 
 (* Read leases (the §3.5 alternative to replier load balancing): the
@@ -867,6 +899,33 @@ let replay_completion t rid op =
       true
   | None -> false
 
+(* Shard-routing gate. A request whose key this group does not own is
+   NACKed back with the responder's map version — but only after
+   [replay_completion] had its chance: answering retransmissions of
+   already-completed requests from the record even for disowned keys is
+   the dual-ownership fence that lets exactly-once survive a migration
+   handoff. Only one node may respond (requests are multicast to the
+   whole group), so the gate runs where replay runs: on the leader. *)
+let shard_rejects t rid op =
+  match t.shard_filter with
+  | Some owns when not (owns op) ->
+      let payload = Protocol.Wrong_shard { rid; version = t.shard_version } in
+      transmit_on t t.net ~dst:rid.R2p2.src_addr
+        ~bytes:(Protocol.payload_bytes ~with_bodies:false payload)
+        ~extra:0 payload;
+      (* The flow-control middlebox charged this rid on admission and only
+         a completion credit refunds it; without one, wrong-shard retries
+         during a migration would wedge the in-flight cap. *)
+      if t.p.features.flow_control then
+        transmit_on t t.net ~dst:Addr.Middlebox
+          ~bytes:
+            (Protocol.payload_bytes ~with_bodies:false
+               (Protocol.Feedback { rid }))
+          ~extra:0
+          (Protocol.Feedback { rid });
+      true
+  | Some _ | None -> false
+
 let rec on_client_request t ~src ~policy rid op =
   match policy with
   | R2p2.Unrestricted ->
@@ -881,14 +940,19 @@ and on_client_replicated t rid op =
   match t.p.mode with
   | Unreplicated ->
       if replay_completion t rid op then ()
+      else if shard_rejects t rid op then ()
       else on_client_request_fresh t rid op
   | Vanilla ->
       if is_leader t && replay_completion t rid op then ()
+      else if is_leader t && shard_rejects t rid op then ()
       else on_client_request_fresh t rid op
   | Hover | Hover_pp ->
       (* Only the leader replays, so a retransmission multicast to the
-         whole group yields one reply. *)
+         whole group yields one reply. Followers keep storing bodies even
+         for disowned keys: an operation ordered just before the fence
+         engaged still needs its body everywhere. *)
       if is_leader t && replay_completion t rid op then ()
+      else if is_leader t && shard_rejects t rid op then ()
       else on_client_request_fresh t rid op
 
 and on_client_request_fresh t rid op =
@@ -1018,8 +1082,8 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
       | Some _ | None -> ())
   | Protocol.Agg_commit { term; commit; applied } ->
       on_agg_commit t ~term ~commit ~applied
-  | Protocol.Response _ | Protocol.Nack _ | Protocol.Probe _
-  | Protocol.Feedback _ | Protocol.Reconfig _ ->
+  | Protocol.Response _ | Protocol.Nack _ | Protocol.Wrong_shard _
+  | Protocol.Probe _ | Protocol.Feedback _ | Protocol.Reconfig _ ->
       ()
 
 let on_packet t pkt =
@@ -1214,6 +1278,9 @@ let create ?trace ?members engine fabric p ~id =
       probe_sent_term = -1;
       last_transfer = None;
       last_snap = 0;
+      shard_filter = None;
+      shard_version = 0;
+      preloaded = 0;
       xfer_start = Hashtbl.create 8;
       metrics;
       trace;
@@ -1313,7 +1380,22 @@ let propose_reconfig t ~members:ms =
 
 let transfer_leadership t ~target = feed_raft t (Rnode.Transfer_leadership target)
 
-let preload t ops = List.iter (fun op -> ignore (Op.apply t.app_state op)) ops
+let preload t ops =
+  List.iter (fun op -> ignore (Op.apply t.app_state op)) ops;
+  t.preloaded <- t.preloaded + List.length ops
+
+let preloaded t = t.preloaded
+
+let set_shard_filter t ~version owns =
+  t.shard_filter <- Some owns;
+  t.shard_version <- version
+
+let clear_shard_filter t =
+  t.shard_filter <- None;
+  t.shard_version <- 0
+
+let shard_version t = t.shard_version
+let extract_range t ~keep = Op.extract_kv t.app_state ~keep
 
 (* Receive census, kept as an accessor over the "rx.<tag>" counters. *)
 let rx_census t =

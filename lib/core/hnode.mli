@@ -264,6 +264,41 @@ val preload : t -> Hovercraft_apps.Op.t list -> unit
     same initial dataset before measurement (e.g. YCSB preload); call it
     identically on every node. *)
 
+val preloaded : t -> int
+(** How many operations {!preload} applied — executions outside consensus
+    that the history checker must subtract from {!executed_ops}. *)
+
+(** {1 Shard routing}
+
+    In a multi-group (sharded) deployment, every node carries a filter
+    derived from the deployment's shard map: requests for keys the node's
+    group does not own are refused with a {!Protocol.Wrong_shard} NACK
+    carrying the map version — except retransmissions of requests the
+    group already completed, which are still answered from the completion
+    record (the dual-ownership fence that makes exactly-once survive a
+    live migration). Keyless operations pass every filter. *)
+
+val set_shard_filter :
+  t -> version:int -> (Hovercraft_apps.Op.t -> bool) -> unit
+(** Install (or replace) the shard-routing filter. [version] is the shard
+    map version the filter reflects. *)
+
+val clear_shard_filter : t -> unit
+
+val shard_version : t -> int
+(** Version of the installed filter; 0 when unsharded. *)
+
+val completion_records :
+  t -> (R2p2.req_id * Hovercraft_apps.Op.result * Timebase.t) list
+(** The live exactly-once completion records in FIFO order — what a
+    checkpoint ships, and what a shard migration exports alongside the
+    sub-range image. *)
+
+val extract_range :
+  t -> keep:(string -> bool) -> Hovercraft_apps.Kvstore.image
+(** Deep-copied image of the store keys [keep] accepts, cut from this
+    node's applied state (the migration export). *)
+
 val kill : t -> unit
 (** Crash: both threads halt (their queued work is lost), the NIC goes
     dark, pending body recoveries are disarmed. The node stays down until

@@ -78,6 +78,11 @@ type payload =
   | Agg_commit of { term : int; commit : int; applied : int array }
   | Feedback of { rid : R2p2.req_id }
   | Nack of { rid : R2p2.req_id }
+  | Wrong_shard of { rid : R2p2.req_id; version : int }
+      (** Shard-routing NACK: this group does not own the request's key
+          (under the responder's shard-map [version]). Distinct from the
+          flow-control [Nack] so the client knows to refresh its map and
+          re-route rather than back off. *)
   | Reconfig of { term : int; members : int array }
       (** Leader -> aggregator: the membership changed; flush soft state,
           resize the quorum and rebuild the followers fan-out group. *)
@@ -113,6 +118,7 @@ let payload_bytes ~with_bodies = function
   | Probe _ | Probe_reply _ -> hdr + 16
   | Agg_commit { applied; _ } -> hdr + 16 + (8 * Array.length applied)
   | Feedback _ | Nack _ -> hdr + 8
+  | Wrong_shard _ -> hdr + 16
   | Reconfig { members; _ } -> hdr + 16 + (8 * Array.length members)
 
 let describe = function
@@ -134,4 +140,5 @@ let describe = function
   | Agg_commit _ -> "agg_commit"
   | Feedback _ -> "feedback"
   | Nack _ -> "nack"
+  | Wrong_shard _ -> "wrong_shard"
   | Reconfig _ -> "reconfig"

@@ -63,6 +63,11 @@ type payload =
           counts for the leader's load balancing (§4). *)
   | Feedback of { rid : R2p2.req_id }
   | Nack of { rid : R2p2.req_id }
+  | Wrong_shard of { rid : R2p2.req_id; version : int }
+      (** Shard-routing NACK: the receiving group does not own the
+          request's key under the responder's shard-map [version]; the
+          client should refresh its map and re-route (unlike the
+          flow-control [Nack], which means back off). *)
   | Reconfig of { term : int; members : int array }
       (** Leader -> aggregator: membership changed; flush soft state,
           resize the quorum, rebuild the followers fan-out group. *)

@@ -1,0 +1,346 @@
+open Hovercraft_sim
+open Hovercraft_core
+open Hovercraft_r2p2
+module Fabric = Hovercraft_net.Fabric
+module Op = Hovercraft_apps.Op
+module Rnode = Hovercraft_raft.Node
+module Rlog = Hovercraft_raft.Log
+module Rtypes = Hovercraft_raft.Types
+module Deploy = Hovercraft_cluster.Deploy
+module Loadgen = Hovercraft_cluster.Loadgen
+module Chaos = Hovercraft_cluster.Chaos
+
+module Rid_tbl = Hashtbl.Make (struct
+  type t = R2p2.req_id
+
+  let equal = R2p2.req_id_equal
+  let hash = R2p2.req_id_hash
+end)
+
+type migration =
+  | Split of { source : int; target : int }
+  | Move of { slots : int list; target : int }
+
+let pp_migration ppf = function
+  | Split { source; target } ->
+      Format.fprintf ppf "split shard%d -> shard%d" source target
+  | Move { slots; target } ->
+      Format.fprintf ppf "move %d slot(s) -> shard%d" (List.length slots)
+        target
+
+type outcome = {
+  report : Loadgen.report;
+  events : (float * string) list;
+  violations : string list;
+  exactly_once_ok : bool;
+  committed_preserved : bool;
+  caught_up : bool;
+  consistent : bool;
+  retried : int;
+  rerouted : int;
+  migrations : int;
+  map_version : int;
+  pending_recoveries : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cross-map history checker                                           *)
+
+(* Committed, non-internal entries of the group's best live replica, in
+   log order. Chaos-style runs pin log_retain high so nothing compacts
+   and the scan covers the whole history. *)
+let reference_cmds (d : Deploy.t) =
+  let reference =
+    List.fold_left
+      (fun best n ->
+        match best with
+        | None -> Some n
+        | Some b ->
+            if Hnode.commit_index n > Hnode.commit_index b then Some n else best)
+      None (Deploy.live_nodes d)
+  in
+  match Option.bind reference Hnode.raft_node with
+  | None -> []
+  | Some r ->
+      let log = Rnode.log r in
+      let hi = min (Rnode.commit_index r) (Rlog.last_index log) in
+      let acc = ref [] in
+      Rlog.iter_range log ~lo:(Rlog.first_index log) ~hi (fun _ e ->
+          let c = e.Rtypes.cmd in
+          if not c.Protocol.meta.Protocol.internal then acc := c :: !acc);
+      List.rev !acc
+
+(* The map-level contract: every write a client saw answered landed in
+   EXACTLY one group's committed history — the fence kept a migrating
+   slot from executing on both sides, and the flip lost nothing. A rid
+   carried by a Merge's completion records counts as already executed at
+   the source, so a later ordering of it in the target group is a
+   suppressed duplicate, not a second execution. *)
+let cross_map_check groups ~completed_writes =
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let exec_groups = Rid_tbl.create 4096 in
+  let merge_covered = Rid_tbl.create 256 in
+  Array.iteri
+    (fun g d ->
+      let seen = Rid_tbl.create 4096 in
+      List.iter
+        (fun (c : Protocol.cmd) ->
+          (match c.Protocol.body with
+          | Op.Merge { completions; _ } ->
+              List.iter
+                (fun (r : Op.completion) ->
+                  Rid_tbl.replace seen r.Op.c_rid ();
+                  Rid_tbl.replace merge_covered r.Op.c_rid ())
+                completions
+          | _ -> ());
+          let m = c.Protocol.meta in
+          if not (Rid_tbl.mem seen m.Protocol.rid) then begin
+            Rid_tbl.replace seen m.Protocol.rid ();
+            if not m.Protocol.read_only then
+              Rid_tbl.replace exec_groups m.Protocol.rid
+                (g
+                ::
+                (match Rid_tbl.find_opt exec_groups m.Protocol.rid with
+                | Some gs -> gs
+                | None -> []))
+          end)
+        (reference_cmds d))
+    groups;
+  let exactly_once_ok = ref true in
+  let committed_preserved = ref true in
+  List.iter
+    (fun rid ->
+      match Rid_tbl.find_opt exec_groups rid with
+      | Some (_ :: _ :: _ as gs) ->
+          exactly_once_ok := false;
+          bad "write %s executed in %d groups (%s)"
+            (Format.asprintf "%a" R2p2.pp_req_id rid)
+            (List.length gs)
+            (String.concat ","
+               (List.rev_map string_of_int gs |> List.map (fun s -> "g" ^ s)))
+      | Some [ _ ] -> ()
+      | Some [] | None ->
+          if not (Rid_tbl.mem merge_covered rid) then begin
+            committed_preserved := false;
+            bad "client-completed write %s missing from every group's log"
+              (Format.asprintf "%a" R2p2.pp_req_id rid)
+          end)
+    completed_writes;
+  (List.rev !violations, !exactly_once_ok, !committed_preserved)
+
+(* ------------------------------------------------------------------ *)
+(* Driving a run                                                       *)
+
+let delegate_single ?params ~n ~rate_rps ~flow_cap ~duration ~drain ~reconfig
+    ?schedule ~workload ~seed () =
+  let o =
+    Chaos.run ?params ~n ~rate_rps ~flow_cap ~duration ~drain ~reconfig
+      ?schedule ~workload ~seed ()
+  in
+  {
+    report = o.Chaos.report;
+    events = o.Chaos.events;
+    violations = o.Chaos.violations;
+    exactly_once_ok = o.Chaos.exactly_once_ok;
+    committed_preserved = o.Chaos.committed_preserved;
+    caught_up = o.Chaos.caught_up;
+    consistent = o.Chaos.consistent;
+    retried = o.Chaos.retried;
+    rerouted = 0;
+    migrations = 0;
+    map_version = 1;
+    pending_recoveries = o.Chaos.pending_recoveries;
+  }
+
+let run ?params ?(n = 5) ?(shards = 1) ?active ?(rate_rps = 120_000.)
+    ?(flow_cap = 1000) ?(duration = Timebase.s 2) ?(drain = Timebase.ms 100)
+    ?(reconfig = false) ?schedule ?(migrations = []) ?(preload = []) ~workload
+    ~seed () =
+  if shards < 1 then invalid_arg "Shard_chaos.run: shards must be >= 1";
+  if shards = 1 then begin
+    (* Strict delegation: a one-shard chaos run IS the single-group run —
+       same deployment, same schedule generator, same RNG draws — so
+       every historical seed replays byte for byte. *)
+    if migrations <> [] then
+      invalid_arg "Shard_chaos.run: migrations need at least two shards";
+    if preload <> [] then
+      invalid_arg "Shard_chaos.run: preload needs at least two shards";
+    delegate_single ?params ~n ~rate_rps ~flow_cap ~duration ~drain ~reconfig
+      ?schedule ~workload ~seed ()
+  end
+  else begin
+    let params =
+      match params with
+      | Some p -> p
+      | None -> Hnode.params ~mode:Hnode.Hover_pp ~n ()
+    in
+    let n = params.Hnode.n in
+    (* Same widening as Chaos.run: bodies stay refetchable past any crash,
+       no log prefix compacts away (the checkers scan full histories), and
+       flow control is forced on because every group gets a middlebox. *)
+    let params =
+      {
+        params with
+        Hnode.timing =
+          {
+            params.Hnode.timing with
+            Hnode.gc_ordered = (2 * duration) + drain + Timebase.s 1;
+          };
+        features =
+          {
+            params.Hnode.features with
+            Hnode.log_retain = max_int / 2;
+            flow_control = true;
+          };
+      }
+    in
+    let sd =
+      Shard_deploy.create
+        (Shard_deploy.config ?active ~flow_cap ~shards params)
+    in
+    let groups = Shard_deploy.groups sd in
+    if preload <> [] then Shard_deploy.preload sd preload;
+    let engine = Shard_deploy.engine sd in
+    let t0 = Engine.now engine in
+    let completed_writes = ref [] in
+    let gen =
+      Shard_loadgen.create sd ~clients:8 ~rate_rps ~workload
+        ~retry:(Timebase.ms 50, 8)
+        ~on_reply:(fun ~rid ~op ~sent_at:_ ~latency:_ ->
+          if not (Op.read_only op) then
+            completed_writes := rid :: !completed_writes)
+        ~seed ()
+    in
+    let schedule =
+      match schedule with
+      | Some s -> s
+      | None -> Chaos.random_schedule ~reconfig ~shards ~n ~duration ~seed ()
+    in
+    let timelines = Array.init shards (fun _ -> ref []) in
+    let extra = ref [] in
+    let note fmt =
+      Format.kasprintf
+        (fun s -> extra := (Timebase.to_s_f (Engine.now engine - t0), s) :: !extra)
+        fmt
+    in
+    List.iter
+      (fun { Chaos.at; event } ->
+        Engine.after engine at (fun () ->
+            match event with
+            | Chaos.Shard (g, e) when g >= 0 && g < shards ->
+                Chaos.apply_event groups.(g) ~t0 ~timeline:timelines.(g) e
+            | Chaos.Shard (g, e) ->
+                note "shard%d event skipped (no such group): %a" g
+                  Chaos.pp_event e
+            | e -> Chaos.apply_event groups.(0) ~t0 ~timeline:timelines.(0) e))
+      schedule;
+    List.iter
+      (fun (at, m) ->
+        Engine.after engine at (fun () ->
+            if Shard_deploy.migrating sd then
+              note "%a skipped (another migration in flight)" pp_migration m
+            else
+              try
+                note "starting %a" pp_migration m;
+                let on_done () = note "finished %a" pp_migration m in
+                begin
+                  match m with
+                  | Split { source; target } ->
+                      Shard_deploy.split_shard sd ~on_done ~source ~target ()
+                  | Move { slots; target } ->
+                      Shard_deploy.move_shard sd ~on_done ~slots ~target ()
+                end
+              with Invalid_argument msg ->
+                note "%a rejected: %s" pp_migration m msg))
+      migrations;
+    let report = Shard_loadgen.run gen ~warmup:0 ~duration ~drain () in
+    (* Epilogue: heal and restart every group, then converge — including
+       letting an in-flight migration finish so the map is stable before
+       the history checkers look. *)
+    Array.iteri
+      (fun g d ->
+        if Fabric.partitioned d.Deploy.fabric then
+          Chaos.apply_event d ~t0 ~timeline:timelines.(g) Chaos.Heal;
+        Array.iteri
+          (fun i node ->
+            if (not (Hnode.alive node)) && not (Deploy.is_removed d i) then
+              Chaos.apply_event d ~t0 ~timeline:timelines.(g) (Chaos.Restart i))
+          d.Deploy.nodes)
+      groups;
+    let converged () =
+      (not (Shard_deploy.migrating sd))
+      && Shard_deploy.total_pending_recoveries sd = 0
+      && Array.for_all
+           (fun d ->
+             let live = Deploy.live_nodes d in
+             let max_commit =
+               List.fold_left
+                 (fun acc nd -> max acc (Hnode.commit_index nd))
+                 0 live
+             in
+             List.for_all (fun nd -> Hnode.applied_index nd >= max_commit) live)
+           groups
+    in
+    let rec settle tries =
+      Shard_deploy.quiesce sd ~extra:(Timebase.ms 200) ();
+      if (not (converged ())) && tries > 0 then settle (tries - 1)
+    in
+    settle 50;
+    (* Per-group invariants (prefix agreement, per-replica exactly-once,
+       catch-up), then the map-level exactly-once / nothing-lost check
+       over client-completed writes. *)
+    let violations = ref [] in
+    let exactly_once_ok = ref true in
+    let caught_up = ref true in
+    Array.iteri
+      (fun g d ->
+        let v, eo, _, cu, _ = Chaos.check d ~completed_writes:[] in
+        List.iter
+          (fun s -> violations := Printf.sprintf "shard%d: %s" g s :: !violations)
+          v;
+        if not eo then exactly_once_ok := false;
+        if not cu then caught_up := false)
+      groups;
+    let xviol, xeo, preserved =
+      cross_map_check groups ~completed_writes:!completed_writes
+    in
+    violations := List.rev_append (List.rev xviol) !violations;
+    if not xeo then exactly_once_ok := false;
+    let consistent = Shard_deploy.consistent sd in
+    if not consistent then
+      violations := "live replica fingerprints diverge" :: !violations;
+    let events =
+      let tagged =
+        List.concat
+          (List.mapi
+             (fun g tl ->
+               List.rev_map
+                 (fun (t, s) -> (t, Printf.sprintf "shard%d: %s" g s))
+                 !tl)
+             (Array.to_list timelines))
+      in
+      let migration_notes =
+        List.map
+          (fun (at, s) -> (Timebase.to_s_f (at - t0), s))
+          (Shard_deploy.notes sd)
+      in
+      List.stable_sort
+        (fun (a, _) (b, _) -> compare a b)
+        (tagged @ List.rev !extra @ migration_notes)
+    in
+    {
+      report;
+      events;
+      violations = List.rev !violations;
+      exactly_once_ok = !exactly_once_ok;
+      committed_preserved = preserved;
+      caught_up = !caught_up;
+      consistent;
+      retried = Shard_loadgen.retried gen;
+      rerouted = Shard_loadgen.rerouted gen;
+      migrations = Shard_deploy.migrations sd;
+      map_version = Shard_map.version (Shard_deploy.map sd);
+      pending_recoveries = Shard_deploy.total_pending_recoveries sd;
+    }
+  end

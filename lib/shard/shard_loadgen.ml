@@ -5,6 +5,8 @@ module Addr = Hovercraft_net.Addr
 module Fabric = Hovercraft_net.Fabric
 module Op = Hovercraft_apps.Op
 module Metrics = Hovercraft_obs.Metrics
+module Deploy = Hovercraft_cluster.Deploy
+module Loadgen = Hovercraft_cluster.Loadgen
 
 module Rid_tbl = Hashtbl.Make (struct
   type t = R2p2.req_id
@@ -13,45 +15,35 @@ module Rid_tbl = Hashtbl.Make (struct
   let hash = R2p2.req_id_hash
 end)
 
+(* One client endpoint = one id source + a port on EVERY group's fabric
+   (the groups are separate fabrics; a real client has one NIC reaching
+   all of them, so each port gets the full client link rate). *)
 type endpoint = {
-  port : Protocol.payload Fabric.port;
+  ports : Protocol.payload Fabric.port array; (* index = group *)
   ids : R2p2.Id_source.t;
 }
 
-type report = {
-  offered_rps : float;
-  sent : int;
-  completed : int;
-  nacked : int;
-  lost : int;
-  goodput_rps : float;
-  mean_us : float;
-  p50_us : float;
-  p99_us : float;
-  max_us : float;
-}
-
 type t = {
-  deploy : Deploy.t;
+  sd : Shard_deploy.t;
   engine : Engine.t;
   mutable endpoints : endpoint array;
   rate_rps : float;
   workload : Rng.t -> Op.t;
-  target : Addr.t option;
-  unrestricted_reads : bool;
   retry : (Timebase.t * int) option;
   on_reply :
     (rid:R2p2.req_id -> op:Op.t -> sent_at:Timebase.t -> latency:Timebase.t -> unit)
     option;
   on_nack : (at:Timebase.t -> unit) option;
   rng : Rng.t;
-  outstanding : (Timebase.t * Op.t) Rid_tbl.t;
+  outstanding : (Timebase.t * Op.t * int) Rid_tbl.t; (* sent_at, op, endpoint *)
+  backoff : Timebase.t Rid_tbl.t; (* per-rid reroute backoff *)
   stats : Stats.t;
   metrics : Metrics.t;
   c_sent : Metrics.counter;
   c_completed : Metrics.counter;
   c_nacked : Metrics.counter;
   c_retried : Metrics.counter;
+  c_rerouted : Metrics.counter;
   c_lost : Metrics.counter;
   h_latency_ns : Metrics.histogram;
   mutable measure_from : Timebase.t;
@@ -61,19 +53,57 @@ type t = {
 
 let client_link_gbps = 10.
 
+(* Route by the operation's key under the LIVE shard map; keyless ops go
+   to a deterministic group derived from the request id. *)
+let route t rid op =
+  match Op.key op with
+  | Some k -> fst (Shard_deploy.client_target t.sd ~key:k)
+  | None -> rid.R2p2.id mod Shard_deploy.shards t.sd
+
+let transmit t ep rid op =
+  let g = route t rid op in
+  let policy =
+    if Op.read_only op then R2p2.Replicated_req_r else R2p2.Replicated_req
+  in
+  let payload = Protocol.Request { rid; policy; op } in
+  let bytes = Protocol.payload_bytes ~with_bodies:false payload in
+  let group = (Shard_deploy.groups t.sd).(g) in
+  Fabric.send group.Deploy.fabric ep.ports.(g)
+    ~dst:(Deploy.client_target group)
+    ~bytes payload
+
+(* A Wrong_shard NACK means the map moved (or a migration fence is up):
+   refresh the (shared, live) map and re-route. During the fence window
+   the owning group still refuses fresh requests, so back off
+   exponentially — the retransmission keeps the SAME rid, making the
+   eventual landing exactly-once. *)
+let reroute_base = Timebase.us 10
+let reroute_cap = Timebase.ms 2
+
+let on_wrong_shard t rid =
+  match Rid_tbl.find_opt t.outstanding rid with
+  | None -> ()
+  | Some (_, op, epi) ->
+      Metrics.incr t.c_rerouted;
+      let delay =
+        match Rid_tbl.find_opt t.backoff rid with
+        | None -> reroute_base
+        | Some d -> min reroute_cap (2 * d)
+      in
+      Rid_tbl.replace t.backoff rid delay;
+      Engine.after t.engine delay (fun () ->
+          if Rid_tbl.mem t.outstanding rid then
+            transmit t t.endpoints.(epi) rid op)
+
 let on_packet t (pkt : Protocol.payload Fabric.packet) =
   let now = Engine.now t.engine in
   match pkt.payload with
   | Protocol.Response { rid } -> (
       match Rid_tbl.find_opt t.outstanding rid with
-      | Some (sent_at, op) ->
+      | Some (sent_at, op, _) ->
           Rid_tbl.remove t.outstanding rid;
+          Rid_tbl.remove t.backoff rid;
           let latency = now - sent_at in
-          (* Window membership is decided by when the request was SENT, not
-             when the reply arrived: replies landing after measure_to (e.g.
-             during drain) still belong to the run. Gating on arrival would
-             silently drop exactly the slowest completions and bias every
-             tail percentile downward. *)
           if sent_at >= t.measure_from && sent_at <= t.measure_to then begin
             Metrics.incr t.c_completed;
             Stats.add t.stats latency;
@@ -82,59 +112,50 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
             | Some f -> f ~rid ~op ~sent_at ~latency
             | None -> ()
           end
-      | None -> () (* duplicate or out-of-window reply *))
+      | None -> ())
   | Protocol.Nack { rid } -> (
       match Rid_tbl.find_opt t.outstanding rid with
-      | Some (sent_at, _) ->
+      | Some (sent_at, _, _) ->
           Rid_tbl.remove t.outstanding rid;
+          Rid_tbl.remove t.backoff rid;
           if sent_at >= t.measure_from && sent_at <= t.measure_to then begin
             Metrics.incr t.c_nacked;
             match t.on_nack with Some f -> f ~at:now | None -> ()
           end
       | None -> ())
-  | Protocol.Wrong_shard { rid; _ } -> (
-      (* This single-group load generator has no shard map to consult;
-         count it as a rejection so a misconfigured run is visible
-         (Shard_loadgen, which can re-route, handles these itself). *)
-      match Rid_tbl.find_opt t.outstanding rid with
-      | Some (sent_at, _) ->
-          Rid_tbl.remove t.outstanding rid;
-          if sent_at >= t.measure_from && sent_at <= t.measure_to then begin
-            Metrics.incr t.c_nacked;
-            match t.on_nack with Some f -> f ~at:now | None -> ()
-          end
-      | None -> ())
+  | Protocol.Wrong_shard { rid; _ } -> on_wrong_shard t rid
   | Protocol.Request _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
   | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ ->
       ()
 
-let create deploy ~clients ~rate_rps ~workload ?target
-    ?(unrestricted_reads = false) ?retry ?on_reply ?on_nack ~seed () =
-  if clients <= 0 then invalid_arg "Loadgen.create: need at least one client";
-  if rate_rps <= 0. then invalid_arg "Loadgen.create: rate must be positive";
-  let engine = deploy.Deploy.engine in
+let create sd ~clients ~rate_rps ~workload ?retry ?on_reply ?on_nack ~seed () =
+  if clients <= 0 then
+    invalid_arg "Shard_loadgen.create: need at least one client";
+  if rate_rps <= 0. then
+    invalid_arg "Shard_loadgen.create: rate must be positive";
+  let engine = Shard_deploy.engine sd in
   let metrics = Metrics.create () in
   let t =
     {
-      deploy;
+      sd;
       engine;
       endpoints = [||];
       rate_rps;
       workload;
-      target;
-      unrestricted_reads;
       retry;
       on_reply;
       on_nack;
       rng = Rng.create seed;
       outstanding = Rid_tbl.create 4096;
+      backoff = Rid_tbl.create 64;
       stats = Stats.create ();
       metrics;
       c_sent = Metrics.counter metrics "sent";
       c_completed = Metrics.counter metrics "completed";
       c_nacked = Metrics.counter metrics "nacked";
       c_retried = Metrics.counter metrics "retried";
+      c_rerouted = Metrics.counter metrics "rerouted";
       c_lost = Metrics.counter metrics "lost";
       h_latency_ns = Metrics.histogram metrics "latency_ns";
       measure_from = max_int;
@@ -146,32 +167,17 @@ let create deploy ~clients ~rate_rps ~workload ?target
     Array.init clients (fun i ->
         let addr = Addr.Client i in
         {
-          port =
-            Fabric.attach deploy.Deploy.fabric ~addr ~rate_gbps:client_link_gbps
-              ~handler:(on_packet t);
+          ports =
+            Array.map
+              (fun (d : Deploy.t) ->
+                Fabric.attach d.Deploy.fabric ~addr
+                  ~rate_gbps:client_link_gbps ~handler:(on_packet t))
+              (Shard_deploy.groups sd);
           ids = R2p2.Id_source.create ~src_addr:addr ~src_port:(1000 + i);
         });
   t
 
-let transmit t ep rid op =
-  let unrestricted = t.unrestricted_reads && Op.read_only op in
-  let policy =
-    if unrestricted then R2p2.Unrestricted
-    else if Op.read_only op then R2p2.Replicated_req_r
-    else R2p2.Replicated_req
-  in
-  let payload = Protocol.Request { rid; policy; op } in
-  let bytes = Protocol.payload_bytes ~with_bodies:false payload in
-  let dst =
-    if unrestricted then Addr.Router
-    else
-      match t.target with Some a -> a | None -> Deploy.client_target t.deploy
-  in
-  Fabric.send t.deploy.Deploy.fabric ep.port ~dst ~bytes payload
-
-(* Retransmit with the same request id until answered or out of
-   attempts. *)
-let rec arm_retry t ep rid op attempts_left =
+let rec arm_retry t ep epi rid op attempts_left =
   match t.retry with
   | None -> ()
   | Some (timeout, _) ->
@@ -179,19 +185,20 @@ let rec arm_retry t ep rid op attempts_left =
           if Rid_tbl.mem t.outstanding rid && attempts_left > 0 then begin
             Metrics.incr t.c_retried;
             transmit t ep rid op;
-            arm_retry t ep rid op (attempts_left - 1)
+            arm_retry t ep epi rid op (attempts_left - 1)
           end)
 
 let send_one t =
-  let ep = t.endpoints.(t.next_endpoint) in
+  let epi = t.next_endpoint in
+  let ep = t.endpoints.(epi) in
   t.next_endpoint <- (t.next_endpoint + 1) mod Array.length t.endpoints;
   let op = t.workload t.rng in
   let rid = R2p2.Id_source.next ep.ids in
-  Rid_tbl.replace t.outstanding rid (Engine.now t.engine, op);
+  Rid_tbl.replace t.outstanding rid (Engine.now t.engine, op, epi);
   Metrics.incr t.c_sent;
   transmit t ep rid op;
   match t.retry with
-  | Some (_, attempts) -> arm_retry t ep rid op attempts
+  | Some (_, attempts) -> arm_retry t ep epi rid op attempts
   | None -> ()
 
 let interarrival t =
@@ -212,25 +219,26 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   in
   Engine.after t.engine (interarrival t) arrival;
   Engine.run ~until:(stop_at + drain) t.engine;
-  (* Anything still outstanding that was sent inside the measurement window
-     never got an answer: report it as lost instead of pretending the
-     window was clean. *)
   let lost = ref 0 in
   Rid_tbl.iter
-    (fun _ (sent_at, _) ->
+    (fun _ (sent_at, _, _) ->
       if sent_at >= t.measure_from && sent_at <= t.measure_to then incr lost)
     t.outstanding;
   Metrics.add t.c_lost !lost;
   let completed = Metrics.value t.c_completed in
   let window_s = Timebase.to_s_f (t.measure_to - t.measure_from) in
-  let pct p = if Stats.count t.stats = 0 then 0. else Timebase.to_us_f (Stats.percentile t.stats p) in
+  let pct p =
+    if Stats.count t.stats = 0 then 0.
+    else Timebase.to_us_f (Stats.percentile t.stats p)
+  in
   {
-    offered_rps = t.rate_rps;
+    Loadgen.offered_rps = t.rate_rps;
     sent = Metrics.value t.c_sent;
     completed;
     nacked = Metrics.value t.c_nacked;
     lost = !lost;
-    goodput_rps = (if window_s > 0. then float_of_int completed /. window_s else 0.);
+    goodput_rps =
+      (if window_s > 0. then float_of_int completed /. window_s else 0.);
     mean_us = Stats.mean t.stats /. 1e3;
     p50_us = pct 0.5;
     p99_us = pct 0.99;
@@ -239,5 +247,5 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
 
 let stats t = t.stats
 let retried t = Metrics.value t.c_retried
+let rerouted t = Metrics.value t.c_rerouted
 let metrics t = t.metrics
-let snapshot t = Metrics.snapshot t.metrics

@@ -1,0 +1,54 @@
+(** Shard-routing load generator.
+
+    The sharded sibling of {!Hovercraft_cluster.Loadgen}: the same
+    open-loop Poisson arrivals and client-side latency measurement, but
+    every request is routed by its key through the live {!Shard_map} to
+    the owning group. A [Wrong_shard] NACK (stale route, or a migration
+    fence) keeps the request outstanding — latency then includes the
+    reroute penalty — and retransmits the SAME request id to the
+    refreshed owner after an exponential backoff, so completion records
+    keep the landing exactly-once. *)
+
+open Hovercraft_sim
+
+type t
+
+val create :
+  Shard_deploy.t ->
+  clients:int ->
+  rate_rps:float ->
+  workload:(Rng.t -> Hovercraft_apps.Op.t) ->
+  ?retry:Timebase.t * int ->
+  ?on_reply:
+    (rid:Hovercraft_r2p2.R2p2.req_id ->
+    op:Hovercraft_apps.Op.t ->
+    sent_at:Timebase.t ->
+    latency:Timebase.t ->
+    unit) ->
+  ?on_nack:(at:Timebase.t -> unit) ->
+  seed:int ->
+  unit ->
+  t
+(** Attach [clients] endpoints; each endpoint has one request-id source
+    (ids stay globally unique across groups — the cross-map exactly-once
+    checker depends on that) and a port on every group's fabric.
+    [retry]/[on_reply]/[on_nack] as in {!Hovercraft_cluster.Loadgen.create}. *)
+
+val run :
+  t ->
+  warmup:Timebase.t ->
+  duration:Timebase.t ->
+  ?drain:Timebase.t ->
+  unit ->
+  Hovercraft_cluster.Loadgen.report
+
+val stats : t -> Stats.t
+
+val retried : t -> int
+(** Timeout retransmissions (same rid, re-routed per attempt). *)
+
+val rerouted : t -> int
+(** [Wrong_shard]-triggered retransmissions — how often clients chased a
+    moving or fenced slot. *)
+
+val metrics : t -> Hovercraft_obs.Metrics.t

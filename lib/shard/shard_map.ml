@@ -1,0 +1,93 @@
+module Kvstore = Hovercraft_apps.Kvstore
+module Op = Hovercraft_apps.Op
+
+type partitioner = Hash | Range of string array
+
+type t = {
+  nslots : int;
+  groups : int;
+  partitioner : partitioner;
+  owner : int array; (* slot -> owning group *)
+  mutable version : int;
+}
+
+let create ?(partitioner = Hash) ?active ~slots ~groups () =
+  if slots < 1 then invalid_arg "Shard_map.create: slots must be >= 1";
+  if groups < 1 then invalid_arg "Shard_map.create: groups must be >= 1";
+  let active = Option.value active ~default:groups in
+  if active < 1 || active > groups then
+    invalid_arg "Shard_map.create: active outside [1, groups]";
+  if slots < active then
+    invalid_arg "Shard_map.create: need at least one slot per active group";
+  (match partitioner with
+  | Hash -> ()
+  | Range cuts ->
+      if Array.length cuts <> slots - 1 then
+        invalid_arg
+          "Shard_map.create: a range partitioner needs exactly slots-1 split \
+           points";
+      Array.iteri
+        (fun i c ->
+          if i > 0 && String.compare cuts.(i - 1) c > 0 then
+            invalid_arg "Shard_map.create: split points must be sorted")
+        cuts);
+  {
+    nslots = slots;
+    groups;
+    partitioner;
+    (* Contiguous equal blocks over the active groups; dormant groups
+       (active < groups) own nothing until a split moves slots to them. *)
+    owner = Array.init slots (fun s -> s * active / slots);
+    version = 1;
+  }
+
+let version t = t.version
+let nslots t = t.nslots
+let groups t = t.groups
+
+let slot_of_key t key =
+  match t.partitioner with
+  | Hash -> Kvstore.slot_of_key ~slots:t.nslots key
+  | Range cuts ->
+      (* Slot = number of split points <= key (binary search). *)
+      let lo = ref 0 and hi = ref (Array.length cuts) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if String.compare cuts.(mid) key <= 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+
+let owner_of_slot t s =
+  if s < 0 || s >= t.nslots then invalid_arg "Shard_map.owner_of_slot";
+  t.owner.(s)
+
+let owner_of_key t key = t.owner.(slot_of_key t key)
+
+let slots_of_group t g =
+  List.filter (fun s -> t.owner.(s) = g) (List.init t.nslots Fun.id)
+
+let active_groups t = List.sort_uniq compare (Array.to_list t.owner)
+let owns_key t ~group key = owner_of_key t key = group
+
+let owns_op t ~group op =
+  match Op.key op with None -> true | Some k -> owns_key t ~group k
+
+let assign t ~slots ~target =
+  if target < 0 || target >= t.groups then
+    invalid_arg "Shard_map.assign: unknown target group";
+  if slots = [] then invalid_arg "Shard_map.assign: empty slot list";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= t.nslots then invalid_arg "Shard_map.assign: bad slot";
+      t.owner.(s) <- target)
+    slots;
+  t.version <- t.version + 1
+
+(* The upper half of the source's slots (floor(n/2) of them), preserving
+   range contiguity under block assignment. Requires >= 2 slots to split. *)
+let split_plan t ~source =
+  let mine = slots_of_group t source in
+  let len = List.length mine in
+  if len < 2 then
+    invalid_arg "Shard_map.split_plan: source owns fewer than two slots";
+  List.filteri (fun i _ -> i >= (len + 1) / 2) mine

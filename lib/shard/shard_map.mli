@@ -1,0 +1,56 @@
+(** The versioned shard map: key space -> slots -> Raft groups.
+
+    Keys hash (or range-partition) onto a fixed universe of slots; slots
+    are assigned to groups, and a migration reassigns whole slots. The
+    [version] increments on every reassignment and rides in
+    {!Hovercraft_core.Protocol.Wrong_shard} NACKs so clients know their
+    routing table is stale. Groups owning zero slots are dormant — a
+    split activates one by moving slots to it. *)
+
+type partitioner =
+  | Hash
+      (** Deterministic FNV-1a slot hashing
+          ({!Hovercraft_apps.Kvstore.slot_of_key}) — what Kvstore/YCSB key
+          distributions use. *)
+  | Range of string array
+      (** Lexicographic range partitioning: [slots - 1] sorted split
+          points; slot of a key = number of split points [<=] it. *)
+
+type t
+
+val create :
+  ?partitioner:partitioner -> ?active:int -> slots:int -> groups:int -> unit -> t
+(** Fresh map at version 1: slots in contiguous equal blocks over the
+    first [active] groups (default all [groups]); the rest are dormant.
+    Raises [Invalid_argument] on a non-positive universe, [active]
+    outside [1, groups], fewer slots than active groups, or malformed
+    range split points. *)
+
+val version : t -> int
+val nslots : t -> int
+val groups : t -> int
+
+val slot_of_key : t -> string -> int
+val owner_of_slot : t -> int -> int
+val owner_of_key : t -> string -> int
+
+val slots_of_group : t -> int -> int list
+(** Slots a group currently owns, ascending ([] when dormant). *)
+
+val active_groups : t -> int list
+(** Groups owning at least one slot, ascending. *)
+
+val owns_key : t -> group:int -> string -> bool
+
+val owns_op : t -> group:int -> Hovercraft_apps.Op.t -> bool
+(** Ownership lifted to operations; keyless operations (Nop, Synth,
+    migration control ops) pass every group's filter. *)
+
+val assign : t -> slots:int list -> target:int -> unit
+(** Reassign [slots] to [target] and bump the version — the atomic "flip"
+    that completes a migration. *)
+
+val split_plan : t -> source:int -> int list
+(** The slots a split would move away from [source]: the upper half
+    (floor(n/2)) of its slots, keeping blocks contiguous. Raises
+    [Invalid_argument] if [source] owns fewer than two slots. *)

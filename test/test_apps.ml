@@ -183,6 +183,27 @@ let test_zipf_skew () =
      be 0.1%. *)
   check "head is hot" true (float_of_int !zero /. float_of_int total > 0.05)
 
+(* The whole rank-frequency curve, not just the head: counts decay
+   monotonically over the top ranks and the rank-1 / rank-10 ratio sits
+   near the zipf prediction 10^theta (~9.8 at theta = 0.99). *)
+let test_zipf_rank_frequency () =
+  let n = 1000 and theta = 0.99 and total = 200_000 in
+  let z = Zipf.create ~theta ~n () in
+  let rng = Rng.create 9 in
+  let counts = Array.make n 0 in
+  for _ = 1 to total do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  for r = 0 to 8 do
+    if counts.(r) < counts.(r + 1) then
+      Alcotest.failf "rank %d (%d draws) colder than rank %d (%d draws)" r
+        counts.(r) (r + 1)
+        counts.(r + 1)
+  done;
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(9) in
+  check "rank-1/rank-10 ratio near 10^theta" true (ratio > 6. && ratio < 16.)
+
 (* --- ycsb ------------------------------------------------------------- *)
 
 let test_ycsb_mix () =
@@ -339,6 +360,8 @@ let suite =
     Alcotest.test_case "kv sizes and costs" `Quick test_kv_sizes_and_costs;
     Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf rank-frequency shape" `Quick
+      test_zipf_rank_frequency;
     Alcotest.test_case "ycsb 95:5 mix" `Quick test_ycsb_mix;
     Alcotest.test_case "ycsb record shape" `Quick test_ycsb_record_shape;
     Alcotest.test_case "ycsb determinism" `Quick test_ycsb_deterministic;

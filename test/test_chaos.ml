@@ -54,15 +54,7 @@ let test_restart_requires_dead () =
    restarted node fully caught up and zero checker violations. *)
 let test_kill_restart_kill_new_leader () =
   let outcome =
-    Chaos.run
-      ~params:
-        (let p = Hnode.params ~mode:Hnode.Hover_pp ~n:5 () in
-         {
-           p with
-           Hnode.features =
-             { p.Hnode.features with Hnode.flow_control = true };
-         })
-      ~rate_rps:40_000. ~flow_cap:500 ~bucket:(Timebase.ms 100)
+    Chaos.run ~n:5 ~rate_rps:40_000. ~flow_cap:500 ~bucket:(Timebase.ms 100)
       ~duration:(Timebase.ms 700)
       ~schedule:
         [
@@ -134,7 +126,7 @@ let test_random_schedule_keeps_quorum () =
           | Chaos.Kill_leader -> incr anon
           | Chaos.Restart i -> Hashtbl.remove dead i
           | Chaos.Partition _ | Chaos.Heal | Chaos.Add_node
-          | Chaos.Remove_node _ | Chaos.Transfer _ ->
+          | Chaos.Remove_node _ | Chaos.Transfer _ | Chaos.Shard _ ->
               ());
           check "minority dead" true (Hashtbl.length dead + !anon <= 2))
         steps;

@@ -285,16 +285,11 @@ let test_dump_restore_recover_compacted () =
 
 let workload = Service.sample (Service.spec ~read_fraction:0.5 ())
 
-(* Mirror the CLI's chaos params: nodes must have [flow_control] on or
-   the middlebox ([flow_cap]) never receives feedback and wedges the
-   offered load at its in-flight cap. *)
+(* Mirror the CLI's chaos params (bounded queue); [Chaos.run] itself
+   forces [flow_control] on to match the middlebox it always attaches. *)
 let cluster_params ~n =
   let p = Hnode.params ~mode:Hnode.Hover_pp ~n () in
-  {
-    p with
-    Hnode.features =
-      { p.Hnode.features with Hnode.flow_control = true; bound = 32 };
-  }
+  { p with Hnode.features = { p.Hnode.features with Hnode.bound = 32 } }
 
 (* A follower sleeps through far more load than the retention window
    holds; on restart it must come back through Install_snapshot, and the
