@@ -45,5 +45,10 @@ shard:
 bench-shard:
 	dune exec bench/main.exe -- shardscale
 
+# YCSB-A kRPS-under-SLO vs apply threads (K in 1,2,4,8) with the
+# byte-identical-replica confirmation run at each knee.
+applyscale:
+	dune exec bench/main.exe -- applyscale
+
 clean:
 	dune clean

@@ -256,6 +256,47 @@ let shardscale ~quality () =
   in
   Table.print ~header:[ "shards"; "kRPS@SLO"; "vs S=1" ] rows
 
+(* ------------------------------------------------------------------ *)
+(* applyscale: YCSB-A kRPS under the p99 SLO as the per-node application
+   thread count K grows (Experiment.applyscale). Write-heavy load is
+   apply-loop-bound, so the knee should climb with K until the network
+   thread takes over; the "ok" column asserts replica fingerprints agreed
+   after the confirmation run — the determinism check for the
+   dependency-aware scheduler. *)
+
+let applyscale ~quality () =
+  Printf.printf
+    "\n\
+     === applyscale: YCSB-A kRPS under 500us p99 SLO vs apply threads ===\n\
+     (3-node HovercRaft, 40G links, same seed at every K)\n";
+  let results = Experiment.applyscale ~quality () in
+  let base =
+    match results with
+    | { Experiment.threads = 1; knee_rps; _ } :: _ -> knee_rps
+    | _ -> nan
+  in
+  let rows =
+    List.map
+      (fun (p : Experiment.applyscale_point) ->
+        [
+          string_of_int p.threads;
+          Printf.sprintf "%.0f" (p.knee_rps /. 1e3);
+          (if Float.is_nan base || base <= 0. then "-"
+           else Printf.sprintf "%.2fx" (p.knee_rps /. base));
+          string_of_int p.stalls;
+          (if p.consistent then "yes" else "NO");
+        ])
+      results
+  in
+  Table.print
+    ~header:[ "K"; "kRPS@SLO"; "vs K=1"; "stalls"; "replicas agree" ] rows;
+  if List.exists (fun (p : Experiment.applyscale_point) -> not p.consistent)
+       results
+  then begin
+    Printf.eprintf "applyscale: replica fingerprints diverged\n";
+    exit 1
+  end
+
 (* Artifacts land under _build/ (or the temp dir when there is no build
    tree), never the repository root; --out overrides. *)
 let default_out name =
@@ -280,18 +321,23 @@ let () =
   let out =
     match out with Some p -> p | None -> default_out "hovercraft_snapshot.json"
   in
-  let special = [ "micro"; "snapshot"; "shardscale" ] in
-  let wanted_figures, want_micro, want_snapshot, want_shardscale =
+  let special = [ "micro"; "snapshot"; "shardscale"; "applyscale" ] in
+  let wanted_figures, want_micro, want_snapshot, want_shardscale, want_applyscale
+      =
     match args with
-    | [] -> (Figures.names |> List.filter (fun n -> n <> "all"), true, true, false)
-    | [ "micro" ] -> ([], true, false, false)
-    | [ "snapshot" ] -> ([], false, true, false)
-    | [ "shardscale" ] -> ([], false, false, true)
+    | [] ->
+        (Figures.names |> List.filter (fun n -> n <> "all"), true, true, false,
+         false)
+    | [ "micro" ] -> ([], true, false, false, false)
+    | [ "snapshot" ] -> ([], false, true, false, false)
+    | [ "shardscale" ] -> ([], false, false, true, false)
+    | [ "applyscale" ] -> ([], false, false, false, true)
     | names ->
         ( List.filter (fun n -> not (List.mem n special)) names,
           List.mem "micro" names,
           List.mem "snapshot" names,
-          List.mem "shardscale" names )
+          List.mem "shardscale" names,
+          List.mem "applyscale" names )
   in
   List.iter
     (fun name ->
@@ -302,5 +348,6 @@ let () =
             (String.concat ", " (special @ Figures.names)))
     wanted_figures;
   if want_shardscale then shardscale ~quality ();
+  if want_applyscale then applyscale ~quality ();
   if want_snapshot then obs_snapshot ~file:out ();
   if want_micro then microbenchmarks ()

@@ -390,12 +390,18 @@ let failover_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos_params ~n ~seed =
+let chaos_params ?(apply_threads = 1) ~n ~seed () =
   let p = Hnode.params ~mode:Hnode.Hover_pp ~n () in
   {
     p with
     Hnode.seed;
-    features = { p.Hnode.features with Hnode.bound = 32; flow_control = true };
+    features =
+      {
+        p.Hnode.features with
+        Hnode.bound = 32;
+        flow_control = true;
+        apply_threads;
+      };
   }
 
 let print_chaos_outcome ~seed (outcome : Chaos.outcome) =
@@ -440,14 +446,15 @@ let chaos_workload =
        ~read_fraction:0.5 ())
 
 let chaos_cmd =
-  let action n rate seed duration_ms events reconfig snapshot_interval =
+  let action n rate seed duration_ms events reconfig snapshot_interval
+      apply_threads =
     let duration = Timebase.ms duration_ms in
     let snapshots =
       if snapshot_interval > 0 then Some snapshot_interval else None
     in
     let outcome =
       Chaos.run
-        ~params:(chaos_params ~n ~seed)
+        ~params:(chaos_params ~apply_threads ~n ~seed ())
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
         ?snapshots
         ~schedule:(Chaos.random_schedule ~events ~reconfig ~n ~duration ~seed ())
@@ -471,10 +478,19 @@ let chaos_cmd =
       & info [ "reconfig" ]
           ~doc:"Mix add-node / remove-node / transfer-leadership churn into the schedule.")
   in
+  let apply_threads =
+    Arg.(
+      value & opt int 1
+      & info [ "apply-threads" ]
+          ~doc:
+            "Application threads per node (K): committed entries with \
+             disjoint key footprints apply in parallel; 1 is the serial \
+             loop.")
+  in
   let term =
     Term.(
       const action $ nodes $ rate $ seed_arg $ dur $ events $ reconfig
-      $ snapshot_interval_arg)
+      $ snapshot_interval_arg $ apply_threads)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -508,7 +524,7 @@ let reconfig_cmd =
     in
     let outcome =
       Chaos.run
-        ~params:(chaos_params ~n:3 ~seed)
+        ~params:(chaos_params ~n:3 ~seed ())
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
         ?snapshots ~schedule ~workload:chaos_workload ~seed ()
     in
@@ -562,7 +578,7 @@ let snapshot_cmd =
     in
     let outcome =
       Chaos.run
-        ~params:(chaos_params ~n ~seed)
+        ~params:(chaos_params ~n ~seed ())
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
         ~snapshots:interval ~schedule ~workload:chaos_workload ~seed ()
     in
@@ -640,7 +656,7 @@ let shard_cmd =
     in
     let outcome =
       Shard_chaos.run
-        ~params:(chaos_params ~n ~seed)
+        ~params:(chaos_params ~n ~seed ())
         ~shards ~active ~rate_rps:rate ~flow_cap:1000 ~duration ?schedule
         ~migrations
         ~preload:(Ycsb.Kv.preload_ops kv)

@@ -75,6 +75,22 @@ let key = function
   | Kv cmd -> Kvstore.key_of cmd
   | Nop | Synth _ | Merge _ | Prune _ -> None
 
+(* The conflict relation for parallel apply: two operations commute unless
+   their footprints intersect. Keyed store commands touch exactly their
+   key (Insert/Scan touch the thread-prefixed range, which key_of already
+   names); read-only synthetics and no-ops touch nothing; everything that
+   mutates cross-key state — the synthetic service's shared digest, the
+   migration bulk ops — touches the whole machine and must serialize
+   against every thread. *)
+type footprint = Fp_none | Fp_key of string | Fp_global
+
+let footprint = function
+  | Nop -> Fp_none
+  | Synth { read_only; _ } -> if read_only then Fp_none else Fp_global
+  | Kv cmd -> (
+      match Kvstore.key_of cmd with Some k -> Fp_key k | None -> Fp_none)
+  | Merge _ | Prune _ -> Fp_global
+
 let request_bytes = function
   | Nop -> 8
   | Synth { req_bytes; _ } -> req_bytes

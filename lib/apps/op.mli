@@ -53,6 +53,20 @@ val key : t -> string option
     keyless operations (Nop, Synth, the migration ops themselves) — a
     shard filter must accept those everywhere. *)
 
+type footprint =
+  | Fp_none  (** Touches no shared state: commutes with everything. *)
+  | Fp_key of string
+      (** Touches exactly one key (or one thread-prefixed range): commutes
+          with any operation on a different key. *)
+  | Fp_global
+      (** Touches cross-key state (synthetic-service writes, migration
+          bulk ops): conflicts with every other operation. *)
+
+val footprint : t -> footprint
+(** The conflict relation for dependency-aware parallel apply: two
+    operations may execute on different app threads iff their footprints
+    are disjoint. Deterministic, derived purely from the operation. *)
+
 val request_bytes : t -> int
 val reply_bytes : t -> result -> int
 

@@ -72,3 +72,71 @@ let max_under_slo ?(quality = Fast) ?(slo = Timebase.us 500) ?(lo = 5_000.)
     in
     if good >= hi then hi else bisect good bad 8
   end
+
+(* --- applyscale: parallel-apply speedup on YCSB-A ------------------- *)
+
+type applyscale_point = {
+  threads : int;
+  knee_rps : float;
+  consistent : bool;  (** Replica fingerprints agree after quiesce. *)
+  stalls : int;  (** Barrier waits the schedulers recorded (all nodes). *)
+  confirm : Loadgen.report;  (** The fingerprint-check run, near the knee. *)
+}
+
+(* YCSB-A (50% read / 50% update, zipfian over 10k 1kB records) against a
+   3-node HovercRaft group, at K application threads per node. The links
+   run at 40G so the wire never hides the CPU knee — the serial apply
+   thread is the bottleneck under write-heavy load (ROADMAP item 2), and
+   the whole point is to watch it move as K grows. Same seed for every K:
+   the committed log is identical across runs (client arrivals do not
+   depend on apply timing), so knee ratios are apples-to-apples. *)
+let applyscale_setup ~seed ~threads =
+  let p = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+  let p =
+    {
+      p with
+      seed;
+      cost = { p.cost with link_gbps = 40. };
+      features = { p.features with apply_threads = threads };
+    }
+  in
+  let gen = Hovercraft_apps.Ycsb.Kv.workload_a ~seed in
+  let preload =
+    Hovercraft_apps.Ycsb.Kv.preload_ops
+      (Hovercraft_apps.Ycsb.Kv.workload_a ~seed)
+  in
+  setup ~preload ~seed p (fun _rng -> Hovercraft_apps.Ycsb.Kv.next gen)
+
+let applyscale ?(quality = Fast) ?(threads = [ 1; 2; 4; 8 ]) ?(seed = 11) () =
+  List.map
+    (fun k ->
+      let knee =
+        max_under_slo ~quality ~hi:5_000_000. (applyscale_setup ~seed ~threads:k)
+      in
+      (* Confirmation run just under the knee on a deployment we keep, so
+         replica agreement and the stall census are checked at speed (a
+         fresh setup: the knee search consumed the previous generator). *)
+      let s = applyscale_setup ~seed ~threads:k in
+      let deploy = Deploy.create (Deploy.config ?flow_cap:s.flow_cap s.params) in
+      Array.iter (fun n -> Hnode.preload n s.preload) deploy.Deploy.nodes;
+      let rate = Float.max 50_000. (0.95 *. knee) in
+      let gen =
+        Loadgen.create deploy ~clients:s.clients ~rate_rps:rate
+          ~workload:s.workload ~seed:(s.seed + 7) ()
+      in
+      let warmup, duration = window ~quality ~rate_rps:rate in
+      let confirm = Loadgen.run gen ~warmup ~duration () in
+      Deploy.quiesce deploy ~extra:(Timebase.ms 100) ();
+      let stalls =
+        Array.fold_left
+          (fun acc n -> acc + Hnode.apply_stalls n)
+          0 deploy.Deploy.nodes
+      in
+      {
+        threads = k;
+        knee_rps = knee;
+        consistent = Deploy.consistent deploy;
+        stalls;
+        confirm;
+      })
+    threads

@@ -48,3 +48,25 @@ val max_under_slo :
     500 µs) and that the system actually sustains (goodput within 3% of
     offered, no losses). Geometric bracketing followed by bisection;
     search range [lo, hi] in RPS. *)
+
+type applyscale_point = {
+  threads : int;  (** K — application threads per node. *)
+  knee_rps : float;  (** Max sustainable YCSB-A load under the SLO. *)
+  consistent : bool;  (** Replica fingerprints agree after quiesce. *)
+  stalls : int;  (** Scheduler barrier waits recorded across all nodes. *)
+  confirm : Loadgen.report;  (** The fingerprint-check run, near the knee. *)
+}
+
+val applyscale :
+  ?quality:quality ->
+  ?threads:int list ->
+  ?seed:int ->
+  unit ->
+  applyscale_point list
+(** The parallel-apply scaling experiment: YCSB-A (write-heavy — the
+    apply-loop-bound workload) against a 3-node HovercRaft group at each
+    K in [threads] (default 1, 2, 4, 8), same seed throughout. For each K
+    it finds the SLO knee, then re-runs just under it on a retained
+    deployment to verify that every replica ends byte-identical
+    ([consistent]) — the determinism proof for the dependency-aware
+    scheduler — and to census the scheduler's barrier stalls. *)

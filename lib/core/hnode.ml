@@ -4,6 +4,7 @@ module Addr = Hovercraft_net.Addr
 module Fabric = Hovercraft_net.Fabric
 module Cpu = Hovercraft_net.Cpu
 module Op = Hovercraft_apps.Op
+module Kvstore = Hovercraft_apps.Kvstore
 module Rnode = Hovercraft_raft.Node
 module Rtypes = Hovercraft_raft.Types
 module Rlog = Hovercraft_raft.Log
@@ -58,6 +59,12 @@ type timing_params = {
 }
 
 type feature_params = {
+  apply_threads : int;
+      (* Simulated application threads per node (K). 1 keeps the paper's
+         serial apply loop; K > 1 turns the loop into a dependency-aware
+         dispatcher that runs key-disjoint committed entries on separate
+         CPUs (state mutation stays in log order — only the timing is
+         parallel, so replicas remain byte-identical). *)
   batch_max : int;
   reply_lb : bool;
   lb_policy : Jbsq.policy;
@@ -101,6 +108,8 @@ let validate_params p =
   if p.timing.gc_interval <= 0 then fail "gc_interval must be positive";
   if p.timing.recovery_timeout <= 0 then fail "recovery_timeout must be positive";
   if p.features.bound < 1 then fail "bound must be >= 1 (got %d)" p.features.bound;
+  if p.features.apply_threads < 1 || p.features.apply_threads > 64 then
+    fail "apply_threads must be in 1..64 (got %d)" p.features.apply_threads;
   if p.features.batch_max < 1 then
     fail "batch_max must be >= 1 (got %d)" p.features.batch_max;
   if p.features.log_retain < 0 then fail "log_retain must be non-negative";
@@ -144,6 +153,7 @@ let params ?(mode = Hover) ?(n = 3) () =
         };
       features =
         {
+          apply_threads = 1;
           batch_max = 64;
           reply_lb = true;
           lb_policy = Jbsq.Jbsq;
@@ -175,7 +185,11 @@ type t = {
   fabric : Protocol.payload Fabric.t;
   mutable port : Protocol.payload Fabric.port option;
   net : Cpu.t;
-  app : Cpu.t;
+  apps : Cpu.t array;
+      (* The application threads (length = features.apply_threads).
+         Index 0 is the "primary" thread: the serial apply loop, local
+         execution (lease reads, unreplicated mode) and completion
+         replays all run there. *)
   rng : Rng.t;
   raft : (Protocol.cmd, Protocol.snap) Rnode.t option;
   mutable store : Unordered.t;
@@ -200,6 +214,20 @@ type t = {
   mutable hb_gen : int;  (* invalidates stale heartbeat loops *)
   mutable apply_busy : bool;
   mutable applied_ptr : int;
+  (* Parallel-apply scheduler state (K > 1; idle when apply_threads = 1).
+     [applied_ptr] is the dispatch pointer — every entry at or below it
+     has mutated the state machine; the watermark below tracks the
+     contiguous prefix whose simulated CPU work has also finished, which
+     is what the consensus layer (ack piggybacking, replier-queue
+     accounting) is told about. *)
+  mutable apply_inflight : int;  (* dispatched, CPU work not yet done *)
+  apply_done : (int, unit) Hashtbl.t;  (* finished out-of-order entries *)
+  mutable apply_watermark : int;
+  mutable apply_rr : int;  (* round-robin pointer for footprint-free ops *)
+  mutable pumping : bool;
+      (* The parallel dispatcher is mid-loop: re-entrant pumps (a
+         checkpoint cut inside the loop feeds the consensus layer, whose
+         actions pump again) must not start a second loop. *)
   pending_recovery : (int * Timebase.t) Rid_tbl.t;  (* rid -> retries, issued-at *)
   lease_heard : (int, Timebase.t) Hashtbl.t;  (* leader: last contact per node *)
   completions : (Op.result * Timebase.t) Rid_tbl.t;
@@ -250,8 +278,12 @@ type t = {
   c_installs_sent : Metrics.counter;
   g_log_base : Metrics.gauge;
   g_snap_index : Metrics.gauge;
+  g_apply_busy : Metrics.gauge array;  (* per-thread busy ns, one gauge each *)
   h_recovery_ns : Metrics.histogram;
   h_install_ns : Metrics.histogram;
+  h_apply_stall : Metrics.histogram;
+      (* Scheduler stall: per-thread idle wait imposed by a barrier
+         (global-footprint op, config entry, or checkpoint cut). *)
   mutable announce_stalled : bool;
       (* The announce gate returned None (every replier queue full): nothing
          will be announced until [note_applied] drains a queue and re-kicks
@@ -329,10 +361,15 @@ let halt t =
     t.alive <- false;
     t.life <- t.life + 1;
     Cpu.halt t.net;
-    Cpu.halt t.app;
+    Array.iter Cpu.halt t.apps;
     (* Pending recoveries are volatile: their retry timers check this
        table, so clearing it also disarms them. *)
     Rid_tbl.reset t.pending_recovery;
+    (* So is the parallel dispatcher's in-flight window: the CPUs' queued
+       closures died with the halt above. The watermark is recomputed
+       from the durable applied index at restart. *)
+    t.apply_inflight <- 0;
+    Hashtbl.reset t.apply_done;
     tr t Trace.Warn ~kind:"killed" (fun () ->
         Printf.sprintf "term=%d applied=%d"
           (match t.raft with Some r -> Rnode.term r | None -> 0)
@@ -524,15 +561,138 @@ and pump t =
   match t.raft with
   | None -> ()
   | Some raft ->
-      if t.alive && (not t.apply_busy) && t.applied_ptr < Rnode.commit_index raft
-      then begin
-        let idx = t.applied_ptr + 1 in
-        let entry = Rlog.get (Rnode.log raft) idx in
-        let cmd = entry.Rtypes.cmd in
-        match body_for t cmd with
-        | None -> request_recovery t cmd.meta.rid
-        | Some op -> apply_one t idx cmd op
-      end
+      if Array.length t.apps = 1 then pump_serial t raft
+      else pump_parallel t raft
+
+and pump_serial t raft =
+  if t.alive && (not t.apply_busy) && t.applied_ptr < Rnode.commit_index raft
+  then begin
+    let idx = t.applied_ptr + 1 in
+    let entry = Rlog.get (Rnode.log raft) idx in
+    let cmd = entry.Rtypes.cmd in
+    match body_for t cmd with
+    | None -> request_recovery t cmd.meta.rid
+    | Some op -> apply_one t idx cmd op
+  end
+
+(* The dependency-aware dispatcher (K > 1). Entries leave the committed
+   prefix strictly in log order and mutate the state machine at dispatch
+   time — exactly like the serial loop — so replicas stay byte-identical
+   no matter how thread timing interleaves; only the simulated CPU work
+   (execution cost, the reply leaving the wire, the applied watermark the
+   consensus layer sees) is spread over K threads. The in-flight window
+   bounds how far dispatch runs ahead of finished work, so a crash can
+   only lose a bounded suffix of timing (never state: mutation + record
+   advance atomically at dispatch). *)
+and apply_window t = 8 * Array.length t.apps
+
+and pump_parallel t raft =
+  if not t.pumping then begin
+    t.pumping <- true;
+    let stalled = ref false in
+    while
+      (not !stalled) && t.alive
+      && t.apply_inflight < apply_window t
+      && t.applied_ptr < Rnode.commit_index raft
+    do
+      let idx = t.applied_ptr + 1 in
+      let entry = Rlog.get (Rnode.log raft) idx in
+      let cmd = entry.Rtypes.cmd in
+      match body_for t cmd with
+      | None ->
+          request_recovery t cmd.meta.rid;
+          stalled := true
+      | Some op -> dispatch_one t idx cmd op
+    done;
+    t.pumping <- false
+  end
+
+(* Thread selection: keyed operations hash to a fixed thread, so two
+   operations on the same key always land on the same CPU and serialize
+   in log order on its FIFO queue; footprint-free operations round-robin;
+   global footprints return None and barrier. Deterministic — a function
+   of the log prefix alone, never of timing. *)
+and apply_thread_of t op =
+  match Op.footprint op with
+  | Op.Fp_key k -> Some (Kvstore.slot_of_key ~slots:(Array.length t.apps) k)
+  | Op.Fp_none ->
+      let k = t.apply_rr in
+      t.apply_rr <- (t.apply_rr + 1) mod Array.length t.apps;
+      Some k
+  | Op.Fp_global -> None
+
+(* Quiesce the scheduler: advance every thread to the common idle
+   horizon, recording each thread's imposed wait in the stall histogram.
+   Returns nothing useful beyond its effect — after it, all threads fall
+   idle at the same instant, so whatever executes next overlaps with
+   nothing. *)
+and apply_quiesce t =
+  let horizon =
+    Array.fold_left (fun acc c -> max acc (Cpu.horizon c)) 0 t.apps
+  in
+  Array.iter
+    (fun c ->
+      let stall = horizon - Cpu.horizon c in
+      if stall > 0 then Metrics.observe t.h_apply_stall stall;
+      Cpu.advance_to c horizon)
+    t.apps
+
+and dispatch_one t idx (cmd : Protocol.cmd) op =
+  (* Entries that cannot overlap anything take a barrier: global
+     footprints, config entries (membership is whole-machine state) and
+     entries about to cut a checkpoint (the image must capture a quiesced
+     machine — the atomic section that used to be [apply_one]'s becomes
+     this barrier). The checkpoint test mirrors the one in
+     [apply_atomic]. *)
+  let snapshot_due =
+    t.p.features.snapshot_interval > 0
+    && idx - t.last_snap >= t.p.features.snapshot_interval
+    && t.raft <> None
+  in
+  let thread =
+    if cmd.Protocol.config <> None || snapshot_due then None
+    else apply_thread_of t op
+  in
+  let k =
+    match thread with
+    | Some k -> k
+    | None ->
+        apply_quiesce t;
+        0
+  in
+  let cost, should_reply, reply_bytes = apply_atomic t idx cmd op in
+  t.apply_inflight <- t.apply_inflight + 1;
+  let cpu = t.apps.(k) in
+  Cpu.exec cpu ~cost (fun () ->
+      apply_completed t idx cmd ~should_reply ~reply_bytes);
+  (* A barriered entry also excludes everything behind it: hold the
+     sibling threads until it retires. *)
+  if thread = None then
+    let after = Cpu.horizon cpu in
+    Array.iter (fun c -> Cpu.advance_to c after) t.apps
+
+(* Delayed completion of a dispatched entry (runs on its thread's CPU,
+   [cost] later). The consensus layer's applied counter — and the
+   replier-queue accounting and announce re-kick driven from it — advance
+   along the contiguous watermark, never past a still-running entry. *)
+and apply_completed t idx (cmd : Protocol.cmd) ~should_reply ~reply_bytes =
+  apply_visible t cmd ~should_reply ~reply_bytes;
+  t.apply_inflight <- max 0 (t.apply_inflight - 1);
+  if idx > t.apply_watermark then begin
+    Hashtbl.replace t.apply_done idx ();
+    let advanced = ref false in
+    while Hashtbl.mem t.apply_done (t.apply_watermark + 1) do
+      Hashtbl.remove t.apply_done (t.apply_watermark + 1);
+      t.apply_watermark <- t.apply_watermark + 1;
+      advanced := true
+    done;
+    if !advanced then begin
+      if is_leader t then
+        note_applied t ~node:t.id ~applied:t.apply_watermark;
+      feed_raft t (Rnode.Applied_up_to t.apply_watermark)
+    end
+  end;
+  pump t
 
 (* A committed configuration entry reached the apply loop: the durable
    membership changes here. Since only one change can be in flight, by the
@@ -592,6 +752,27 @@ and on_config_applied t ms =
    superseded by the image and dropped. *)
 and on_snapshot_installed t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta) =
   let s = meta.Hovercraft_raft.Snapshot.data in
+  if meta.Hovercraft_raft.Snapshot.last_idx <= t.applied_ptr then begin
+    (* The image is a prefix of what this replica has already executed —
+       possible under parallel apply, where the dispatch pointer runs
+       ahead of the durable watermark the consensus layer advertises
+       (installs are accepted against that watermark). The running state
+       strictly covers the image; overwriting would roll executed entries
+       back and diverge the replicas. Keep the state, record the
+       checkpoint. *)
+    t.last_snap <- max t.last_snap meta.Hovercraft_raft.Snapshot.last_idx;
+    Metrics.incr t.c_installs_recv;
+    Metrics.set t.g_snap_index
+      (max meta.Hovercraft_raft.Snapshot.last_idx
+         (Metrics.gauge_value t.g_snap_index));
+    tr t Trace.Info ~kind:"snapshot_skipped" (fun () ->
+        Printf.sprintf "idx=%d already applied (applied=%d)"
+          meta.Hovercraft_raft.Snapshot.last_idx t.applied_ptr)
+  end
+  else install_snapshot_state t meta s
+
+and install_snapshot_state t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta)
+    (s : Protocol.snap) =
   Op.install t.app_state s.Protocol.s_app;
   Rid_tbl.reset t.completions;
   Queue.clear t.completion_fifo;
@@ -603,6 +784,12 @@ and on_snapshot_installed t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta)
   Rid_tbl.reset t.pending_recovery;
   t.members <- meta.Hovercraft_raft.Snapshot.members;
   t.applied_ptr <- max t.applied_ptr meta.Hovercraft_raft.Snapshot.last_idx;
+  t.apply_watermark <-
+    max t.apply_watermark meta.Hovercraft_raft.Snapshot.last_idx;
+  (* The preload counter is part of the applied-prefix state: the checker
+     computes consensus-driven executions as [executed - preloaded], and
+     the image's execution counter includes the source's preloads. *)
+  t.preloaded <- s.Protocol.s_preloaded;
   t.last_snap <- max t.last_snap meta.Hovercraft_raft.Snapshot.last_idx;
   Metrics.incr t.c_installs_recv;
   Metrics.set t.g_snap_index meta.Hovercraft_raft.Snapshot.last_idx;
@@ -631,7 +818,13 @@ and on_snapshot_installed t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta)
    so the image is exactly the state after entry [idx]. *)
 and take_snapshot t raft idx =
   let completions = completion_records t in
-  let data = { Protocol.s_app = Op.snapshot t.app_state; s_completions = completions } in
+  let data =
+    {
+      Protocol.s_app = Op.snapshot t.app_state;
+      s_completions = completions;
+      s_preloaded = t.preloaded;
+    }
+  in
   let last_term = (Rlog.get (Rnode.log raft) idx).Rtypes.term in
   let meta =
     Hovercraft_raft.Snapshot.make ~last_idx:idx ~last_term ~members:t.members
@@ -646,8 +839,14 @@ and take_snapshot t raft idx =
   t.last_snap <- idx;
   Metrics.set t.g_snap_index idx
 
-and apply_one t idx (cmd : Protocol.cmd) op =
-  t.apply_busy <- true;
+(* The pre-delay atomic section shared by the serial and parallel apply
+   paths: the execute-or-replay decision, the state mutation, the
+   completion record, the applied-pointer advance, the config effect and
+   the checkpoint cut. All of it happens at dispatch time, in log order —
+   which is what keeps replicas byte-identical under parallel apply:
+   thread timing never touches state, only the clock. Returns the entry's
+   CPU cost and what the delayed epilogue needs. *)
+and apply_atomic t idx (cmd : Protocol.cmd) op =
   let meta = cmd.Protocol.meta in
   let is_replier = meta.replier = t.id in
   let duplicate = (not meta.internal) && Rid_tbl.mem t.completions meta.rid in
@@ -723,29 +922,41 @@ and apply_one t idx (cmd : Protocol.cmd) op =
          && idx - t.last_snap >= t.p.features.snapshot_interval ->
       take_snapshot t raft idx
   | Some _ | None -> ());
-  Cpu.exec t.app ~cost (fun () ->
-      if should_reply then begin
-        Metrics.incr t.c_replies;
-        (match t.port with
-        | Some port when t.alive ->
-            Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
-              (Protocol.Response { rid = meta.rid });
-            if t.p.features.flow_control then
-              Fabric.send t.fabric port ~dst:Addr.Middlebox
-                ~bytes:
-                  (Protocol.payload_bytes ~with_bodies:false
-                     (Protocol.Feedback { rid = meta.rid }))
-                (Protocol.Feedback { rid = meta.rid })
-        | Some _ | None -> ())
-      end;
-      (* Bodies stay in the store after application: duplicate AEs
-         (heartbeat retransmits) must still bind, and lagging followers
-         recover bodies from peers that already applied them. The GC's
-         ordered-retention window reclaims them (§5). *)
-      (match t.p.mode with
-      | Hover | Hover_pp ->
-          if not meta.internal then resolve_recovery t meta.rid
-      | Vanilla | Unreplicated -> ());
+  (cost, should_reply, reply_bytes)
+
+(* The delayed, externally visible part of applying an entry: the reply
+   (and its flow-control credit) leaves the wire and the pending body
+   recovery resolves. Runs on the entry's application thread, [cost]
+   after dispatch. *)
+and apply_visible t (cmd : Protocol.cmd) ~should_reply ~reply_bytes =
+  let meta = cmd.Protocol.meta in
+  if should_reply then begin
+    Metrics.incr t.c_replies;
+    match t.port with
+    | Some port when t.alive ->
+        Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
+          (Protocol.Response { rid = meta.rid });
+        if t.p.features.flow_control then
+          Fabric.send t.fabric port ~dst:Addr.Middlebox
+            ~bytes:
+              (Protocol.payload_bytes ~with_bodies:false
+                 (Protocol.Feedback { rid = meta.rid }))
+            (Protocol.Feedback { rid = meta.rid })
+    | Some _ | None -> ()
+  end;
+  (* Bodies stay in the store after application: duplicate AEs
+     (heartbeat retransmits) must still bind, and lagging followers
+     recover bodies from peers that already applied them. The GC's
+     ordered-retention window reclaims them (§5). *)
+  match t.p.mode with
+  | Hover | Hover_pp -> if not meta.internal then resolve_recovery t meta.rid
+  | Vanilla | Unreplicated -> ()
+
+and apply_one t idx (cmd : Protocol.cmd) op =
+  t.apply_busy <- true;
+  let cost, should_reply, reply_bytes = apply_atomic t idx cmd op in
+  Cpu.exec t.apps.(0) ~cost (fun () ->
+      apply_visible t cmd ~should_reply ~reply_bytes;
       if is_leader t then note_applied t ~node:t.id ~applied:idx;
       feed_raft t (Rnode.Applied_up_to idx);
       t.apply_busy <- false;
@@ -862,7 +1073,7 @@ let execute_locally ?feedback t rid op =
   let cost =
     t.p.cost.app_per_op_ns + exec_cost + tx_cost t ~bytes:reply_bytes ~extra:0
   in
-  Cpu.exec t.app ~cost (fun () ->
+  Cpu.exec t.apps.(0) ~cost (fun () ->
       Metrics.incr t.c_replies;
       match t.port with
       | Some port when t.alive -> (
@@ -887,10 +1098,10 @@ let replay_completion t rid op =
   match Rid_tbl.find_opt t.completions rid with
   | Some (result, _) ->
       let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
-      transmit_on t t.app ~dst:rid.R2p2.src_addr ~bytes:reply_bytes ~extra:0
+      transmit_on t t.apps.(0) ~dst:rid.R2p2.src_addr ~bytes:reply_bytes ~extra:0
         (Protocol.Response { rid });
       if t.p.features.flow_control then
-        transmit_on t t.app ~dst:Addr.Middlebox
+        transmit_on t t.apps.(0) ~dst:Addr.Middlebox
           ~bytes:
             (Protocol.payload_bytes ~with_bodies:false
                (Protocol.Feedback { rid }))
@@ -1252,7 +1463,7 @@ let create ?trace ?members engine fabric p ~id =
       fabric;
       port = None;
       net = Cpu.create engine;
-      app = Cpu.create engine;
+      apps = Array.init p.features.apply_threads (fun _ -> Cpu.create engine);
       rng;
       raft;
       store =
@@ -1270,6 +1481,11 @@ let create ?trace ?members engine fabric p ~id =
       hb_gen = 0;
       apply_busy = false;
       applied_ptr = 0;
+      apply_inflight = 0;
+      apply_done = Hashtbl.create 64;
+      apply_watermark = 0;
+      apply_rr = 0;
+      pumping = false;
       pending_recovery = Rid_tbl.create 64;
       lease_heard = Hashtbl.create 16;
       completions = Rid_tbl.create 1024;
@@ -1300,8 +1516,12 @@ let create ?trace ?members engine fabric p ~id =
       c_installs_sent = Metrics.counter metrics "installs_sent";
       g_log_base = Metrics.gauge metrics "log_base";
       g_snap_index = Metrics.gauge metrics "snapshot_index";
+      g_apply_busy =
+        Array.init p.features.apply_threads (fun k ->
+            Metrics.gauge metrics (Printf.sprintf "apply_busy_ns.%d" k));
       h_recovery_ns = Metrics.histogram metrics "recovery_latency_ns";
       h_install_ns = Metrics.histogram metrics "install_transfer_ns";
+      h_apply_stall = Metrics.histogram metrics "apply_stall_ns";
       announce_stalled = false;
     }
   in
@@ -1355,7 +1575,12 @@ let recovery_escalations t = Metrics.value t.c_recovery_escalations
 let pending_recoveries t = Rid_tbl.length t.pending_recovery
 let port t = Option.get t.port
 let net_busy_time t = Cpu.busy_time t.net
-let app_busy_time t = Cpu.busy_time t.app
+let app_busy_time t =
+  Array.fold_left (fun acc c -> acc + Cpu.busy_time c) 0 t.apps
+
+let apply_threads t = Array.length t.apps
+let apply_busy_times t = Array.map Cpu.busy_time t.apps
+let apply_stalls t = Metrics.hist_count t.h_apply_stall
 let raft_node t = t.raft
 let metrics t = t.metrics
 let trace t = t.trace
@@ -1407,6 +1632,9 @@ let rx_census t =
     (Metrics.counters t.metrics)
 
 let snapshot t =
+  Array.iteri
+    (fun k c -> Metrics.set t.g_apply_busy.(k) (Cpu.busy_time c))
+    t.apps;
   let gauges =
     [
       ("id", Json.Int t.id);
@@ -1421,7 +1649,8 @@ let snapshot t =
       ("store_size", Json.Int (Unordered.size t.store));
       ("pending_recoveries", Json.Int (Rid_tbl.length t.pending_recovery));
       ("net_busy_ns", Json.Int (Cpu.busy_time t.net));
-      ("app_busy_ns", Json.Int (Cpu.busy_time t.app));
+      ("app_busy_ns", Json.Int (app_busy_time t));
+      ("apply_threads", Json.Int (Array.length t.apps));
       (* Membership: who votes, which log entry established it, and the
          last cooperative handoff this node initiated (-1 = none). *)
       ("members", Json.List (List.map (fun i -> Json.Int i) t.members));
@@ -1465,7 +1694,7 @@ let restart t =
   if t.alive then invalid_arg "Hnode.restart: node is alive";
   t.alive <- true;
   Cpu.resume t.net;
-  Cpu.resume t.app;
+  Array.iter Cpu.resume t.apps;
   t.store <-
     Unordered.create
       ~now:(fun () -> Engine.now t.engine)
@@ -1484,6 +1713,14 @@ let restart t =
          persistence); restart from it rather than re-cutting early. *)
       t.last_snap <- Rnode.snapshot_index raft
   | None -> ());
+  (* The parallel dispatcher restarts with nothing in flight; its
+     watermark and round-robin pointer are recomputed from the durable
+     applied prefix so a replayed log redispatches identically. *)
+  t.apply_inflight <- 0;
+  Hashtbl.reset t.apply_done;
+  t.apply_watermark <- t.applied_ptr;
+  t.apply_rr <- 0;
+  t.pumping <- false;
   Hashtbl.reset t.xfer_start;
   let port =
     Fabric.attach t.fabric ~addr:(Addr.Node t.id) ~rate_gbps:t.p.cost.link_gbps

@@ -74,6 +74,17 @@ type timing_params = {
 
 (** Protocol variants and their knobs. *)
 type feature_params = {
+  apply_threads : int;
+      (** Simulated application threads per node (K, 1..64). 1 keeps the
+          paper's serial apply loop. K > 1 replaces it with a
+          dependency-aware dispatcher: committed entries with disjoint
+          footprints ({!Hovercraft_apps.Op.footprint}) run on separate
+          simulated CPUs — same-key operations hash to a fixed thread and
+          serialize in log order; global-footprint operations, config
+          entries and checkpoint cuts barrier the whole scheduler. State
+          mutation stays at dispatch time in log order, so replicas
+          remain byte-identical and exactly-once is unaffected; only the
+          CPU timing model (throughput, reply latency) parallelizes. *)
   batch_max : int;
   reply_lb : bool;  (** Load-balance replies/read-only ops (§3.3/§3.5). *)
   lb_policy : Jbsq.policy;
@@ -191,7 +202,22 @@ val rx_census : t -> (string * int) list
 (** Received messages by payload type (diagnostics / Table 1). *)
 
 val net_busy_time : t -> Timebase.t
+
 val app_busy_time : t -> Timebase.t
+(** Total CPU time across every application thread. *)
+
+val apply_threads : t -> int
+(** The configured K (length of the application-thread array). *)
+
+val apply_busy_times : t -> Timebase.t array
+(** Per-thread CPU time, index = thread. With K = 1 this is the single
+    serial apply thread; a same-key conflict chain under K > 1 shows up
+    as one hot entry and near-zero siblings. *)
+
+val apply_stalls : t -> int
+(** Number of per-thread barrier waits the scheduler recorded (samples in
+    the [apply_stall_ns] histogram). 0 when K = 1. *)
+
 val raft_node : t -> (Protocol.cmd, Protocol.snap) Hovercraft_raft.Node.t option
 (** The embedded consensus state machine ([None] when unreplicated). *)
 
@@ -201,10 +227,12 @@ val metrics : t -> Hovercraft_obs.Metrics.t
     [recoveries_resolved], [rejected], [lost_rx], [elections_started],
     [gate_blocked], [gate_rekicks], [reconfigs_applied],
     [transfers_initiated], [snapshots_taken], [snapshots_installed],
-    [installs_sent] and per-payload [rx.<tag>]; gauges [log_base] and
-    [snapshot_index]; histogram [recovery_latency_ns] tracks
-    issue-to-resolution time and [install_transfer_ns] the leader-side
-    duration of completed snapshot transfers. *)
+    [installs_sent] and per-payload [rx.<tag>]; gauges [log_base],
+    [snapshot_index] and per-thread [apply_busy_ns.<k>]; histogram
+    [recovery_latency_ns] tracks issue-to-resolution time,
+    [install_transfer_ns] the leader-side duration of completed snapshot
+    transfers, and [apply_stall_ns] the per-thread idle waits the
+    parallel-apply scheduler imposes at barriers. *)
 
 val trace : t -> Hovercraft_obs.Trace.t
 (** The protocol-event ring this node records into. *)

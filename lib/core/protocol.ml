@@ -55,6 +55,7 @@ let config_cmd ~members =
 type snap = {
   s_app : Op.image;
   s_completions : (R2p2.req_id * Op.result * Hovercraft_sim.Timebase.t) list;
+  s_preloaded : int;
 }
 
 (* Completion records ride inside the snapshot image: a replica that
@@ -66,6 +67,7 @@ let completion_wire_bytes = 40
 let snap_bytes s =
   Op.image_bytes s.s_app
   + (completion_wire_bytes * List.length s.s_completions)
+  + 8 (* preload counter *)
 
 type payload =
   | Request of { rid : R2p2.req_id; policy : R2p2.policy; op : Op.t }

@@ -41,6 +41,12 @@ type snap = {
       (** Exactly-once completion records covering the checkpoint:
           without them, a retransmission of an already-applied request
           would re-execute on a freshly installed replica. *)
+  s_preloaded : int;
+      (** How many of the image's executed operations were preloaded
+          outside consensus (dataset population). Part of the durable
+          applied-prefix state: the history checker subtracts it from the
+          raw execution counter, so a replica that installs the image
+          must inherit it or the exactly-once arithmetic skews. *)
 }
 (** What a snapshot carries besides the consensus metadata: this is the
     ['snap] instantiation the whole core layer uses. *)

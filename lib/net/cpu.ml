@@ -28,6 +28,14 @@ let backlog t =
   let now = Engine.now t.engine in
   max 0 (t.free_at - now)
 
+let horizon t = max (Engine.now t.engine) t.free_at
+
+let advance_to t at =
+  (* Idle wait: push the next-free instant forward without charging busy
+     time. Barriers in a multi-thread scheduler use this to make every
+     sibling CPU wait for a global operation — stall, not work. *)
+  if not t.halted then if at > t.free_at then t.free_at <- at
+
 let busy_time t = t.busy
 
 let halt t =

@@ -19,6 +19,16 @@ val backlog : t -> Timebase.t
 (** Time until the CPU would go idle if no more work arrived (0 when
     idle). *)
 
+val horizon : t -> Timebase.t
+(** Absolute instant the CPU next falls idle: now when idle, the end of
+    the queued backlog otherwise. *)
+
+val advance_to : t -> Timebase.t -> unit
+(** [advance_to t at] pushes the CPU's next-free instant forward to [at]
+    without charging busy time — an idle wait. Schedulers use it to make
+    sibling CPUs block on a barrier. No-op when [at] is already past or
+    the CPU is halted. *)
+
 val busy_time : t -> Timebase.t
 (** Total CPU time consumed so far (for utilization reporting). *)
 

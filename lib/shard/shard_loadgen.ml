@@ -182,11 +182,19 @@ let rec arm_retry t ep epi rid op attempts_left =
   | None -> ()
   | Some (timeout, _) ->
       Engine.after t.engine timeout (fun () ->
-          if Rid_tbl.mem t.outstanding rid && attempts_left > 0 then begin
-            Metrics.incr t.c_retried;
-            transmit t ep rid op;
-            arm_retry t ep epi rid op (attempts_left - 1)
-          end)
+          if Rid_tbl.mem t.outstanding rid then
+            if attempts_left > 0 then begin
+              Metrics.incr t.c_retried;
+              transmit t ep rid op;
+              arm_retry t ep epi rid op (attempts_left - 1)
+            end
+            else
+              (* Retry budget exhausted: the rid will never be
+                 retransmitted, so its reroute-backoff entry is dead.
+                 Without this, rids that die mid-migration (rerouted at
+                 least once, then lost) leak a table entry forever —
+                 only the reply/NACK paths clear it. *)
+              Rid_tbl.remove t.backoff rid)
 
 let send_one t =
   let epi = t.next_endpoint in
@@ -225,6 +233,9 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
       if sent_at >= t.measure_from && sent_at <= t.measure_to then incr lost)
     t.outstanding;
   Metrics.add t.c_lost !lost;
+  (* Client teardown: whatever is still in flight when the run ends was
+     just counted as lost; its backoff state must not outlive it. *)
+  Rid_tbl.reset t.backoff;
   let completed = Metrics.value t.c_completed in
   let window_s = Timebase.to_s_f (t.measure_to - t.measure_from) in
   let pct p =
@@ -246,6 +257,7 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   }
 
 let stats t = t.stats
+let backoff_entries t = Rid_tbl.length t.backoff
 let retried t = Metrics.value t.c_retried
 let rerouted t = Metrics.value t.c_rerouted
 let metrics t = t.metrics

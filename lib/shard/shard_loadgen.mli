@@ -52,3 +52,9 @@ val rerouted : t -> int
     moving or fenced slot. *)
 
 val metrics : t -> Hovercraft_obs.Metrics.t
+
+val backoff_entries : t -> int
+(** Live per-rid reroute-backoff entries. Bounded by the in-flight window
+    during a run and zero after {!run} returns (leak regression guard:
+    rids that exhaust their retries or die with the run must not leave
+    entries behind). *)

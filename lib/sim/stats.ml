@@ -47,9 +47,12 @@ let percentile t p =
   if t.size = 0 then invalid_arg "Stats.percentile: empty recorder";
   if p < 0. || p > 1. then invalid_arg "Stats.percentile: rank out of range";
   ensure_sorted t;
-  (* Nearest-rank: the smallest sample with cumulative frequency >= p. *)
-  let rank = int_of_float (Float.round (ceil (p *. float_of_int t.size))) in
-  let idx = max 0 (min (t.size - 1) (rank - 1)) in
+  (* Nearest-rank: the smallest sample with cumulative frequency >= p.
+     A single ceil, then clamp into the live window — rounding the ceiled
+     value again can bump the rank past [size] when the product lands just
+     above an integer (p=1.0 on small windows). *)
+  let rank = int_of_float (ceil (p *. float_of_int t.size)) in
+  let idx = min (t.size - 1) (max 0 (rank - 1)) in
   t.samples.(idx)
 
 let merge a b =

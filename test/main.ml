@@ -11,6 +11,7 @@ let () =
       ("cluster", Test_cluster.suite);
       ("chaos", Test_chaos.suite);
       ("snapshot", Test_snapshot.suite);
+      ("apply", Test_apply.suite);
       ("reconfig", Test_reconfig.suite);
       ("shard", Test_shard.suite);
       ("invariants", Test_invariants.suite);

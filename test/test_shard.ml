@@ -7,6 +7,7 @@ open Hovercraft_cluster
 open Hovercraft_shard
 module Op = Hovercraft_apps.Op
 module Kvstore = Hovercraft_apps.Kvstore
+module Hnode = Hovercraft_core.Hnode
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -188,6 +189,41 @@ let test_sharded_chaos_events () =
        (fun (_, s) -> s = "shard0: killed node1")
        o.Shard_chaos.events)
 
+(* Backoff-table leak regression: a live split populates the per-rid
+   reroute-backoff table (fence NACKs), and killing the split target the
+   moment the map flips strands the freshly rerouted rids — they burn a
+   tiny retry budget against dead nodes and are written off as lost.
+   Both exits (retry exhaustion mid-run, teardown at end of run) must
+   remove their entries; before the fix, exhausted rids left theirs
+   behind forever. *)
+let test_backoff_table_drains () =
+  let p = Hnode.params ~mode:Hnode.Hover ~n:3 () in
+  let sd = Shard_deploy.create (Shard_deploy.config ~active:1 ~shards:2 p) in
+  let engine = Shard_deploy.engine sd in
+  let gen =
+    Shard_loadgen.create sd ~clients:8 ~rate_rps:30_000. ~workload:kv_workload
+      ~retry:(Timebase.ms 5, 2) ~seed:21 ()
+  in
+  Engine.after engine (Timebase.ms 100) (fun () ->
+      Shard_deploy.split_shard sd
+        ~on_done:(fun () ->
+          let d = (Shard_deploy.groups sd).(1) in
+          Array.iter Hnode.kill d.Deploy.nodes)
+        ~source:0 ~target:1 ());
+  (* Probe the table late in the run, after every stranded rid has had
+     time to exhaust its retries but before teardown can mask a leak. *)
+  let late_entries = ref (-1) in
+  Engine.after engine (Timebase.ms 380) (fun () ->
+      late_entries := Shard_loadgen.backoff_entries gen);
+  let r =
+    Shard_loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 400)
+      ~drain:(Timebase.ms 50) ()
+  in
+  check "reroutes happened" true (Shard_loadgen.rerouted gen > 0);
+  check "some rids were written off" true (r.Loadgen.lost > 0);
+  check_int "exhausted rids left no backoff entries" 0 !late_entries;
+  check_int "table empty after run" 0 (Shard_loadgen.backoff_entries gen)
+
 (* S=1 delegates verbatim to the single-group runner: same seed, same
    outcome, byte for byte (the regression guard for existing seeds). *)
 let test_s1_delegation_identical () =
@@ -222,6 +258,7 @@ let suite =
     Alcotest.test_case "sharded load, clean run" `Slow test_sharded_load_clean;
     Alcotest.test_case "live split under load" `Slow test_live_split_under_load;
     Alcotest.test_case "per-shard chaos events" `Slow test_sharded_chaos_events;
+    Alcotest.test_case "backoff table drains" `Slow test_backoff_table_drains;
     Alcotest.test_case "shards=1 delegates byte-identically" `Slow
       test_s1_delegation_identical;
   ]

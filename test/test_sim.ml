@@ -216,6 +216,32 @@ let test_stats_percentiles_exact () =
   check_int "max" 100 (Stats.max_sample s);
   check "mean" true (abs_float (Stats.mean s -. 50.5) < 0.001)
 
+(* Nearest-rank edge cases (the double-rounding regression): p=1.0 must
+   select the last live sample — never index past the window — and p=0.0
+   the first, including on single-sample recorders. *)
+let test_stats_percentile_edges () =
+  let s = Stats.create () in
+  Stats.add s 42;
+  check_int "size-1 p0" 42 (Stats.percentile s 0.0);
+  check_int "size-1 p50" 42 (Stats.percentile s 0.5);
+  check_int "size-1 p100" 42 (Stats.percentile s 1.0);
+  (* Sizes where [p * size] lands just above/below an integer in float:
+     a second rounding of the ceiled product can push the rank to
+     [size + 1]. Every p in (0, 1] must stay in bounds and p=1 must be
+     the maximum. *)
+  for n = 1 to 64 do
+    let s = Stats.create () in
+    for i = 1 to n do
+      Stats.add s i
+    done;
+    check_int (Printf.sprintf "p100 of %d" n) n (Stats.percentile s 1.0);
+    check_int (Printf.sprintf "p0 of %d" n) 1 (Stats.percentile s 0.0);
+    check_int
+      (Printf.sprintf "p(1-eps) of %d" n)
+      n
+      (Stats.percentile s (1. -. epsilon_float))
+  done
+
 let test_stats_unsorted_input () =
   let s = Stats.create () in
   List.iter (Stats.add s) [ 9; 1; 5; 3; 7 ];
@@ -309,6 +335,7 @@ let suite =
     Alcotest.test_case "dist bimodal mean" `Quick test_dist_bimodal_mean;
     Alcotest.test_case "dist uniform bounds" `Quick test_dist_uniform_bounds;
     Alcotest.test_case "stats exact percentiles" `Quick test_stats_percentiles_exact;
+    Alcotest.test_case "stats percentile edges" `Quick test_stats_percentile_edges;
     Alcotest.test_case "stats unsorted input" `Quick test_stats_unsorted_input;
     Alcotest.test_case "stats empty raises" `Quick test_stats_empty_raises;
     Alcotest.test_case "stats merge" `Quick test_stats_merge;

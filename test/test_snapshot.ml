@@ -348,6 +348,55 @@ let test_chaos_with_aggressive_interval () =
   check "exactly once" true outcome.Chaos.exactly_once_ok;
   check "compaction actually ran" true (outcome.Chaos.max_log_base > 0)
 
+(* The preload counter is part of the durable application state: a node
+   that acquires its state through Install_snapshot (here a newcomer that
+   joined long after compaction rolled past history's start, so replay is
+   impossible) must inherit the donor's preloaded count — otherwise its
+   [executed_ops - preloaded] accounting is off by the seed size and the
+   history checker's expected-ops math breaks. Restart of a preloaded
+   node must likewise keep the counter. *)
+let test_preloaded_rides_snapshots () =
+  let params =
+    let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+    {
+      p with
+      Hnode.seed = 12;
+      features =
+        {
+          p.Hnode.features with
+          Hnode.snapshot_interval = 200;
+          log_retain = 200;
+        };
+    }
+  in
+  let deploy = Deploy.create (Deploy.config params) in
+  let preload =
+    List.init 50 (fun i ->
+        Hovercraft_apps.Op.Kv
+          (Hovercraft_apps.Kvstore.Put (Printf.sprintf "seed%03d" i, "v")))
+  in
+  Array.iter (fun n -> Hnode.preload n preload) deploy.Deploy.nodes;
+  let gen =
+    Loadgen.create deploy ~clients:4 ~rate_rps:40_000. ~workload ~seed:12 ()
+  in
+  ignore (Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 200) ());
+  (* Newcomer: joins with empty state, far behind the retention window. *)
+  let id = Deploy.add_node deploy in
+  ignore (Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 100) ());
+  Deploy.quiesce deploy ~extra:(Timebase.ms 200) ();
+  let newcomer = deploy.Deploy.nodes.(id) in
+  check "newcomer came up via install" true
+    (Hnode.installs_received newcomer >= 1);
+  check_int "newcomer inherits the preload count" 50 (Hnode.preloaded newcomer);
+  (* Crash-restart of an original member: the counter survives too. *)
+  Deploy.kill_node deploy 1;
+  ignore (Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 100) ());
+  Deploy.restart_node deploy 1;
+  Deploy.quiesce deploy ~extra:(Timebase.ms 200) ();
+  check_int "restart keeps the preload count" 50
+    (Hnode.preloaded deploy.Deploy.nodes.(1));
+  check "replicas consistent" true (Deploy.consistent deploy)
+
 (* The legacy (pre-snapshot) history checker scans full logs from index
    1; on a compacted log those scans would pass vacuously, so it must
    refuse loudly — and the snapshot-aware checker must handle the same
@@ -405,6 +454,8 @@ let suite =
       test_add_node_catches_up_via_install;
     Alcotest.test_case "chaos with aggressive interval" `Slow
       test_chaos_with_aggressive_interval;
+    Alcotest.test_case "preload counter rides snapshots" `Slow
+      test_preloaded_rides_snapshots;
     Alcotest.test_case "legacy checker rejects compacted logs" `Quick
       test_legacy_checker_rejects_compacted_logs;
   ]
