@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard clean
+.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard applyscale netscale clean
 
 all: build
 
@@ -49,6 +49,13 @@ bench-shard:
 # byte-identical-replica confirmation run at each knee.
 applyscale:
 	dune exec bench/main.exe -- applyscale
+
+# YCSB-B kRPS-under-SLO vs net-path stage count (net_stages in 1,2,4),
+# plus applyscale re-run under the pipelined net; exits non-zero if the
+# pipelined knee regresses below the serial knee or any replica set
+# diverges.
+netscale:
+	dune exec bench/main.exe -- netscale
 
 clean:
 	dune clean

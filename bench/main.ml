@@ -297,6 +297,119 @@ let applyscale ~quality () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* netscale: YCSB-B kRPS under the p99 SLO as the net path goes from the
+   monolithic thread to the compartmentalized pipeline
+   (Experiment.netscale), then applyscale re-run under the pipelined net
+   to show the K>2 apply knee unlocked. Exits nonzero if the pipelined
+   knee falls below the serial knee or any replica set diverges. *)
+
+let netscale ~quality () =
+  Printf.printf
+    "\n\
+     === netscale: YCSB-B kRPS under 500us p99 SLO vs net stages ===\n\
+     (3-node HovercRaft++, 40G links, same seed at every stage count)\n";
+  let results = Experiment.netscale ~quality () in
+  let serial_knee, pipelined_knee =
+    match results with
+    | [] -> (nan, nan)
+    | first :: _ ->
+        let last = List.nth results (List.length results - 1) in
+        (first.Experiment.knee_rps, last.Experiment.knee_rps)
+  in
+  let rows =
+    List.map
+      (fun (p : Experiment.netscale_point) ->
+        let busy =
+          String.concat " "
+            (List.map
+               (fun (name, ns) -> Printf.sprintf "%s=%dms" name (ns / 1_000_000))
+               p.stage_busy)
+        in
+        [
+          string_of_int p.stages;
+          Printf.sprintf "%.0f" (p.knee_rps /. 1e3);
+          (if Float.is_nan serial_knee || serial_knee <= 0. then "-"
+           else Printf.sprintf "%.2fx" (p.knee_rps /. serial_knee));
+          (if p.consistent then "yes" else "NO");
+          busy;
+        ])
+      results
+  in
+  Table.print
+    ~header:
+      [ "stages"; "kRPS@SLO"; "vs serial"; "replicas agree"; "leader stage busy" ]
+    rows;
+  Printf.printf
+    "\n=== applyscale under the pipelined net (net_stages=4) ===\n";
+  let ap = Experiment.applyscale ~quality ~net_stages:4 ~threads:[ 2; 4; 8 ] () in
+  let rows =
+    List.map
+      (fun (p : Experiment.applyscale_point) ->
+        [
+          string_of_int p.threads;
+          Printf.sprintf "%.0f" (p.knee_rps /. 1e3);
+          string_of_int p.stalls;
+          (if p.consistent then "yes" else "NO");
+        ])
+      ap
+  in
+  Table.print ~header:[ "K"; "kRPS@SLO"; "stalls"; "replicas agree" ] rows;
+  let diverged =
+    List.exists (fun (p : Experiment.netscale_point) -> not p.consistent) results
+    || List.exists (fun (p : Experiment.applyscale_point) -> not p.consistent) ap
+  in
+  if diverged then begin
+    Printf.eprintf "netscale: replica fingerprints diverged\n";
+    exit 1
+  end;
+  if pipelined_knee < serial_knee then begin
+    Printf.eprintf
+      "netscale: pipelined knee (%.0f) below serial knee (%.0f)\n"
+      pipelined_knee serial_knee;
+    exit 1
+  end
+
+(* A cheap CI proxy for the knee comparison: drive both net paths well
+   past the serial knee and compare goodput — the pipelined path must
+   sustain at least what the monolithic one does. Two fixed-rate points
+   instead of two bisection searches. *)
+(* Single-point CI check, much cheaper than the full knee search. The
+   probe rate sits between the measured knees (serial ~1880 kRPS,
+   pipelined ~2460 kRPS), where the two net paths must diverge. Goodput
+   does not discriminate here — open-loop load completes late rather
+   than dropping within the window — so the check is on p99: the serial
+   path must blow through the 500 us SLO while the pipelined path still
+   meets it. *)
+let netscale_sanity () =
+  let rate = 2_200_000. in
+  let slo_us = 500. in
+  let p99 stages =
+    let r =
+      Experiment.run_point ~quality:Experiment.Fast
+        (Experiment.netscale_setup ~seed:42 ~stages)
+        ~rate_rps:rate
+    in
+    r.Loadgen.p99_us
+  in
+  let serial = p99 1 and pipelined = p99 4 in
+  Printf.printf
+    "netscale sanity @%.0f kRPS offered: serial p99 %.0f us, pipelined p99 \
+     %.0f us (SLO %.0f us)\n"
+    (rate /. 1e3) serial pipelined slo_us;
+  if pipelined > slo_us then begin
+    Printf.eprintf "netscale sanity: pipelined net misses the SLO at %.0f kRPS\n"
+      (rate /. 1e3);
+    exit 1
+  end;
+  if serial <= slo_us then begin
+    Printf.eprintf
+      "netscale sanity: serial net meets the SLO at %.0f kRPS — probe rate no \
+       longer discriminates, recalibrate\n"
+      (rate /. 1e3);
+    exit 1
+  end
+
 (* Artifacts land under _build/ (or the temp dir when there is no build
    tree), never the repository root; --out overrides. *)
 let default_out name =
@@ -321,24 +434,20 @@ let () =
   let out =
     match out with Some p -> p | None -> default_out "hovercraft_snapshot.json"
   in
-  let special = [ "micro"; "snapshot"; "shardscale"; "applyscale" ] in
-  let wanted_figures, want_micro, want_snapshot, want_shardscale, want_applyscale
-      =
+  let special =
+    [ "micro"; "snapshot"; "shardscale"; "applyscale"; "netscale";
+      "netscale-sanity" ]
+  in
+  let wanted_figures, wants =
     match args with
     | [] ->
-        (Figures.names |> List.filter (fun n -> n <> "all"), true, true, false,
-         false)
-    | [ "micro" ] -> ([], true, false, false, false)
-    | [ "snapshot" ] -> ([], false, true, false, false)
-    | [ "shardscale" ] -> ([], false, false, true, false)
-    | [ "applyscale" ] -> ([], false, false, false, true)
+        ( Figures.names |> List.filter (fun n -> n <> "all"),
+          [ "micro"; "snapshot" ] )
     | names ->
         ( List.filter (fun n -> not (List.mem n special)) names,
-          List.mem "micro" names,
-          List.mem "snapshot" names,
-          List.mem "shardscale" names,
-          List.mem "applyscale" names )
+          List.filter (fun n -> List.mem n special) names )
   in
+  let want n = List.mem n wants in
   List.iter
     (fun name ->
       match Figures.by_name name with
@@ -347,7 +456,9 @@ let () =
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (special @ Figures.names)))
     wanted_figures;
-  if want_shardscale then shardscale ~quality ();
-  if want_applyscale then applyscale ~quality ();
-  if want_snapshot then obs_snapshot ~file:out ();
-  if want_micro then microbenchmarks ()
+  if want "shardscale" then shardscale ~quality ();
+  if want "applyscale" then applyscale ~quality ();
+  if want "netscale" then netscale ~quality ();
+  if want "netscale-sanity" then netscale_sanity ();
+  if want "snapshot" then obs_snapshot ~file:out ();
+  if want "micro" then microbenchmarks ()

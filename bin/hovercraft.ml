@@ -390,7 +390,7 @@ let failover_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos_params ?(apply_threads = 1) ~n ~seed () =
+let chaos_params ?(apply_threads = 1) ?(net_stages = 1) ~n ~seed () =
   let p = Hnode.params ~mode:Hnode.Hover_pp ~n () in
   {
     p with
@@ -401,6 +401,7 @@ let chaos_params ?(apply_threads = 1) ~n ~seed () =
         Hnode.bound = 32;
         flow_control = true;
         apply_threads;
+        net_stages;
       };
   }
 
@@ -447,14 +448,14 @@ let chaos_workload =
 
 let chaos_cmd =
   let action n rate seed duration_ms events reconfig snapshot_interval
-      apply_threads =
+      apply_threads net_stages =
     let duration = Timebase.ms duration_ms in
     let snapshots =
       if snapshot_interval > 0 then Some snapshot_interval else None
     in
     let outcome =
       Chaos.run
-        ~params:(chaos_params ~apply_threads ~n ~seed ())
+        ~params:(chaos_params ~apply_threads ~net_stages ~n ~seed ())
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
         ?snapshots
         ~schedule:(Chaos.random_schedule ~events ~reconfig ~n ~duration ~seed ())
@@ -487,10 +488,19 @@ let chaos_cmd =
              disjoint key footprints apply in parallel; 1 is the serial \
              loop.")
   in
+  let net_stages =
+    Arg.(
+      value & opt int 1
+      & info [ "net-stages" ]
+          ~doc:
+            "Net-path stage CPUs per node (1..4): 1 is the monolithic net \
+             thread; higher settings pipeline it into ingress / sequencer \
+             / fanout / replier stages.")
+  in
   let term =
     Term.(
       const action $ nodes $ rate $ seed_arg $ dur $ events $ reconfig
-      $ snapshot_interval_arg $ apply_threads)
+      $ snapshot_interval_arg $ apply_threads $ net_stages)
   in
   Cmd.v
     (Cmd.info "chaos"

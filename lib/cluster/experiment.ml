@@ -90,14 +90,14 @@ type applyscale_point = {
    the whole point is to watch it move as K grows. Same seed for every K:
    the committed log is identical across runs (client arrivals do not
    depend on apply timing), so knee ratios are apples-to-apples. *)
-let applyscale_setup ~seed ~threads =
+let applyscale_setup ~seed ~threads ~net_stages =
   let p = Hnode.params ~mode:Hnode.Hover ~n:3 () in
   let p =
     {
       p with
       seed;
       cost = { p.cost with link_gbps = 40. };
-      features = { p.features with apply_threads = threads };
+      features = { p.features with apply_threads = threads; net_stages };
     }
   in
   let gen = Hovercraft_apps.Ycsb.Kv.workload_a ~seed in
@@ -107,16 +107,18 @@ let applyscale_setup ~seed ~threads =
   in
   setup ~preload ~seed p (fun _rng -> Hovercraft_apps.Ycsb.Kv.next gen)
 
-let applyscale ?(quality = Fast) ?(threads = [ 1; 2; 4; 8 ]) ?(seed = 11) () =
+let applyscale ?(quality = Fast) ?(net_stages = 1) ?(threads = [ 1; 2; 4; 8 ])
+    ?(seed = 11) () =
   List.map
     (fun k ->
       let knee =
-        max_under_slo ~quality ~hi:5_000_000. (applyscale_setup ~seed ~threads:k)
+        max_under_slo ~quality ~hi:5_000_000.
+          (applyscale_setup ~seed ~threads:k ~net_stages)
       in
       (* Confirmation run just under the knee on a deployment we keep, so
          replica agreement and the stall census are checked at speed (a
          fresh setup: the knee search consumed the previous generator). *)
-      let s = applyscale_setup ~seed ~threads:k in
+      let s = applyscale_setup ~seed ~threads:k ~net_stages in
       let deploy = Deploy.create (Deploy.config ?flow_cap:s.flow_cap s.params) in
       Array.iter (fun n -> Hnode.preload n s.preload) deploy.Deploy.nodes;
       let rate = Float.max 50_000. (0.95 *. knee) in
@@ -140,3 +142,71 @@ let applyscale ?(quality = Fast) ?(threads = [ 1; 2; 4; 8 ]) ?(seed = 11) () =
         confirm;
       })
     threads
+
+(* --- netscale: pipelined net path on YCSB-B ------------------------- *)
+
+type netscale_point = {
+  stages : int;
+  knee_rps : float;
+  consistent : bool;
+  stage_busy : (string * int) list;
+  confirm : Loadgen.report;
+}
+
+(* The compartmentalization experiment mirrors the shardscale S=1 cell
+   (the 1889 kRPS baseline): YCSB-B (95% reads, zipfian over 10k 1kB
+   records) against a 3-node HovercRaft++ group on 40 GbE links — at
+   that knee the binding resource is the leader's per-packet CPU, not
+   the wire, which is exactly what splitting the net thread into stages
+   attacks. Same seed at every stage count: handler logic and message
+   order are stage-independent, so the committed logs are comparable. *)
+let netscale_setup ~seed ~stages =
+  let p = Hnode.params ~mode:Hnode.Hover_pp ~n:3 () in
+  let p =
+    {
+      p with
+      seed;
+      cost = { p.cost with link_gbps = 40. };
+      features = { p.features with net_stages = stages };
+    }
+  in
+  let gen = Hovercraft_apps.Ycsb.Kv.workload_b ~seed:(seed + 1) in
+  let preload =
+    Hovercraft_apps.Ycsb.Kv.preload_ops
+      (Hovercraft_apps.Ycsb.Kv.workload_b ~seed:(seed + 1))
+  in
+  setup ~preload ~seed p (fun _rng -> Hovercraft_apps.Ycsb.Kv.next gen)
+
+let netscale ?(quality = Fast) ?(stage_counts = [ 1; 2; 4 ]) ?(seed = 42) () =
+  List.map
+    (fun stages ->
+      let knee =
+        max_under_slo ~quality ~hi:8_000_000. (netscale_setup ~seed ~stages)
+      in
+      (* Confirmation run just under the knee on a retained deployment:
+         replica agreement is the cross-stage determinism check, and the
+         leader's per-stage busy census shows what binds next. *)
+      let s = netscale_setup ~seed ~stages in
+      let deploy = Deploy.create (Deploy.config ?flow_cap:s.flow_cap s.params) in
+      Array.iter (fun n -> Hnode.preload n s.preload) deploy.Deploy.nodes;
+      let rate = Float.max 50_000. (0.95 *. knee) in
+      let gen =
+        Loadgen.create deploy ~clients:s.clients ~rate_rps:rate
+          ~workload:s.workload ~seed:(s.seed + 7) ()
+      in
+      let warmup, duration = window ~quality ~rate_rps:rate in
+      let confirm = Loadgen.run gen ~warmup ~duration () in
+      Deploy.quiesce deploy ~extra:(Timebase.ms 100) ();
+      let stage_busy =
+        match Deploy.leader deploy with
+        | Some l -> Hnode.stage_busy_times l
+        | None -> []
+      in
+      {
+        stages;
+        knee_rps = knee;
+        consistent = Deploy.consistent deploy;
+        stage_busy;
+        confirm;
+      })
+    stage_counts

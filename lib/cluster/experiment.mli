@@ -59,6 +59,7 @@ type applyscale_point = {
 
 val applyscale :
   ?quality:quality ->
+  ?net_stages:int ->
   ?threads:int list ->
   ?seed:int ->
   unit ->
@@ -69,4 +70,36 @@ val applyscale :
     it finds the SLO knee, then re-runs just under it on a retained
     deployment to verify that every replica ends byte-identical
     ([consistent]) — the determinism proof for the dependency-aware
-    scheduler — and to census the scheduler's barrier stalls. *)
+    scheduler — and to census the scheduler's barrier stalls.
+    [net_stages] (default 1) selects the net path: rerunning at 4 shows
+    how far compartmentalizing the net thread (which binds at K = 2 on
+    the monolithic path) unlocks K > 2. *)
+
+type netscale_point = {
+  stages : int;  (** Net-path stage CPUs per node. *)
+  knee_rps : float;  (** Max sustainable YCSB-B load under the SLO. *)
+  consistent : bool;  (** Replica fingerprints agree after quiesce. *)
+  stage_busy : (string * int) list;
+      (** The leader's per-role busy census from the confirmation run
+          ({!Hnode.stage_busy_times}); empty if no leader was live. *)
+  confirm : Loadgen.report;  (** The fingerprint-check run, near the knee. *)
+}
+
+val netscale_setup : seed:int -> stages:int -> setup
+(** The netscale cell: 3-node HovercRaft++ on 40 GbE driving YCSB-B,
+    [net_stages = stages]. Exposed for the CI sanity check and tests
+    (single {!run_point}s without the full knee search). *)
+
+val netscale :
+  ?quality:quality ->
+  ?stage_counts:int list ->
+  ?seed:int ->
+  unit ->
+  netscale_point list
+(** The net-path compartmentalization experiment (ROADMAP item 1):
+    YCSB-B (read-heavy — the packet-CPU-bound workload, the shardscale
+    S=1 baseline cell) against a 3-node HovercRaft++ group on 40 GbE, at
+    each stage count (default 1, 2, 4). For each it finds the SLO knee,
+    then re-runs just under it on a retained deployment to verify
+    replica agreement — the cross-stage determinism check — and to
+    census where each pipeline stage spent its cycles. *)

@@ -44,6 +44,10 @@ type cost_params = {
   vanilla_entry_extra_ns : int;
   ae_body_ns_per_byte : float;
   app_per_op_ns : int;
+  stage_handoff_ns : int;
+      (* Queue hop between pipeline stages of the compartmentalized net
+         path (net_stages > 1): enqueue + cacheline transfer between
+         cores. Never charged on the monolithic (net_stages = 1) path. *)
 }
 
 type timing_params = {
@@ -65,6 +69,14 @@ type feature_params = {
          dispatcher that runs key-disjoint committed entries on separate
          CPUs (state mutation stays in log order — only the timing is
          parallel, so replicas remain byte-identical). *)
+  net_stages : int;
+      (* Simulated CPUs for the network hot path. 1 keeps the paper's
+         monolithic net thread; >1 compartmentalizes it into pipeline
+         stages (ingress / sequencer / fanout / replier), each with its
+         own CPU queue, adjacent roles sharing cores when stages < 4.
+         Handler logic is identical at any setting — only where the
+         simulated cycles are spent changes, so replicas remain
+         byte-identical across stage counts. *)
   batch_max : int;
   reply_lb : bool;
   lb_policy : Jbsq.policy;
@@ -110,6 +122,11 @@ let validate_params p =
   if p.features.bound < 1 then fail "bound must be >= 1 (got %d)" p.features.bound;
   if p.features.apply_threads < 1 || p.features.apply_threads > 64 then
     fail "apply_threads must be in 1..64 (got %d)" p.features.apply_threads;
+  if p.features.net_stages < 1 || p.features.net_stages > 4 then
+    fail "net_stages must be in 1..4 (got %d): the pipeline has four roles"
+      p.features.net_stages;
+  if p.cost.stage_handoff_ns < 0 then
+    fail "stage_handoff_ns must be non-negative";
   if p.features.batch_max < 1 then
     fail "batch_max must be >= 1 (got %d)" p.features.batch_max;
   if p.features.log_retain < 0 then fail "log_retain must be non-negative";
@@ -138,6 +155,7 @@ let params ?(mode = Hover) ?(n = 3) () =
           vanilla_entry_extra_ns = 75;
           ae_body_ns_per_byte = 0.5;
           app_per_op_ns = 20;
+          stage_handoff_ns = 40;
         };
       timing =
         {
@@ -154,6 +172,7 @@ let params ?(mode = Hover) ?(n = 3) () =
       features =
         {
           apply_threads = 1;
+          net_stages = 1;
           batch_max = 64;
           reply_lb = true;
           lb_policy = Jbsq.Jbsq;
@@ -184,12 +203,16 @@ type t = {
   engine : Engine.t;
   fabric : Protocol.payload Fabric.t;
   mutable port : Protocol.payload Fabric.port option;
-  net : Cpu.t;
+  net_cpus : Cpu.t array;
+      (* The network hot path (length = features.net_stages). Length 1 is
+         the paper's monolithic net thread; longer arrays compartmentalize
+         it into pipeline stages (ingress / sequencer / fanout / replier),
+         adjacent roles sharing a core when stages < 4. *)
   apps : Cpu.t array;
       (* The application threads (length = features.apply_threads).
-         Index 0 is the "primary" thread: the serial apply loop, local
-         execution (lease reads, unreplicated mode) and completion
-         replays all run there. *)
+         Index 0 runs the serial apply loop; local execution (lease
+         reads, unreplicated mode) spreads over all of them by
+         footprint. *)
   rng : Rng.t;
   raft : (Protocol.cmd, Protocol.snap) Rnode.t option;
   mutable store : Unordered.t;
@@ -263,6 +286,10 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   c_replies : Metrics.counter;
+  c_rx : Metrics.counter array;
+      (* One pre-interned "rx.<tag>" counter per payload tag, indexed by
+         [Protocol.tag_index]: the per-packet account must not allocate a
+         name or probe the registry on the hottest path. *)
   c_recoveries : Metrics.counter;
   c_recovery_escalations : Metrics.counter;
   c_recoveries_resolved : Metrics.counter;
@@ -284,6 +311,16 @@ type t = {
   h_apply_stall : Metrics.histogram;
       (* Scheduler stall: per-thread idle wait imposed by a barrier
          (global-footprint op, config entry, or checkpoint cut). *)
+  g_stage_busy : Metrics.gauge array;
+      (* Per-role "stage_busy_ns.<name>" (empty when net_stages = 1):
+         busy time of the CPU serving each role — roles sharing a core
+         report the same number. *)
+  g_stage_queue : Metrics.gauge array;
+      (* Per-role "stage_queue_ns.<name>": backlog of the role's CPU
+         queue as of the last handoff into it. *)
+  h_stage_stall : Metrics.histogram option;
+      (* Handoff stall: the downstream stage's backlog at each hop —
+         how long the handed-off work will sit queued before running. *)
   mutable announce_stalled : bool;
       (* The announce gate returned None (every replier queue full): nothing
          will be announced until [note_applied] drains a queue and re-kicks
@@ -309,6 +346,42 @@ let completion_records t =
        [] t.completion_fifo)
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline stages of the network hot path                             *)
+
+(* The compartmentalization cut lines (DESIGN.md §4e): ingress owns rx
+   decode and loss accounting; the sequencer owns the raft feed and
+   ordering (strictly serial); fanout owns AppendEntries/aggregator
+   bookkeeping and commit tracking; the replier owns reply tx and
+   recovery resolution. With fewer CPUs than roles, adjacent roles
+   collapse onto shared cores from the rx side: 2 CPUs split rx-side
+   (ingress+sequencer) from tx-side (fanout+replier); 3 give the rx side
+   its own pair. Role-to-CPU mapping is [role * stages / 4]. *)
+let stage_names = [| "ingress"; "sequencer"; "fanout"; "replier" |]
+let n_stage_roles = Array.length stage_names
+let stage_ingress = 0
+let stage_sequencer = 1
+let stage_fanout = 2
+let stage_replier = 3
+let staged t = Array.length t.net_cpus > 1
+
+let stage_cpu t role =
+  t.net_cpus.(role * Array.length t.net_cpus / n_stage_roles)
+
+(* Census a handoff into [role] and return its CPU: the destination
+   queue's backlog is how long the handed-off work will sit before
+   running — the signal that shows which stage binds next. Free (and
+   silent) on the monolithic path. *)
+let stage_handoff t role =
+  let cpu = stage_cpu t role in
+  (match t.h_stage_stall with
+  | Some h ->
+      let wait = Cpu.backlog cpu in
+      if wait > 0 then Metrics.observe h wait;
+      Metrics.set t.g_stage_queue.(role) wait
+  | None -> ());
+  cpu
+
+(* ------------------------------------------------------------------ *)
 (* Transmission                                                        *)
 
 let tx_cost t ~bytes ~extra =
@@ -324,9 +397,18 @@ let transmit_on t cpu ~dst ~bytes ~extra payload =
       | Some port when t.alive -> Fabric.send t.fabric port ~dst ~bytes payload
       | Some _ | None -> ())
 
-let transmit_net t ~dst ?(extra = 0) payload =
+(* Stage-routed tx: on the monolithic path every role is the same CPU and
+   no handoff is charged, so this degenerates to the historical
+   single-net-thread behavior byte for byte. *)
+let transmit_stage t role ~dst ?(extra = 0) payload =
   let bytes = Protocol.payload_bytes ~with_bodies:(with_bodies t) payload in
-  transmit_on t t.net ~dst ~bytes ~extra payload
+  let cpu = stage_handoff t role in
+  let extra = if staged t then extra + t.p.cost.stage_handoff_ns else extra in
+  transmit_on t cpu ~dst ~bytes ~extra payload
+
+(* Consensus fan-out traffic (AE, votes, aggregator control). *)
+let transmit_net t ~dst ?extra payload =
+  transmit_stage t stage_fanout ~dst ?extra payload
 
 (* ------------------------------------------------------------------ *)
 (* Observability helpers                                               *)
@@ -360,7 +442,7 @@ let halt t =
   if t.alive then begin
     t.alive <- false;
     t.life <- t.life + 1;
-    Cpu.halt t.net;
+    Array.iter Cpu.halt t.net_cpus;
     Array.iter Cpu.halt t.apps;
     (* Pending recoveries are volatile: their retry timers check this
        table, so clearing it also disarms them. *)
@@ -874,9 +956,17 @@ and apply_atomic t idx (cmd : Protocol.cmd) op =
   let reply_bytes =
     if should_reply then R2p2.header_bytes + Op.reply_bytes op result else 0
   in
+  (* Reply tx ownership: the monolithic path folds the reply's wire cost
+     into the app CPU (the paper's model — replies leave through the
+     application thread, §6). Under a pipelined net the replier stage
+     owns that cost instead ([apply_visible] charges it there), so it
+     must not also be charged here — that would double-bill the same
+     packet. *)
   let cost =
     t.p.cost.app_per_op_ns + exec_cost
-    + (if should_reply then tx_cost t ~bytes:reply_bytes ~extra:0 else 0)
+    + (if should_reply && not (staged t) then
+         tx_cost t ~bytes:reply_bytes ~extra:0
+       else 0)
   in
   (* The state mutation above, the completion record and the applied
      pointer advance together, BEFORE the CPU delay: a crash landing
@@ -932,17 +1022,29 @@ and apply_visible t (cmd : Protocol.cmd) ~should_reply ~reply_bytes =
   let meta = cmd.Protocol.meta in
   if should_reply then begin
     Metrics.incr t.c_replies;
-    match t.port with
-    | Some port when t.alive ->
-        Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
-          (Protocol.Response { rid = meta.rid });
-        if t.p.features.flow_control then
-          Fabric.send t.fabric port ~dst:Addr.Middlebox
-            ~bytes:
-              (Protocol.payload_bytes ~with_bodies:false
-                 (Protocol.Feedback { rid = meta.rid }))
-            (Protocol.Feedback { rid = meta.rid })
-    | Some _ | None -> ()
+    let send_reply () =
+      match t.port with
+      | Some port when t.alive ->
+          Fabric.send t.fabric port ~dst:meta.rid.src_addr ~bytes:reply_bytes
+            (Protocol.Response { rid = meta.rid });
+          if t.p.features.flow_control then
+            Fabric.send t.fabric port ~dst:Addr.Middlebox
+              ~bytes:
+                (Protocol.payload_bytes ~with_bodies:false
+                   (Protocol.Feedback { rid = meta.rid }))
+              (Protocol.Feedback { rid = meta.rid })
+      | Some _ | None -> ()
+    in
+    if staged t then
+      (* Pipelined net: the app thread is done; the reply's wire cost is
+         the replier stage's ([apply_atomic] left it out of the app CPU
+         bill). *)
+      Cpu.exec
+        (stage_handoff t stage_replier)
+        ~cost:
+          (tx_cost t ~bytes:reply_bytes ~extra:t.p.cost.stage_handoff_ns)
+        send_reply
+    else send_reply ()
   end;
   (* Bodies stay in the store after application: duplicate AEs
      (heartbeat retransmits) must still bind, and lagging followers
@@ -1015,7 +1117,10 @@ and send_recovery t rid retries =
     (match dst with
     | Some dst ->
         Metrics.incr t.c_recoveries;
-        transmit_net t ~dst (Protocol.Recovery_request { rid; asker = t.id })
+        (* Recovery resolution is the replier stage's job (same CPU as
+           the single net thread on the monolithic path). *)
+        transmit_stage t stage_replier ~dst
+          (Protocol.Recovery_request { rid; asker = t.id })
     | None -> ());
     Engine.after t.engine t.p.timing.recovery_timeout (fun () ->
         match Rid_tbl.find_opt t.pending_recovery rid with
@@ -1028,21 +1133,45 @@ and send_recovery t rid retries =
 (* ------------------------------------------------------------------ *)
 (* Receive path (network thread)                                       *)
 
-let rx_cost t (pkt : Protocol.payload Fabric.packet) =
-  let base =
-    t.p.cost.net_rx_packet_ns
-    + int_of_float (t.p.cost.net_per_byte_ns *. float_of_int pkt.bytes)
-  in
+(* Receive cost splits along the pipeline cut: decode (header + bytes off
+   the wire) is ingress work; protocol processing (raft bookkeeping,
+   per-entry ingest) belongs to the packet's stage. The monolithic path
+   charges their sum on the one net CPU — exactly the historical
+   formula. *)
+let rx_decode_cost t (pkt : Protocol.payload Fabric.packet) =
+  t.p.cost.net_rx_packet_ns
+  + int_of_float (t.p.cost.net_per_byte_ns *. float_of_int pkt.bytes)
+
+let rx_proto_cost t (pkt : Protocol.payload Fabric.packet) =
   match pkt.payload with
   | Protocol.Raft (Rtypes.Append_entries { entries; _ }) ->
-      base + t.p.cost.raft_msg_extra_ns
+      t.p.cost.raft_msg_extra_ns
       + (t.p.cost.per_entry_rx_ns * Array.length entries)
-  | Protocol.Raft _ | Protocol.Agg_commit _ -> base + t.p.cost.raft_msg_extra_ns
+  | Protocol.Raft _ | Protocol.Agg_commit _ -> t.p.cost.raft_msg_extra_ns
   | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
   | Protocol.Feedback _ | Protocol.Nack _ | Protocol.Wrong_shard _
   | Protocol.Reconfig _ ->
-      base
+      0
+
+let rx_cost t pkt = rx_decode_cost t pkt + rx_proto_cost t pkt
+
+(* Which stage handles a packet after ingress decodes it: ordering input
+   (client requests, the whole replicated log feed, elections) goes to
+   the sequencer; acknowledgements and aggregator/commit bookkeeping to
+   fanout; body recovery to the replier. Payloads whose dispatch is a
+   no-op die at ingress. *)
+let rx_stage_of = function
+  | Protocol.Request _ -> stage_sequencer
+  | Protocol.Raft
+      (Rtypes.Append_ack _ | Rtypes.Install_ack _ | Rtypes.Agg_ack _) ->
+      stage_fanout
+  | Protocol.Agg_commit _ | Protocol.Probe_reply _ -> stage_fanout
+  | Protocol.Raft _ -> stage_sequencer
+  | Protocol.Recovery_request _ | Protocol.Recovery_response _ -> stage_replier
+  | Protocol.Response _ | Protocol.Feedback _ | Protocol.Nack _
+  | Protocol.Wrong_shard _ | Protocol.Probe _ | Protocol.Reconfig _ ->
+      stage_ingress
 
 (* Read leases (the §3.5 alternative to replier load balancing): the
    leader may serve read-only requests locally, without ordering, while it
@@ -1064,32 +1193,68 @@ let lease_valid t =
   in
   fresh >= (List.length t.members / 2) + 1
 
+(* Where a locally executed (never-ordered) operation runs. Pinning these
+   to app CPU 0 was a bug at K > 1: every lease read, unreplicated op and
+   router-balanced request serialized onto one core while replicated
+   writes spread — a phantom knee on read-heavy workloads. Keyed ops
+   follow the same footprint hash the apply dispatcher uses (so same-key
+   work shares a queue); footprint-free — and global: local execution
+   mutates state synchronously at call time, there is nothing to barrier
+   against — ops take the least-loaded CPU, ties to the lowest index.
+   The choice affects only simulated timing, never replicated state. *)
+let local_exec_cpu t op =
+  if Array.length t.apps = 1 then t.apps.(0)
+  else
+    match Op.footprint op with
+    | Op.Fp_key k -> t.apps.(Kvstore.slot_of_key ~slots:(Array.length t.apps) k)
+    | Op.Fp_none | Op.Fp_global ->
+        let best = ref 0 in
+        Array.iteri
+          (fun i c ->
+            if Cpu.horizon c < Cpu.horizon t.apps.(!best) then best := i)
+          t.apps;
+        t.apps.(!best)
+
 (* Execute a request on this node alone: the unreplicated path, lease
    reads, and router-balanced unrestricted requests. [feedback] is where a
    completion credit goes (flow-control middlebox or request router). *)
 let execute_locally ?feedback t rid op =
   let result, exec_cost = Op.apply t.app_state op in
   let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
-  let cost =
-    t.p.cost.app_per_op_ns + exec_cost + tx_cost t ~bytes:reply_bytes ~extra:0
+  let send_reply () =
+    Metrics.incr t.c_replies;
+    match t.port with
+    | Some port when t.alive -> (
+        Fabric.send t.fabric port ~dst:rid.R2p2.src_addr ~bytes:reply_bytes
+          (Protocol.Response { rid });
+        let credit dst =
+          Fabric.send t.fabric port ~dst
+            ~bytes:
+              (Protocol.payload_bytes ~with_bodies:false
+                 (Protocol.Feedback { rid }))
+            (Protocol.Feedback { rid })
+        in
+        match feedback with
+        | Some dst -> credit dst
+        | None -> if t.p.features.flow_control then credit Addr.Middlebox)
+    | Some _ | None -> ()
   in
-  Cpu.exec t.apps.(0) ~cost (fun () ->
-      Metrics.incr t.c_replies;
-      match t.port with
-      | Some port when t.alive -> (
-          Fabric.send t.fabric port ~dst:rid.R2p2.src_addr ~bytes:reply_bytes
-            (Protocol.Response { rid });
-          let credit dst =
-            Fabric.send t.fabric port ~dst
-              ~bytes:
-                (Protocol.payload_bytes ~with_bodies:false
-                   (Protocol.Feedback { rid }))
-              (Protocol.Feedback { rid })
-          in
-          match feedback with
-          | Some dst -> credit dst
-          | None -> if t.p.features.flow_control then credit Addr.Middlebox)
-      | Some _ | None -> ())
+  let cpu = local_exec_cpu t op in
+  if staged t then
+    (* Same reply ownership as the ordered path: execution on the app
+       thread, the wire on the replier stage. *)
+    Cpu.exec cpu ~cost:(t.p.cost.app_per_op_ns + exec_cost) (fun () ->
+        Cpu.exec
+          (stage_handoff t stage_replier)
+          ~cost:
+            (tx_cost t ~bytes:reply_bytes ~extra:t.p.cost.stage_handoff_ns)
+          send_reply)
+  else
+    Cpu.exec cpu
+      ~cost:
+        (t.p.cost.app_per_op_ns + exec_cost
+        + tx_cost t ~bytes:reply_bytes ~extra:0)
+      send_reply
 
 (* A retransmitted request that already completed is answered from the
    completion record (exactly-once); one that is in flight (ordered but not
@@ -1098,10 +1263,17 @@ let replay_completion t rid op =
   match Rid_tbl.find_opt t.completions rid with
   | Some (result, _) ->
       let reply_bytes = R2p2.header_bytes + Op.reply_bytes op result in
-      transmit_on t t.apps.(0) ~dst:rid.R2p2.src_addr ~bytes:reply_bytes ~extra:0
+      (* Replays are pure tx (no execution): under a pipelined net they
+         belong to the replier stage; on the monolithic path they ride an
+         app CPU — the footprint-spread one, not a hardwired apps.(0). *)
+      let cpu, extra =
+        if staged t then (stage_handoff t stage_replier, t.p.cost.stage_handoff_ns)
+        else (local_exec_cpu t op, 0)
+      in
+      transmit_on t cpu ~dst:rid.R2p2.src_addr ~bytes:reply_bytes ~extra
         (Protocol.Response { rid });
       if t.p.features.flow_control then
-        transmit_on t t.apps.(0) ~dst:Addr.Middlebox
+        transmit_on t cpu ~dst:Addr.Middlebox
           ~bytes:
             (Protocol.payload_bytes ~with_bodies:false
                (Protocol.Feedback { rid }))
@@ -1121,14 +1293,16 @@ let shard_rejects t rid op =
   match t.shard_filter with
   | Some owns when not (owns op) ->
       let payload = Protocol.Wrong_shard { rid; version = t.shard_version } in
-      transmit_on t t.net ~dst:rid.R2p2.src_addr
+      let cpu = stage_handoff t stage_replier in
+      let extra = if staged t then t.p.cost.stage_handoff_ns else 0 in
+      transmit_on t cpu ~dst:rid.R2p2.src_addr
         ~bytes:(Protocol.payload_bytes ~with_bodies:false payload)
-        ~extra:0 payload;
+        ~extra payload;
       (* The flow-control middlebox charged this rid on admission and only
          a completion credit refunds it; without one, wrong-shard retries
          during a migration would wedge the in-flight cap. *)
       if t.p.features.flow_control then
-        transmit_on t t.net ~dst:Addr.Middlebox
+        transmit_on t cpu ~dst:Addr.Middlebox
           ~bytes:
             (Protocol.payload_bytes ~with_bodies:false
                (Protocol.Feedback { rid }))
@@ -1273,7 +1447,7 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Recovery_request { rid; asker } -> (
       match Unordered.find t.store rid with
       | Some op ->
-          transmit_net t ~dst:(Addr.Node asker)
+          transmit_stage t stage_replier ~dst:(Addr.Node asker)
             (Protocol.Recovery_response { rid; op })
       | None -> ())
   | Protocol.Recovery_response { rid; op } ->
@@ -1302,9 +1476,24 @@ let on_packet t pkt =
     if t.p.features.loss_prob > 0. && Rng.bool t.rng t.p.features.loss_prob then
       Metrics.incr t.c_lost_rx
     else begin
-      let tag = Protocol.describe pkt.Fabric.payload in
-      Metrics.incr (Metrics.counter t.metrics ("rx." ^ tag));
-      Cpu.exec t.net ~cost:(rx_cost t pkt) (fun () -> dispatch t pkt)
+      (* Pre-interned per-tag counter: no name allocation, no registry
+         probe on the hottest path in the simulator. *)
+      Metrics.incr t.c_rx.(Protocol.tag_index pkt.Fabric.payload);
+      if not (staged t) then
+        Cpu.exec t.net_cpus.(0) ~cost:(rx_cost t pkt) (fun () -> dispatch t pkt)
+      else begin
+        let role = rx_stage_of pkt.Fabric.payload in
+        if role = stage_ingress then
+          (* Handled (or dropped) at decode; no handoff. *)
+          Cpu.exec (stage_cpu t stage_ingress) ~cost:(rx_cost t pkt) (fun () ->
+              dispatch t pkt)
+        else
+          Cpu.exec (stage_cpu t stage_ingress) ~cost:(rx_decode_cost t pkt)
+            (fun () ->
+              Cpu.exec (stage_handoff t role)
+                ~cost:(rx_proto_cost t pkt + t.p.cost.stage_handoff_ns)
+                (fun () -> dispatch t pkt))
+      end
     end
   end
 
@@ -1462,7 +1651,7 @@ let create ?trace ?members engine fabric p ~id =
       engine;
       fabric;
       port = None;
-      net = Cpu.create engine;
+      net_cpus = Array.init p.features.net_stages (fun _ -> Cpu.create engine);
       apps = Array.init p.features.apply_threads (fun _ -> Cpu.create engine);
       rng;
       raft;
@@ -1501,6 +1690,9 @@ let create ?trace ?members engine fabric p ~id =
       metrics;
       trace;
       c_replies = Metrics.counter metrics "replies_sent";
+      c_rx =
+        Array.init Protocol.tag_count (fun i ->
+            Metrics.counter metrics ("rx." ^ Protocol.tag_name i));
       c_recoveries = Metrics.counter metrics "recoveries_sent";
       c_recovery_escalations = Metrics.counter metrics "recovery_escalations";
       c_recoveries_resolved = Metrics.counter metrics "recoveries_resolved";
@@ -1522,6 +1714,22 @@ let create ?trace ?members engine fabric p ~id =
       h_recovery_ns = Metrics.histogram metrics "recovery_latency_ns";
       h_install_ns = Metrics.histogram metrics "install_transfer_ns";
       h_apply_stall = Metrics.histogram metrics "apply_stall_ns";
+      g_stage_busy =
+        (if p.features.net_stages > 1 then
+           Array.map
+             (fun name -> Metrics.gauge metrics ("stage_busy_ns." ^ name))
+             stage_names
+         else [||]);
+      g_stage_queue =
+        (if p.features.net_stages > 1 then
+           Array.map
+             (fun name -> Metrics.gauge metrics ("stage_queue_ns." ^ name))
+             stage_names
+         else [||]);
+      h_stage_stall =
+        (if p.features.net_stages > 1 then
+           Some (Metrics.histogram metrics "stage_stall_ns")
+         else None);
       announce_stalled = false;
     }
   in
@@ -1574,9 +1782,26 @@ let recoveries_sent t = Metrics.value t.c_recoveries
 let recovery_escalations t = Metrics.value t.c_recovery_escalations
 let pending_recoveries t = Rid_tbl.length t.pending_recovery
 let port t = Option.get t.port
-let net_busy_time t = Cpu.busy_time t.net
+
+let net_busy_time t =
+  Array.fold_left (fun acc c -> acc + Cpu.busy_time c) 0 t.net_cpus
+
 let app_busy_time t =
   Array.fold_left (fun acc c -> acc + Cpu.busy_time c) 0 t.apps
+
+let net_stages t = Array.length t.net_cpus
+
+(* (role, busy ns of the CPU serving it): roles collapsed onto a shared
+   core report that core's total — the view that shows which stage the
+   pipeline binds on next. *)
+let stage_busy_times t =
+  Array.to_list
+    (Array.mapi
+       (fun role name -> (name, Cpu.busy_time (stage_cpu t role)))
+       stage_names)
+
+let stage_stalls t =
+  match t.h_stage_stall with Some h -> Metrics.hist_count h | None -> 0
 
 let apply_threads t = Array.length t.apps
 let apply_busy_times t = Array.map Cpu.busy_time t.apps
@@ -1622,11 +1847,14 @@ let clear_shard_filter t =
 let shard_version t = t.shard_version
 let extract_range t ~keep = Op.extract_kv t.app_state ~keep
 
-(* Receive census, kept as an accessor over the "rx.<tag>" counters. *)
+(* Receive census, kept as an accessor over the "rx.<tag>" counters. The
+   counters are pre-interned (all tags exist from creation), so only the
+   ones that actually fired are listed — matching the old lazily-created
+   behavior. *)
 let rx_census t =
   List.filter_map
     (fun (name, v) ->
-      if String.length name > 3 && String.sub name 0 3 = "rx." then
+      if v > 0 && String.length name > 3 && String.sub name 0 3 = "rx." then
         Some (String.sub name 3 (String.length name - 3), v)
       else None)
     (Metrics.counters t.metrics)
@@ -1635,6 +1863,9 @@ let snapshot t =
   Array.iteri
     (fun k c -> Metrics.set t.g_apply_busy.(k) (Cpu.busy_time c))
     t.apps;
+  Array.iteri
+    (fun role g -> Metrics.set g (Cpu.busy_time (stage_cpu t role)))
+    t.g_stage_busy;
   let gauges =
     [
       ("id", Json.Int t.id);
@@ -1648,9 +1879,10 @@ let snapshot t =
       ("snapshot_index", Json.Int (snapshot_index t));
       ("store_size", Json.Int (Unordered.size t.store));
       ("pending_recoveries", Json.Int (Rid_tbl.length t.pending_recovery));
-      ("net_busy_ns", Json.Int (Cpu.busy_time t.net));
+      ("net_busy_ns", Json.Int (net_busy_time t));
       ("app_busy_ns", Json.Int (app_busy_time t));
       ("apply_threads", Json.Int (Array.length t.apps));
+      ("net_stages", Json.Int (Array.length t.net_cpus));
       (* Membership: who votes, which log entry established it, and the
          last cooperative handoff this node initiated (-1 = none). *)
       ("members", Json.List (List.map (fun i -> Json.Int i) t.members));
@@ -1693,7 +1925,7 @@ let kill = halt
 let restart t =
   if t.alive then invalid_arg "Hnode.restart: node is alive";
   t.alive <- true;
-  Cpu.resume t.net;
+  Array.iter Cpu.resume t.net_cpus;
   Array.iter Cpu.resume t.apps;
   t.store <-
     Unordered.create

@@ -55,6 +55,10 @@ type cost_params = {
       (** Copying request bodies into per-follower AEs (VanillaRaft only —
           HovercRaft's AEs carry no bodies). *)
   app_per_op_ns : int;  (** Apply-loop overhead per log entry. *)
+  stage_handoff_ns : int;
+      (** Queue hop between pipeline stages of the compartmentalized net
+          path (enqueue + cacheline transfer between cores). Only charged
+          when [net_stages > 1]. *)
 }
 
 (** Clocks, timeouts and retention windows. *)
@@ -85,6 +89,18 @@ type feature_params = {
           mutation stays at dispatch time in log order, so replicas
           remain byte-identical and exactly-once is unaffected; only the
           CPU timing model (throughput, reply latency) parallelizes. *)
+  net_stages : int;
+      (** Simulated CPUs for the network hot path (1..4). 1 keeps the
+          paper's monolithic net thread byte for byte. Higher settings
+          compartmentalize it into pipeline stages — ingress (rx decode,
+          loss accounting), sequencer (raft feed and ordering, strictly
+          serial), fanout (AppendEntries/aggregator bookkeeping, commit
+          tracking), replier (reply tx, recovery resolution) — each with
+          its own CPU queue; with fewer CPUs than roles, adjacent roles
+          share cores from the rx side. Handler logic and message order
+          are identical at any setting — only where simulated cycles are
+          charged changes — so replicas remain byte-identical across
+          stage counts (DESIGN.md §4e). *)
   batch_max : int;
   reply_lb : bool;  (** Load-balance replies/read-only ops (§3.3/§3.5). *)
   lb_policy : Jbsq.policy;
@@ -202,9 +218,22 @@ val rx_census : t -> (string * int) list
 (** Received messages by payload type (diagnostics / Table 1). *)
 
 val net_busy_time : t -> Timebase.t
+(** Total CPU time across every net-path stage CPU. *)
 
 val app_busy_time : t -> Timebase.t
 (** Total CPU time across every application thread. *)
+
+val net_stages : t -> int
+(** The configured stage count (length of the net-CPU array). *)
+
+val stage_busy_times : t -> (string * Timebase.t) list
+(** Per-role CPU time of the pipeline, [(role, busy ns)] in pipeline
+    order (ingress, sequencer, fanout, replier). Roles collapsed onto a
+    shared core (stage counts below 4) report that core's total. *)
+
+val stage_stalls : t -> int
+(** Handoffs that found the downstream stage's queue non-empty (samples
+    in the [stage_stall_ns] histogram). 0 when [net_stages = 1]. *)
 
 val apply_threads : t -> int
 (** The configured K (length of the application-thread array). *)
@@ -227,12 +256,16 @@ val metrics : t -> Hovercraft_obs.Metrics.t
     [recoveries_resolved], [rejected], [lost_rx], [elections_started],
     [gate_blocked], [gate_rekicks], [reconfigs_applied],
     [transfers_initiated], [snapshots_taken], [snapshots_installed],
-    [installs_sent] and per-payload [rx.<tag>]; gauges [log_base],
-    [snapshot_index] and per-thread [apply_busy_ns.<k>]; histogram
-    [recovery_latency_ns] tracks issue-to-resolution time,
-    [install_transfer_ns] the leader-side duration of completed snapshot
-    transfers, and [apply_stall_ns] the per-thread idle waits the
-    parallel-apply scheduler imposes at barriers. *)
+    [installs_sent] and per-payload [rx.<tag>] (pre-interned — one
+    counter per tag, resolved once at creation); gauges [log_base],
+    [snapshot_index], per-thread [apply_busy_ns.<k>] and — when
+    [net_stages > 1] — per-role [stage_busy_ns.<name>] /
+    [stage_queue_ns.<name>]; histogram [recovery_latency_ns] tracks
+    issue-to-resolution time, [install_transfer_ns] the leader-side
+    duration of completed snapshot transfers, [apply_stall_ns] the
+    per-thread idle waits the parallel-apply scheduler imposes at
+    barriers, and [stage_stall_ns] the downstream backlog pipeline
+    handoffs observe. *)
 
 val trace : t -> Hovercraft_obs.Trace.t
 (** The protocol-event ring this node records into. *)

@@ -123,24 +123,57 @@ let payload_bytes ~with_bodies = function
   | Wrong_shard _ -> hdr + 16
   | Reconfig { members; _ } -> hdr + 16 + (8 * Array.length members)
 
-let describe = function
-  | Request _ -> "request"
-  | Response _ -> "response"
-  | Raft (Rtypes.Request_vote _) -> "request_vote"
-  | Raft (Rtypes.Vote _) -> "vote"
-  | Raft (Rtypes.Append_entries _) -> "append_entries"
-  | Raft (Rtypes.Append_ack _) -> "append_ack"
-  | Raft (Rtypes.Commit_to _) -> "commit_to"
-  | Raft (Rtypes.Agg_ack _) -> "agg_ack"
-  | Raft (Rtypes.Timeout_now _) -> "timeout_now"
-  | Raft (Rtypes.Install_snapshot _) -> "install_snapshot"
-  | Raft (Rtypes.Install_ack _) -> "install_ack"
-  | Recovery_request _ -> "recovery_request"
-  | Recovery_response _ -> "recovery_response"
-  | Probe _ -> "probe"
-  | Probe_reply _ -> "probe_reply"
-  | Agg_commit _ -> "agg_commit"
-  | Feedback _ -> "feedback"
-  | Nack _ -> "nack"
-  | Wrong_shard _ -> "wrong_shard"
-  | Reconfig _ -> "reconfig"
+(* Payload tags are interned: hot-path accounting (the per-packet
+   rx.<tag> counters) indexes a pre-resolved array by [tag_index] instead
+   of allocating "rx." ^ tag and hashing it per packet. [describe] stays
+   the human-facing view and shares the same table. *)
+
+let tag_index = function
+  | Request _ -> 0
+  | Response _ -> 1
+  | Raft (Rtypes.Request_vote _) -> 2
+  | Raft (Rtypes.Vote _) -> 3
+  | Raft (Rtypes.Append_entries _) -> 4
+  | Raft (Rtypes.Append_ack _) -> 5
+  | Raft (Rtypes.Commit_to _) -> 6
+  | Raft (Rtypes.Agg_ack _) -> 7
+  | Raft (Rtypes.Timeout_now _) -> 8
+  | Raft (Rtypes.Install_snapshot _) -> 9
+  | Raft (Rtypes.Install_ack _) -> 10
+  | Recovery_request _ -> 11
+  | Recovery_response _ -> 12
+  | Probe _ -> 13
+  | Probe_reply _ -> 14
+  | Agg_commit _ -> 15
+  | Feedback _ -> 16
+  | Nack _ -> 17
+  | Wrong_shard _ -> 18
+  | Reconfig _ -> 19
+
+let tag_names =
+  [|
+    "request";
+    "response";
+    "request_vote";
+    "vote";
+    "append_entries";
+    "append_ack";
+    "commit_to";
+    "agg_ack";
+    "timeout_now";
+    "install_snapshot";
+    "install_ack";
+    "recovery_request";
+    "recovery_response";
+    "probe";
+    "probe_reply";
+    "agg_commit";
+    "feedback";
+    "nack";
+    "wrong_shard";
+    "reconfig";
+  |]
+
+let tag_count = Array.length tag_names
+let tag_name i = tag_names.(i)
+let describe p = tag_names.(tag_index p)

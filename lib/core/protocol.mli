@@ -92,3 +92,23 @@ val payload_bytes : with_bodies:bool -> payload -> int
 
 val describe : payload -> string
 (** Short tag for logging/debug counters. *)
+
+(** {1 Interned payload tags}
+
+    The receive path accounts every packet under an ["rx." ^ tag]
+    counter; resolving that name per packet means a string allocation
+    plus a hashtable probe on the hottest path in the simulator. These
+    accessors let a component pre-resolve one counter per tag at
+    creation time and index the array by {!tag_index} — no allocation
+    per packet. *)
+
+val tag_count : int
+(** Number of distinct payload tags; valid indices are
+    [0 .. tag_count - 1]. *)
+
+val tag_index : payload -> int
+(** Dense, allocation-free index of the payload's tag; agrees with
+    {!describe} via [tag_name (tag_index p) == describe p]. *)
+
+val tag_name : int -> string
+(** The tag at an index (same strings {!describe} returns). *)

@@ -12,6 +12,7 @@ let () =
       ("chaos", Test_chaos.suite);
       ("snapshot", Test_snapshot.suite);
       ("apply", Test_apply.suite);
+      ("pipeline", Test_pipeline.suite);
       ("reconfig", Test_reconfig.suite);
       ("shard", Test_shard.suite);
       ("invariants", Test_invariants.suite);
