@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard applyscale netscale clean
+.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard applyscale netscale backendscale clean
 
 all: build
 
@@ -56,6 +56,13 @@ applyscale:
 # diverges.
 netscale:
 	dune exec bench/main.exe -- netscale
+
+# Ordering-backend shootout (raft vs rabia on the same HovercRaft cell):
+# fault-free kRPS-under-SLO knee, p99 across a mid-run leader/replica
+# kill, and the outage length; exits non-zero if any surviving replica
+# set diverges.
+backendscale:
+	dune exec bench/main.exe -- backendscale
 
 clean:
 	dune clean

@@ -370,6 +370,75 @@ let netscale ~quality () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* backendscale: the ordering-backend shootout — fault-free SLO knee,
+   p99 across a mid-run kill, and outage length, per backend
+   (Experiment.backendscale). Exits nonzero if any surviving replica
+   set diverged. *)
+
+let backendscale ~quality () =
+  Printf.printf
+    "\n\
+     === backendscale: ordering-backend shootout (YCSB-A, 3 nodes, 40G) ===\n\
+     (kill at 40%% of the window: the raft leader / one rabia replica)\n";
+  let results = Experiment.backendscale ~quality () in
+  let rows =
+    List.map
+      (fun (p : Experiment.backendscale_point) ->
+        [
+          Hovercraft_ordering.Ordering.kind_name p.backend;
+          Printf.sprintf "%.0f" (p.knee_rps /. 1e3);
+          Printf.sprintf "%.0f" p.kill_p99_us;
+          Printf.sprintf "%.0f" p.recovery_ms;
+          (if p.consistent then "yes" else "NO");
+        ])
+      results
+  in
+  Table.print
+    ~header:
+      [ "backend"; "kRPS@SLO"; "kill-run p99 us"; "recovery ms"; "replicas agree" ]
+    rows;
+  if
+    List.exists
+      (fun (p : Experiment.backendscale_point) -> not p.consistent)
+      results
+  then begin
+    Printf.eprintf "backendscale: surviving replicas diverged\n";
+    exit 1
+  end
+
+(* The CI proxy: one fixed-rate point per backend, no knee search. Both
+   backends must sustain the probe rate under the SLO on the shootout
+   cell — a smoke check that the rabia path stays viable, not a
+   performance claim. *)
+let backendscale_sanity () =
+  let rate = 100_000. in
+  let slo_us = 500. in
+  List.iter
+    (fun backend ->
+      let r =
+        Experiment.run_point ~quality:Experiment.Fast
+          (Experiment.backendscale_setup ~seed:23 ~backend)
+          ~rate_rps:rate
+      in
+      Printf.printf
+        "backendscale sanity [%s] @%.0f kRPS: goodput %.0f kRPS, p99 %.0f us \
+         (SLO %.0f us), lost %d\n"
+        (Hovercraft_ordering.Ordering.kind_name backend)
+        (rate /. 1e3)
+        (r.Loadgen.goodput_rps /. 1e3)
+        r.Loadgen.p99_us slo_us r.Loadgen.lost;
+      if
+        r.Loadgen.p99_us > slo_us
+        || r.Loadgen.goodput_rps < 0.97 *. rate
+        || r.Loadgen.lost > 0
+      then begin
+        Printf.eprintf "backendscale sanity: %s backend failed the probe\n"
+          (Hovercraft_ordering.Ordering.kind_name backend);
+        exit 1
+      end)
+    [ Hovercraft_core.Hnode.Raft; Hovercraft_core.Hnode.Rabia ]
+
 (* A cheap CI proxy for the knee comparison: drive both net paths well
    past the serial knee and compare goodput — the pipelined path must
    sustain at least what the monolithic one does. Two fixed-rate points
@@ -436,7 +505,7 @@ let () =
   in
   let special =
     [ "micro"; "snapshot"; "shardscale"; "applyscale"; "netscale";
-      "netscale-sanity" ]
+      "netscale-sanity"; "backendscale"; "backendscale-sanity" ]
   in
   let wanted_figures, wants =
     match args with
@@ -460,5 +529,7 @@ let () =
   if want "applyscale" then applyscale ~quality ();
   if want "netscale" then netscale ~quality ();
   if want "netscale-sanity" then netscale_sanity ();
+  if want "backendscale" then backendscale ~quality ();
+  if want "backendscale-sanity" then backendscale_sanity ();
   if want "snapshot" then obs_snapshot ~file:out ();
   if want "micro" then microbenchmarks ()

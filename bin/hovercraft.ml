@@ -43,6 +43,31 @@ let mode_arg =
   let doc = "Deployment mode: unrep, vanilla, hover or hoverpp." in
   Arg.(value & opt mode_conv Hnode.Hover_pp & info [ "m"; "mode" ] ~doc)
 
+let backend_conv =
+  let parse s =
+    Hovercraft_ordering.Ordering.kind_of_string s
+    |> Result.map_error (fun e -> `Msg e)
+  in
+  let print fmt k = Hovercraft_ordering.Ordering.pp_kind fmt k in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  let doc =
+    "Ordering backend: raft (the paper's leader-based log) or rabia \
+     (leaderless randomized agreement; requires -m hover and a fixed \
+     membership)."
+  in
+  Arg.(value & opt backend_conv Hnode.Raft & info [ "backend" ] ~doc)
+
+(* Knob validation lives in Hnode/Deploy and raises Invalid_argument with
+   a sentence worth showing; turn it into a clean CLI failure instead of
+   a backtrace. *)
+let or_die f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "hovercraft: %s\n" msg;
+    exit 2
+
 let nodes_arg =
   let doc = "Cluster size (ignored for unrep, which runs one node)." in
   Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc)
@@ -164,10 +189,13 @@ let emit_snapshot ~metrics_out ~trace_level (deploy : Deploy.t) extra =
           Printf.eprintf "hovercraft: cannot write metrics snapshot: %s\n" e
       end
 
-let make_params ?(snapshot_interval = 0) mode n no_lb random_lb bound flow_cap
-    seed =
+let make_params ?(snapshot_interval = 0) ?(backend = Hnode.Raft) mode n no_lb
+    random_lb bound flow_cap seed =
   let p =
-    Hnode.params ~mode ~n:(if mode = Hnode.Unreplicated then max n 1 else n) ()
+    or_die (fun () ->
+        Hnode.params ~mode ~backend
+          ~n:(if mode = Hnode.Unreplicated then max n 1 else n)
+          ())
   in
   {
     p with
@@ -229,11 +257,12 @@ let print_nodes (deploy : Deploy.t) =
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let action mode n rate duration_ms seed service_us read_fraction req_bytes
-      rep_bytes bimodal ycsb no_lb random_lb bound flow_cap snapshot_interval
-      metrics_out trace_level =
+  let action mode backend n rate duration_ms seed service_us read_fraction
+      req_bytes rep_bytes bimodal ycsb no_lb random_lb bound flow_cap
+      snapshot_interval metrics_out trace_level =
     let params =
-      make_params ~snapshot_interval mode n no_lb random_lb bound flow_cap seed
+      make_params ~snapshot_interval ~backend mode n no_lb random_lb bound
+        flow_cap seed
     in
     let workload, preload =
       make_workload ~ycsb ~bimodal ~service_us ~read_fraction ~req_bytes
@@ -260,10 +289,11 @@ let run_cmd =
   in
   let term =
     Term.(
-      const action $ mode_arg $ nodes_arg $ rate_arg $ duration_arg $ seed_arg
-      $ service_us_arg $ read_fraction_arg $ req_bytes_arg $ rep_bytes_arg
-      $ bimodal_arg $ ycsb_arg $ no_lb_arg $ random_lb_arg $ bound_arg
-      $ flow_cap_arg $ snapshot_interval_arg $ metrics_arg $ trace_arg)
+      const action $ mode_arg $ backend_arg $ nodes_arg $ rate_arg
+      $ duration_arg $ seed_arg $ service_us_arg $ read_fraction_arg
+      $ req_bytes_arg $ rep_bytes_arg $ bimodal_arg $ ycsb_arg $ no_lb_arg
+      $ random_lb_arg $ bound_arg $ flow_cap_arg $ snapshot_interval_arg
+      $ metrics_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive one deployment at a fixed load.") term
 
@@ -390,8 +420,16 @@ let failover_cmd =
 
 (* --- chaos -------------------------------------------------------------------- *)
 
-let chaos_params ?(apply_threads = 1) ?(net_stages = 1) ~n ~seed () =
-  let p = Hnode.params ~mode:Hnode.Hover_pp ~n () in
+let chaos_params ?(backend = Hnode.Raft) ?(apply_threads = 1) ?(net_stages = 1)
+    ~n ~seed () =
+  (* Rabia only composes with plain HovercRaft (the ++ fast path assumes
+     a leader); raft chaos keeps exercising the ++ aggregation path. *)
+  let mode =
+    match backend with
+    | Hnode.Raft -> Hnode.Hover_pp
+    | Hnode.Rabia -> Hnode.Hover
+  in
+  let p = or_die (fun () -> Hnode.params ~mode ~backend ~n ()) in
   {
     p with
     Hnode.seed;
@@ -447,15 +485,22 @@ let chaos_workload =
        ~read_fraction:0.5 ())
 
 let chaos_cmd =
-  let action n rate seed duration_ms events reconfig snapshot_interval
+  let action backend n rate seed duration_ms events reconfig snapshot_interval
       apply_threads net_stages =
+    if backend = Hnode.Rabia && reconfig then begin
+      Printf.eprintf
+        "hovercraft: chaos --reconfig is incompatible with --backend rabia: \
+         the leaderless backend runs a fixed membership and has no \
+         leadership to transfer\n";
+      exit 2
+    end;
     let duration = Timebase.ms duration_ms in
     let snapshots =
       if snapshot_interval > 0 then Some snapshot_interval else None
     in
     let outcome =
       Chaos.run
-        ~params:(chaos_params ~apply_threads ~net_stages ~n ~seed ())
+        ~params:(chaos_params ~backend ~apply_threads ~net_stages ~n ~seed ())
         ~rate_rps:rate ~flow_cap:1000 ~bucket:(Timebase.ms 100) ~duration
         ?snapshots
         ~schedule:(Chaos.random_schedule ~events ~reconfig ~n ~duration ~seed ())
@@ -499,8 +544,8 @@ let chaos_cmd =
   in
   let term =
     Term.(
-      const action $ nodes $ rate $ seed_arg $ dur $ events $ reconfig
-      $ snapshot_interval_arg $ apply_threads $ net_stages)
+      const action $ backend_arg $ nodes $ rate $ seed_arg $ dur $ events
+      $ reconfig $ snapshot_interval_arg $ apply_threads $ net_stages)
   in
   Cmd.v
     (Cmd.info "chaos"

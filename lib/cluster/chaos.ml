@@ -221,17 +221,13 @@ type outcome = {
    covers the whole history; snapshot-aware runs scan whatever suffix
    survives compaction and lean on state fingerprints for the rest. *)
 let committed_cmds node =
-  match Hnode.raft_node node with
-  | None -> []
-  | Some r ->
-      let log = Rnode.log r in
-      let hi = min (Rnode.commit_index r) (Rlog.last_index log) in
-      let acc = ref [] in
-      Rlog.iter_range log ~lo:(Rlog.first_index log) ~hi (fun idx e ->
-          let m = e.Rtypes.cmd.Protocol.meta in
-          if not m.Protocol.internal then
-            acc := (idx, e.Rtypes.term, m) :: !acc);
-      List.rev !acc
+  let hi = min (Hnode.commit_index node) (Hnode.log_length node) in
+  let acc = ref [] in
+  Hnode.iter_log node ~lo:(Hnode.log_first_index node) ~hi
+    (fun idx term cmd ->
+      let m = cmd.Protocol.meta in
+      if not m.Protocol.internal then acc := (idx, term, m) :: !acc);
+  List.rev !acc
 
 (* How many state-machine executions this node's applied log prefix should
    have produced, under the apply rule: first occurrence of a rid executes
@@ -239,33 +235,33 @@ let committed_cmds node =
    (Hover modes). Duplicate ordings of a retried rid never execute — that
    is the exactly-once contract the count verifies. *)
 let expected_executions node =
-  match Hnode.raft_node node with
-  | None -> None
-  | Some r ->
-      let log = Rnode.log r in
-      let hi = min (Hnode.applied_index node) (Rlog.last_index log) in
-      let first = Rid_tbl.create 4096 in
-      let count = ref 0 in
-      Rlog.iter_range log ~lo:(Rlog.first_index log) ~hi (fun _ e ->
-          let m = e.Rtypes.cmd.Protocol.meta in
-          if (not m.Protocol.internal) && not (Rid_tbl.mem first m.Protocol.rid)
-          then begin
-            Rid_tbl.replace first m.Protocol.rid ();
-            if (not m.Protocol.read_only) || m.Protocol.replier = Hnode.id node
-            then incr count
-          end;
-          (* A shard-migration Merge carries the source group's completion
-             records; at apply time those rids become answered-from-record,
-             so any later ordering of one resolves as a duplicate and never
-             executes. Mirror that by seeding the first-occurrence table. *)
-          match e.Rtypes.cmd.Protocol.body with
-          | Hovercraft_apps.Op.Merge { completions; _ } ->
-              List.iter
-                (fun (c : Hovercraft_apps.Op.completion) ->
-                  Rid_tbl.replace first c.Hovercraft_apps.Op.c_rid ())
-                completions
-          | _ -> ());
-      Some !count
+  if Hnode.mode node = Hnode.Unreplicated then None
+  else begin
+    let hi = min (Hnode.applied_index node) (Hnode.log_length node) in
+    let first = Rid_tbl.create 4096 in
+    let count = ref 0 in
+    Hnode.iter_log node ~lo:(Hnode.log_first_index node) ~hi
+      (fun _ _ cmd ->
+        let m = cmd.Protocol.meta in
+        if (not m.Protocol.internal) && not (Rid_tbl.mem first m.Protocol.rid)
+        then begin
+          Rid_tbl.replace first m.Protocol.rid ();
+          if (not m.Protocol.read_only) || m.Protocol.replier = Hnode.id node
+          then incr count
+        end;
+        (* A shard-migration Merge carries the source group's completion
+           records; at apply time those rids become answered-from-record,
+           so any later ordering of one resolves as a duplicate and never
+           executes. Mirror that by seeding the first-occurrence table. *)
+        match cmd.Protocol.body with
+        | Hovercraft_apps.Op.Merge { completions; _ } ->
+            List.iter
+              (fun (c : Hovercraft_apps.Op.completion) ->
+                Rid_tbl.replace first c.Hovercraft_apps.Op.c_rid ())
+              completions
+        | _ -> ());
+    Some !count
+  end
 
 let check ?(snapshots = false) deploy ~completed_writes =
   let violations = ref [] in
@@ -434,6 +430,13 @@ let apply_event deploy ~t0 ~timeline event =
   | Heal ->
       Fabric.heal deploy.Deploy.fabric;
       note "healed partition"
+  | (Add_node | Remove_node _ | Transfer _)
+    when Hnode.backend deploy.Deploy.nodes.(0) = Hnode.Rabia ->
+      (* Membership churn and leadership transfer are leader-driven Raft
+         surfaces; the rabia backend rejects them outright. Chaos skips
+         them like any other illegal event so mixed schedules replay. *)
+      note "%a skipped (rabia backend: fixed membership, no leader)" pp_event
+        event
   | Add_node ->
       let id = Deploy.add_node deploy in
       note "adding node%d to the configuration" id

@@ -23,7 +23,15 @@ type config = {
 }
 
 let config ?(fabric_latency = Timebase.us 1) ?flow_cap ?router_bound
-    ?(switch_gbps = 100.) ?trace ?engine ?(bootstrap = 0) params =
+    ?(switch_gbps = 100.) ?trace ?engine ?(bootstrap = 0) ?backend params =
+  (* The backend override re-validates below: backend-inapplicable knobs
+     (vanilla/hover++ modes, leader leases under rabia) are rejected here
+     rather than at first use deep in a run. *)
+  let params =
+    match backend with
+    | Some b -> { params with Hnode.backend = b }
+    | None -> params
+  in
   if fabric_latency < 0 then invalid_arg "Deploy.config: negative fabric latency";
   if switch_gbps <= 0. then invalid_arg "Deploy.config: switch_gbps must be positive";
   (match flow_cap with
@@ -259,6 +267,10 @@ let drive_membership t ~id ~present ~on_done =
   step ()
 
 let add_node t =
+  if t.params.Hnode.backend = Hnode.Rabia then
+    invalid_arg
+      "Deploy.add_node: the rabia backend is fixed-membership (no \
+       leader to drive a reconfiguration)";
   let id = Array.length t.nodes in
   let members = List.sort_uniq compare (id :: current_membership t) in
   let node =
@@ -269,6 +281,8 @@ let add_node t =
   id
 
 let remove_node t i =
+  if t.params.Hnode.backend = Hnode.Rabia then
+    invalid_arg "Deploy.remove_node: the rabia backend is fixed-membership";
   if i < 0 || i >= Array.length t.nodes then
     invalid_arg "Deploy.remove_node: unknown node";
   (* Decommission once the removal has committed (the leader applied it):

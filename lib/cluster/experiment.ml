@@ -177,6 +177,104 @@ let netscale_setup ~seed ~stages =
   in
   setup ~preload ~seed p (fun _rng -> Hovercraft_apps.Ycsb.Kv.next gen)
 
+(* --- backendscale: ordering-backend shootout ------------------------ *)
+
+type backendscale_point = {
+  backend : Hnode.backend;
+  knee_rps : float;
+  kill_p99_us : float;
+  recovery_ms : float;
+  consistent : bool;
+  confirm : Loadgen.report;
+}
+
+(* Both backends run the SAME dataplane cell — HovercRaft mode, 3 nodes,
+   40 GbE, YCSB-A (write-heavy, so every request crosses the ordering
+   layer) — and differ only in what orders the metadata: the leader's
+   log or per-slot randomized agreement. That isolation is the point of
+   the shootout; a mode change would confound the comparison. *)
+let backendscale_setup ~seed ~backend =
+  let p = Hnode.params ~mode:Hnode.Hover ~backend ~n:3 () in
+  let p = { p with seed; cost = { p.cost with link_gbps = 40. } } in
+  let gen = Hovercraft_apps.Ycsb.Kv.workload_a ~seed in
+  let preload =
+    Hovercraft_apps.Ycsb.Kv.preload_ops
+      (Hovercraft_apps.Ycsb.Kv.workload_a ~seed)
+  in
+  setup ~preload ~seed p (fun _rng -> Hovercraft_apps.Ycsb.Kv.next gen)
+
+let backendscale ?(quality = Fast) ?(seed = 23) () =
+  List.map
+    (fun backend ->
+      let knee =
+        max_under_slo ~quality ~hi:5_000_000.
+          (backendscale_setup ~seed ~backend)
+      in
+      (* Faulted run at 60% of the backend's own knee: kill the ordering
+         linchpin mid-run — the leader under raft, an arbitrary replica
+         under rabia (there is no linchpin; that asymmetry is the
+         experiment) — and read the outage off the bucketed completion
+         series. The report's p99 spans the whole faulted window. *)
+      let s = backendscale_setup ~seed ~backend in
+      let deploy = Deploy.create (Deploy.config ~flow_cap:1000 s.params) in
+      Array.iter (fun n -> Hnode.preload n s.preload) deploy.Deploy.nodes;
+      let rate = Float.max 50_000. (0.6 *. knee) in
+      let duration =
+        match quality with Fast -> Timebase.ms 600 | Full -> Timebase.s 2
+      in
+      let kill_at = duration * 2 / 5 in
+      let bucket = Timebase.ms 20 in
+      let engine = deploy.Deploy.engine in
+      let t0 = Engine.now engine in
+      let completions = Series.create ~bucket () in
+      let nacks = Series.create ~bucket () in
+      let gen =
+        Loadgen.create deploy ~clients:s.clients ~rate_rps:rate
+          ~workload:s.workload
+          ~on_reply:(fun ~rid:_ ~op:_ ~sent_at:_ ~latency ->
+            Series.add completions ~at:(Engine.now engine - t0) latency)
+          ~on_nack:(fun ~at -> Series.mark nacks ~at:(at - t0))
+          ~retry:(Timebase.ms 50, 8) ~seed:(s.seed + 7) ()
+      in
+      Engine.after engine kill_at (fun () ->
+          match backend with
+          | Hnode.Raft -> ignore (Deploy.kill_leader deploy)
+          | Hnode.Rabia -> Deploy.kill_node deploy 0);
+      let confirm = Loadgen.run gen ~warmup:0 ~duration () in
+      Deploy.quiesce deploy ~extra:(Timebase.ms 200) ();
+      let series =
+        Failure.merge_series ~bucket_width:bucket
+          ~completions:(Series.buckets completions)
+          ~nacks:(Series.buckets nacks)
+      in
+      (* Recovery = end of the last unhealthy FULL bucket after the kill
+         (drain-era buckets past the arrival cutoff are excluded — their
+         low counts reflect the generator stopping, not an outage). *)
+      let kill_s = Timebase.to_s_f kill_at in
+      let dur_s = Timebase.to_s_f duration in
+      let w_s = Timebase.to_s_f bucket in
+      let healthy_krps = 0.9 *. rate /. 1e3 in
+      let outage_end =
+        List.fold_left
+          (fun acc (b : Failure.bucket) ->
+            if
+              b.Failure.t_s >= kill_s
+              && b.Failure.t_s +. w_s <= dur_s
+              && b.Failure.krps < healthy_krps
+            then b.Failure.t_s +. w_s
+            else acc)
+          kill_s series
+      in
+      {
+        backend;
+        knee_rps = knee;
+        kill_p99_us = confirm.Loadgen.p99_us;
+        recovery_ms = (outage_end -. kill_s) *. 1e3;
+        consistent = Deploy.consistent deploy;
+        confirm;
+      })
+    [ Hnode.Raft; Hnode.Rabia ]
+
 let netscale ?(quality = Fast) ?(stage_counts = [ 1; 2; 4 ]) ?(seed = 42) () =
   List.map
     (fun stages ->

@@ -75,6 +75,34 @@ val applyscale :
     how far compartmentalizing the net thread (which binds at K = 2 on
     the monolithic path) unlocks K > 2. *)
 
+type backendscale_point = {
+  backend : Hnode.backend;
+  knee_rps : float;  (** Max sustainable YCSB-A load under the SLO. *)
+  kill_p99_us : float;
+      (** p99 of the whole faulted window (kill included, retries
+          counted from first send). *)
+  recovery_ms : float;
+      (** Outage length: from the kill to the end of the last bucket
+          whose completion rate sat below 90% of offered. *)
+  consistent : bool;  (** Surviving replicas agree after quiesce. *)
+  confirm : Loadgen.report;  (** The faulted fixed-rate run. *)
+}
+
+val backendscale_setup : seed:int -> backend:Hnode.backend -> setup
+(** The shootout cell: 3-node HovercRaft (mode [Hover] for both
+    backends — only the ordering layer differs) on 40 GbE driving
+    YCSB-A. Exposed for the CI sanity check. *)
+
+val backendscale :
+  ?quality:quality -> ?seed:int -> unit -> backendscale_point list
+(** The ordering-backend shootout, one point per backend (raft, then
+    rabia): find each backend's SLO knee, then re-drive it at 60% of its
+    own knee and kill the leader (raft) / a replica (rabia, which has
+    none) mid-run. Reports the knee, the p99 across the faulted window,
+    and how long completions sat below 90% of offered — the leaderless
+    backend's claim is that this recovery gap collapses, at some cost in
+    fault-free knee. *)
+
 type netscale_point = {
   stages : int;  (** Net-path stage CPUs per node. *)
   knee_rps : float;  (** Max sustainable YCSB-B load under the SLO. *)

@@ -106,7 +106,7 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
       | None -> ())
   | Protocol.Request _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
-  | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ ->
+  | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ | Protocol.Rabia _ ->
       ()
 
 let create deploy ~clients ~rate_rps ~workload ?target

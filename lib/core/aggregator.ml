@@ -165,7 +165,7 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
     | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
     | Protocol.Recovery_response _ | Protocol.Probe_reply _
     | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Nack _
-    | Protocol.Wrong_shard _ ->
+    | Protocol.Wrong_shard _ | Protocol.Rabia _ ->
         ()
 
 let create engine fabric ~members ~cluster_group ~followers_group ~rate_gbps =

@@ -1,11 +1,20 @@
 module Fabric = Hovercraft_net.Fabric
 module Addr = Hovercraft_net.Addr
+module R2p2 = Hovercraft_r2p2.R2p2
+
+module Rid_tbl = Hashtbl.Make (struct
+  type t = R2p2.req_id
+
+  let equal = R2p2.req_id_equal
+  let hash = R2p2.req_id_hash
+end)
 
 type t = {
   fabric : Protocol.payload Fabric.t;
   mutable port : Protocol.payload Fabric.port option;
   cap : int;
   group : int;
+  outstanding : unit Rid_tbl.t;
   mutable inflight : int;
   mutable admitted : int;
   mutable nacked : int;
@@ -15,7 +24,16 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
   let port = Option.get t.port in
   match pkt.payload with
   | Protocol.Request { rid; _ } ->
-      if t.inflight < t.cap then begin
+      if Rid_tbl.mem t.outstanding rid then
+        (* A retransmission of a request that already holds an in-flight
+           slot: forward without recharging. It must go through even at
+           the cap — a retransmitted body is the recovery path of last
+           resort when every replica dropped it, and that loss is exactly
+           what wedges the replies whose feedback would free slots. *)
+        Fabric.send t.fabric port ~dst:(Addr.Group t.group) ~bytes:pkt.bytes
+          pkt.payload
+      else if t.inflight < t.cap then begin
+        Rid_tbl.replace t.outstanding rid ();
         t.inflight <- t.inflight + 1;
         t.admitted <- t.admitted + 1;
         (* Destination rewrite: same payload, multicast delivery. *)
@@ -28,18 +46,33 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
           ~bytes:(Protocol.payload_bytes ~with_bodies:false (Protocol.Nack { rid }))
           (Protocol.Nack { rid })
       end
-  | Protocol.Feedback _ -> if t.inflight > 0 then t.inflight <- t.inflight - 1
+  | Protocol.Feedback { rid } ->
+      (* Credit keyed by rid: a duplicate feedback (a replayed reply to a
+         retransmission) must not free a second slot. *)
+      if Rid_tbl.mem t.outstanding rid then begin
+        Rid_tbl.remove t.outstanding rid;
+        t.inflight <- t.inflight - 1
+      end
   | Protocol.Response _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
   | Protocol.Agg_commit _ | Protocol.Nack _ | Protocol.Wrong_shard _
-  | Protocol.Reconfig _ ->
+  | Protocol.Reconfig _ | Protocol.Rabia _ ->
       ()
 
 let create engine fabric ~cap ~group ~rate_gbps =
   ignore engine;
   if cap <= 0 then invalid_arg "Flow_control.create: cap must be positive";
   let t =
-    { fabric; port = None; cap; group; inflight = 0; admitted = 0; nacked = 0 }
+    {
+      fabric;
+      port = None;
+      cap;
+      group;
+      outstanding = Rid_tbl.create 4096;
+      inflight = 0;
+      admitted = 0;
+      nacked = 0;
+    }
   in
   let port =
     Fabric.attach fabric ~addr:Addr.Middlebox ~rate_gbps ~handler:(handle t)

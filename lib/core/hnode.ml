@@ -8,12 +8,15 @@ module Kvstore = Hovercraft_apps.Kvstore
 module Rnode = Hovercraft_raft.Node
 module Rtypes = Hovercraft_raft.Types
 module Rlog = Hovercraft_raft.Log
+module Rb = Hovercraft_ordering.Rabia
 module Metrics = Hovercraft_obs.Metrics
 module Trace = Hovercraft_obs.Trace
 module Json = Hovercraft_obs.Json
 
 type mode = Unreplicated | Vanilla | Hover | Hover_pp
 type read_mode = Replicated_reads | Leader_leases
+
+type backend = Hovercraft_ordering.Ordering.kind = Raft | Rabia
 
 let pp_mode fmt = function
   | Unreplicated -> Format.pp_print_string fmt "unreplicated"
@@ -92,6 +95,12 @@ type feature_params = {
 
 type params = {
   mode : mode;
+  backend : backend;
+      (* Which ordering machine sits under the HovercRaft dataplane:
+         [Raft] is the paper's leader-based log; [Rabia] the leaderless
+         randomized-agreement alternative. Only [Hover] mode supports
+         [Rabia] — the aggregated fast path and vanilla's body shipping
+         are leader-shaped. *)
   n : int;
   seed : int;
   cost : cost_params;
@@ -135,12 +144,25 @@ let validate_params p =
   if p.features.recovery_retry_max < 0 then
     fail "recovery_retry_max must be non-negative";
   if p.features.loss_prob < 0. || p.features.loss_prob >= 1. then
-    fail "loss_prob must be in [0, 1)"
+    fail "loss_prob must be in [0, 1)";
+  (match (p.backend, p.mode) with
+  | Raft, _ | Rabia, Hover -> ()
+  | Rabia, (Unreplicated | Vanilla | Hover_pp) ->
+      fail
+        "backend rabia requires mode hovercraft (got %s): leaderless \
+         ordering has no leader for vanilla body shipping or the \
+         aggregated fast path"
+        (Format.asprintf "%a" pp_mode p.mode));
+  if p.backend = Rabia && p.features.read_mode = Leader_leases then
+    fail
+      "backend rabia is incompatible with leader leases: a leaderless \
+       backend has no lease holder (use replicated reads)"
 
-let params ?(mode = Hover) ?(n = 3) () =
+let params ?(mode = Hover) ?(backend = Raft) ?(n = 3) () =
   let p =
     {
       mode;
+      backend;
       n;
       seed = 42;
       cost =
@@ -215,6 +237,14 @@ type t = {
          footprint. *)
   rng : Rng.t;
   raft : (Protocol.cmd, Protocol.snap) Rnode.t option;
+  rabia : (Protocol.cmd, Protocol.snap) Rb.t option;
+      (* At most one of [raft]/[rabia] is [Some] — the ordering backend.
+         Everything below the ordering layer (apply loop, recovery,
+         replier accounting, snapshots) is shared between them. *)
+  rabia_members : int array;
+      (* Sorted static membership under the rabia backend (reconfig is
+         leader-shaped and rejected there): drives the deterministic
+         replier rotation and the replay-ownership hash. Empty for raft. *)
   mutable store : Unordered.t;
       (* The body store is RAM: a crash empties it (bodies for unapplied
          entries come back via the recovery path after restart). *)
@@ -330,7 +360,12 @@ type t = {
 let debug_recovery = ref false
 
 let commit_index_internal t =
-  match t.raft with Some r -> Rnode.commit_index r | None -> 0
+  match (t.raft, t.rabia) with
+  | Some r, _ -> Rnode.commit_index r
+  | None, Some rb -> Rb.commit_index rb
+  | None, None -> 0
+
+let has_consensus t = t.raft <> None || t.rabia <> None
 
 let with_bodies t = t.p.mode = Vanilla
 
@@ -463,7 +498,21 @@ let halt t =
 (* Raft plumbing                                                       *)
 
 let is_leader t =
-  match t.raft with Some r -> Rnode.role r = Rnode.Leader | None -> true
+  match t.raft with
+  | Some r -> Rnode.role r = Rnode.Leader
+  | None -> t.rabia = None (* unreplicated acts as its own leader *)
+
+(* Which node answers retransmissions of completed requests (and fences
+   disowned shard keys). Leader-based backends: the leader. Leaderless:
+   there is no leader, so ownership is a deterministic hash of the
+   request id over the static membership — exactly one live responder
+   per rid, same on every replica. *)
+let replays_here t rid =
+  match t.rabia with
+  | Some _ ->
+      let n = Array.length t.rabia_members in
+      n > 0 && t.rabia_members.(R2p2.req_id_hash rid land max_int mod n) = t.id
+  | None -> is_leader t
 
 let leader_addr t =
   match t.raft with
@@ -497,6 +546,27 @@ let raft_send_extra t = function
   | Rtypes.Commit_to _ | Rtypes.Agg_ack _ | Rtypes.Timeout_now _
   | Rtypes.Install_ack _ ->
       0
+
+(* Rabia wire costs mirror the raft model: batch values carry fixed-size
+   metadata per entry (bodies ride the client multicast, as in HovercRaft
+   append_entries), whole-image installs pay the serialization rate. *)
+let rabia_value_entries = function
+  | Rb.Bot -> 0
+  | Rb.Batch arr -> Array.length arr
+
+let rabia_msg_entries = function
+  | Rb.Proposal { value; _ } | Rb.State { value; _ } | Rb.Vote { value; _ } ->
+      rabia_value_entries value
+  | Rb.Repair { decisions; _ } ->
+      List.fold_left (fun acc (_, v) -> acc + rabia_value_entries v) 0 decisions
+  | Rb.Status _ | Rb.Snap _ -> 0
+
+let rabia_send_extra t = function
+  | Rb.Snap { meta; _ } ->
+      int_of_float
+        (t.p.cost.ae_body_ns_per_byte
+        *. float_of_int meta.Hovercraft_raft.Snapshot.size)
+  | msg -> t.p.cost.per_entry_tx_ns * rabia_msg_entries msg
 
 let rec feed_raft t input =
   match t.raft with
@@ -549,6 +619,51 @@ and on_appended t idx =
         | Hover | Hover_pp ->
             ignore (Unordered.mark_ordered t.store entry.cmd.Protocol.meta.rid)
         | Vanilla | Unreplicated -> ())
+
+and feed_rabia t input =
+  match t.rabia with
+  | None -> ()
+  | Some rb ->
+      if t.alive then
+        let actions = Rb.handle rb input in
+        List.iter (perform_rabia t) actions
+
+and perform_rabia t action =
+  match action with
+  | Rb.Send (peer, msg) ->
+      transmit_net t ~dst:(Addr.Node peer) ~extra:(rabia_send_extra t msg)
+        (Protocol.Rabia msg)
+  | Rb.Commit_advanced _ -> pump t
+  | Rb.Appended_range (lo, hi) -> on_rabia_appended t lo hi
+  | Rb.Snapshot_installed meta -> on_snapshot_installed t meta
+
+(* A decided slot (or a repair) just entered the log. Two leader duties
+   move here under the leaderless backend: replier assignment — a
+   deterministic rotation over the static membership, same on every
+   replica, replacing the leader's JBSQ pick — and the ordered-mark /
+   body-recovery step the raft path runs in [bind_bodies]. *)
+and on_rabia_appended t lo hi =
+  match t.rabia with
+  | None -> ()
+  | Some rb ->
+      let log = Rb.log rb in
+      let n = Array.length t.rabia_members in
+      for idx = lo to hi do
+        let entry = Rlog.get log idx in
+        let meta = entry.Rtypes.cmd.Protocol.meta in
+        if not meta.internal then begin
+          (* The cmd value is shared across replicas (simulated wire):
+             first appender assigns; the rule is index-determined, so
+             every replica computes the same node. *)
+          if meta.replier < 0 && n > 0 then
+            meta.replier <- t.rabia_members.(idx mod n);
+          if idx > t.applied_ptr then
+            if
+              (not (Unordered.mark_ordered t.store meta.rid))
+              && not (Rid_tbl.mem t.completions meta.rid)
+            then request_recovery t meta.rid
+        end
+      done
 
 and gate t idx (cmd : Protocol.cmd) =
   if not t.p.features.reply_lb then begin
@@ -639,20 +754,42 @@ and body_for t (cmd : Protocol.cmd) =
     | Hover | Hover_pp -> Unordered.find t.store cmd.meta.rid
     | Unreplicated -> Some cmd.body
 
-and pump t =
-  match t.raft with
-  | None -> ()
-  | Some raft ->
-      if Array.length t.apps = 1 then pump_serial t raft
-      else pump_parallel t raft
+and consensus_log t =
+  match (t.raft, t.rabia) with
+  | Some r, _ -> Rnode.log r
+  | None, Some rb -> Rb.log rb
+  | None, None -> invalid_arg "Hnode: no ordering backend"
 
-and pump_serial t raft =
-  if t.alive && (not t.apply_busy) && t.applied_ptr < Rnode.commit_index raft
+(* Applied-index feedback to whichever ordering backend is live (at most
+   one is): ack piggybacking for raft, checkpoint accounting for both. *)
+and feed_applied t idx =
+  feed_raft t (Rnode.Applied_up_to idx);
+  feed_rabia t (Rb.Applied_up_to idx)
+
+(* Whether a checkpoint may cut at [idx]: raft entries are singletons,
+   but a rabia slot appends as one atomic batch — an image cut mid-batch
+   could never be named by a slot and would strand repairs. *)
+and slot_final_at t idx =
+  match t.rabia with Some rb -> Rb.slot_final rb idx | None -> true
+
+and pump t =
+  if has_consensus t then
+    if Array.length t.apps = 1 then pump_serial t else pump_parallel t
+
+and pump_serial t =
+  if t.alive && (not t.apply_busy) && t.applied_ptr < commit_index_internal t
   then begin
     let idx = t.applied_ptr + 1 in
-    let entry = Rlog.get (Rnode.log raft) idx in
+    let entry = Rlog.get (consensus_log t) idx in
     let cmd = entry.Rtypes.cmd in
     match body_for t cmd with
+    | None when Rid_tbl.mem t.completions cmd.meta.rid ->
+        (* A re-ordered duplicate of an already-applied command (a
+           leaderless backend can decide the same rid at two slots after
+           a snapshot catch-up): the body may be gone everywhere, but the
+           completion record already holds the result — no recovery could
+           ever succeed, and none is needed to replay it. *)
+        apply_one t idx cmd Op.Nop
     | None -> request_recovery t cmd.meta.rid
     | Some op -> apply_one t idx cmd op
   end
@@ -668,19 +805,23 @@ and pump_serial t raft =
    advance atomically at dispatch). *)
 and apply_window t = 8 * Array.length t.apps
 
-and pump_parallel t raft =
+and pump_parallel t =
   if not t.pumping then begin
     t.pumping <- true;
     let stalled = ref false in
     while
       (not !stalled) && t.alive
       && t.apply_inflight < apply_window t
-      && t.applied_ptr < Rnode.commit_index raft
+      && t.applied_ptr < commit_index_internal t
     do
       let idx = t.applied_ptr + 1 in
-      let entry = Rlog.get (Rnode.log raft) idx in
+      let entry = Rlog.get (consensus_log t) idx in
       let cmd = entry.Rtypes.cmd in
       match body_for t cmd with
+      | None when Rid_tbl.mem t.completions cmd.meta.rid ->
+          (* Bodyless duplicate: replay from the completion record (see
+             the serial pump). *)
+          dispatch_one t idx cmd Op.Nop
       | None ->
           request_recovery t cmd.meta.rid;
           stalled := true
@@ -729,7 +870,7 @@ and dispatch_one t idx (cmd : Protocol.cmd) op =
   let snapshot_due =
     t.p.features.snapshot_interval > 0
     && idx - t.last_snap >= t.p.features.snapshot_interval
-    && t.raft <> None
+    && has_consensus t && slot_final_at t idx
   in
   let thread =
     if cmd.Protocol.config <> None || snapshot_due then None
@@ -771,7 +912,7 @@ and apply_completed t idx (cmd : Protocol.cmd) ~should_reply ~reply_bytes =
     if !advanced then begin
       if is_leader t then
         note_applied t ~node:t.id ~applied:t.apply_watermark;
-      feed_raft t (Rnode.Applied_up_to t.apply_watermark)
+      feed_applied t t.apply_watermark
     end
   end;
   pump t
@@ -880,6 +1021,16 @@ and install_snapshot_state t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta
         meta.Hovercraft_raft.Snapshot.last_idx
         meta.Hovercraft_raft.Snapshot.last_term
         meta.Hovercraft_raft.Snapshot.size);
+  (* Catching up through an image skips the per-slot decisions it
+     covers, so the leaderless proposal pool may still hold commands the
+     cluster decided inside that window; left alone they would be
+     re-proposed and ordered a second time. The restored completion
+     records say which ones those are. *)
+  (match t.rabia with
+  | Some rb ->
+      Rb.filter_pending rb ~keep:(fun (c : Protocol.cmd) ->
+          not (Rid_tbl.mem t.completions c.Protocol.meta.rid))
+  | None -> ());
   (* Same retirement rule as an applied config entry: the image's
      membership is durable state, but only the consensus layer's current
      configuration decides whether the exclusion still stands. *)
@@ -898,7 +1049,7 @@ and install_snapshot_state t (meta : Protocol.snap Hovercraft_raft.Snapshot.meta
    after an install) and the applied-prefix membership, identified by
    (idx, term-at-idx). Runs inside apply_one's pre-delay atomic section,
    so the image is exactly the state after entry [idx]. *)
-and take_snapshot t raft idx =
+and take_snapshot t idx =
   let completions = completion_records t in
   let data =
     {
@@ -907,7 +1058,7 @@ and take_snapshot t raft idx =
       s_preloaded = t.preloaded;
     }
   in
-  let last_term = (Rlog.get (Rnode.log raft) idx).Rtypes.term in
+  let last_term = (Rlog.get (consensus_log t) idx).Rtypes.term in
   let meta =
     Hovercraft_raft.Snapshot.make ~last_idx:idx ~last_term ~members:t.members
       ~size:(Protocol.snap_bytes data) ~data
@@ -916,8 +1067,11 @@ and take_snapshot t raft idx =
      apply delay (it only feeds ack piggybacking); the checkpoint is cut
      inside the atomic section, so tell it about [idx] first or it would
      reject a snapshot "beyond" what it thinks is applied. *)
-  feed_raft t (Rnode.Applied_up_to idx);
-  Rnode.set_snapshot raft meta;
+  feed_applied t idx;
+  (match (t.raft, t.rabia) with
+  | Some raft, _ -> Rnode.set_snapshot raft meta
+  | None, Some rb -> Rb.set_snapshot rb meta
+  | None, None -> ());
   t.last_snap <- idx;
   Metrics.set t.g_snap_index idx
 
@@ -1006,12 +1160,11 @@ and apply_atomic t idx (cmd : Protocol.cmd) op =
   (* Checkpointing is part of the same atomic section: the image must
      reflect exactly the prefix up to [idx], including the completion
      record and membership written just above. *)
-  (match t.raft with
-  | Some raft
-    when t.p.features.snapshot_interval > 0
-         && idx - t.last_snap >= t.p.features.snapshot_interval ->
-      take_snapshot t raft idx
-  | Some _ | None -> ());
+  if
+    t.p.features.snapshot_interval > 0
+    && idx - t.last_snap >= t.p.features.snapshot_interval
+    && has_consensus t && slot_final_at t idx
+  then take_snapshot t idx;
   (cost, should_reply, reply_bytes)
 
 (* The delayed, externally visible part of applying an entry: the reply
@@ -1060,7 +1213,7 @@ and apply_one t idx (cmd : Protocol.cmd) op =
   Cpu.exec t.apps.(0) ~cost (fun () ->
       apply_visible t cmd ~should_reply ~reply_bytes;
       if is_leader t then note_applied t ~node:t.id ~applied:idx;
-      feed_raft t (Rnode.Applied_up_to idx);
+      feed_applied t idx;
       t.apply_busy <- false;
       pump t)
 
@@ -1148,6 +1301,9 @@ let rx_proto_cost t (pkt : Protocol.payload Fabric.packet) =
       t.p.cost.raft_msg_extra_ns
       + (t.p.cost.per_entry_rx_ns * Array.length entries)
   | Protocol.Raft _ | Protocol.Agg_commit _ -> t.p.cost.raft_msg_extra_ns
+  | Protocol.Rabia msg ->
+      t.p.cost.raft_msg_extra_ns
+      + (t.p.cost.per_entry_rx_ns * rabia_msg_entries msg)
   | Protocol.Request _ | Protocol.Response _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
   | Protocol.Feedback _ | Protocol.Nack _ | Protocol.Wrong_shard _
@@ -1167,7 +1323,7 @@ let rx_stage_of = function
       (Rtypes.Append_ack _ | Rtypes.Install_ack _ | Rtypes.Agg_ack _) ->
       stage_fanout
   | Protocol.Agg_commit _ | Protocol.Probe_reply _ -> stage_fanout
-  | Protocol.Raft _ -> stage_sequencer
+  | Protocol.Raft _ | Protocol.Rabia _ -> stage_sequencer
   | Protocol.Recovery_request _ | Protocol.Recovery_response _ -> stage_replier
   | Protocol.Response _ | Protocol.Feedback _ | Protocol.Nack _
   | Protocol.Wrong_shard _ | Protocol.Probe _ | Protocol.Reconfig _ ->
@@ -1332,12 +1488,13 @@ and on_client_replicated t rid op =
       else if is_leader t && shard_rejects t rid op then ()
       else on_client_request_fresh t rid op
   | Hover | Hover_pp ->
-      (* Only the leader replays, so a retransmission multicast to the
-         whole group yields one reply. Followers keep storing bodies even
-         for disowned keys: an operation ordered just before the fence
-         engaged still needs its body everywhere. *)
-      if is_leader t && replay_completion t rid op then ()
-      else if is_leader t && shard_rejects t rid op then ()
+      (* Only one node replays ([replays_here]: the leader, or the rid's
+         hash-owner under the leaderless backend), so a retransmission
+         multicast to the whole group yields one reply. Followers keep
+         storing bodies even for disowned keys: an operation ordered just
+         before the fence engaged still needs its body everywhere. *)
+      if replays_here t rid && replay_completion t rid op then ()
+      else if replays_here t rid && shard_rejects t rid op then ()
       else on_client_request_fresh t rid op
 
 and on_client_request_fresh t rid op =
@@ -1365,17 +1522,26 @@ and on_client_request_ordered t rid op =
       if is_leader t then
         feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op))
       else Metrics.incr t.c_rejected
-  | Hover | Hover_pp ->
+  | Hover | Hover_pp -> (
       let already_ordered = Unordered.status t.store rid = `Ordered in
       Unordered.add t.store rid op;
       resolve_recovery t rid;
-      if is_leader t then begin
-        (* Duplicate suppression: a retransmission of a request that is
-           already in the log must not be ordered twice. *)
-        if not already_ordered then
-          feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op))
-      end
-      else pump t
+      match t.rabia with
+      | Some _ ->
+          (* Leaderless: every replica ingests the command into its
+             proposal pool (the backend dedups by rid); the pools
+             converge through proposal adoption. *)
+          if not already_ordered then
+            feed_rabia t (Rb.Client_command (Protocol.client_cmd ~rid op));
+          pump t
+      | None ->
+          if is_leader t then begin
+            (* Duplicate suppression: a retransmission of a request that
+               is already in the log must not be ordered twice. *)
+            if not already_ordered then
+              feed_raft t (Rnode.Client_command (Protocol.client_cmd ~rid op))
+          end
+          else pump t)
 
 (* After accepting an append_entries, check that every newly ordered
    entry's body is present; fetch the ones the multicast lost. *)
@@ -1467,6 +1633,9 @@ let dispatch t (pkt : Protocol.payload Fabric.packet) =
       | Some _ | None -> ())
   | Protocol.Agg_commit { term; commit; applied } ->
       on_agg_commit t ~term ~commit ~applied
+  | Protocol.Rabia msg ->
+      feed_rabia t (Rb.Receive msg);
+      pump t
   | Protocol.Response _ | Protocol.Nack _ | Protocol.Wrong_shard _
   | Protocol.Probe _ | Protocol.Feedback _ | Protocol.Reconfig _ ->
       ()
@@ -1528,12 +1697,36 @@ let start_election_clock t =
   in
   arm (Engine.now t.engine + t.election_timeout)
 
+(* The leaderless backend has no election clock and no heartbeats; its
+   one timer is the retransmit/status tick, paced like a heartbeat. *)
+let start_rabia_ticker t =
+  let life = t.life in
+  let rec loop () =
+    Engine.after t.engine t.p.timing.heartbeat (fun () ->
+        if t.alive && t.life = life then begin
+          feed_rabia t Rb.Tick;
+          loop ()
+        end)
+  in
+  loop ()
+
 let start_gc_loop t =
   let life = t.life in
   let rec loop () =
     Engine.after t.engine t.p.timing.gc_interval (fun () ->
         if t.alive && t.life = life then begin
-          ignore (Unordered.gc t.store);
+          (* Bodies still in the leaderless proposal pool are pinned:
+             their time-to-order is unbounded (see {!Unordered.gc}). *)
+          let keep =
+            match t.rabia with
+            | None -> None
+            | Some rb ->
+                Some
+                  (fun rid ->
+                    Rb.pending_mem rb
+                      (Format.asprintf "%a" R2p2.pp_req_id rid))
+          in
+          ignore (Unordered.gc ?keep t.store);
           let now = Engine.now t.engine in
           let expired (_, recorded) = now - recorded > t.p.timing.gc_ordered in
           while
@@ -1543,11 +1736,14 @@ let start_gc_loop t =
             let rid, _ = Queue.pop t.completion_fifo in
             Rid_tbl.remove t.completions rid
           done;
-          (match t.raft with
-          | Some raft ->
+          (match (t.raft, t.rabia) with
+          | Some raft, _ ->
               let base = Rnode.compact raft ~retain:t.p.features.log_retain in
               Metrics.set t.g_log_base base
-          | None -> ());
+          | None, Some rb ->
+              let base = Rb.compact rb ~retain:t.p.features.log_retain in
+              Metrics.set t.g_log_base base
+          | None, None -> ());
           loop ()
         end)
   in
@@ -1620,9 +1816,9 @@ let create ?trace ?members engine fabric p ~id =
     invalid_arg "Hnode.create: id outside membership";
   let rng = Rng.create (p.seed + (id * 7919)) in
   let raft =
-    match p.mode with
-    | Unreplicated -> None
-    | Vanilla | Hover | Hover_pp ->
+    match (p.mode, p.backend) with
+    | Unreplicated, _ | _, Rabia -> None
+    | (Vanilla | Hover | Hover_pp), Raft ->
         let peers =
           Array.of_list (List.filter (fun i -> i <> id) members)
         in
@@ -1638,6 +1834,25 @@ let create ?trace ?members engine fabric p ~id =
                snap_chunk_bytes = Hovercraft_net.Wire.snap_chunk_bytes;
              }
              ~noop:Protocol.internal_noop)
+  in
+  let rabia =
+    match (p.mode, p.backend) with
+    | Hover, Rabia ->
+        let peers = Array.of_list (List.filter (fun i -> i <> id) members) in
+        Some
+          (Rb.create
+             {
+               Rb.id;
+               peers;
+               batch_max = p.features.batch_max;
+               (* Cluster-wide: the common coin must flip the same way on
+                  every node, so the seed is the shared experiment seed,
+                  not the per-node one. *)
+               coin_seed = p.seed;
+             }
+             ~key_of:(fun (c : Protocol.cmd) ->
+               Format.asprintf "%a" R2p2.pp_req_id c.Protocol.meta.rid))
+    | _ -> None
   in
   let now () = Engine.now engine in
   let metrics = Metrics.create () in
@@ -1655,6 +1870,9 @@ let create ?trace ?members engine fabric p ~id =
       apps = Array.init p.features.apply_threads (fun _ -> Cpu.create engine);
       rng;
       raft;
+      rabia;
+      rabia_members =
+        (if rabia = None then [||] else Array.of_list members);
       store =
         Unordered.create ~now ~gc_unordered:p.timing.gc_unordered
           ~gc_ordered:p.timing.gc_ordered ();
@@ -1747,7 +1965,9 @@ let create ?trace ?members engine fabric p ~id =
   Fabric.join fabric ~group:Addr.cluster_group (Addr.Node id);
   (match p.mode with
   | Vanilla | Hover | Hover_pp ->
-      start_election_clock t;
+      (match t.rabia with
+      | Some _ -> start_rabia_ticker t
+      | None -> start_election_clock t);
       start_gc_loop t
   | Unreplicated -> ());
   t
@@ -1755,21 +1975,22 @@ let create ?trace ?members engine fabric p ~id =
 let id t = t.id
 let alive t = t.alive
 let mode t = t.p.mode
+let backend t = t.p.backend
 
 let term t = match t.raft with Some r -> Rnode.term r | None -> 0
-
-let commit_index t =
-  match t.raft with Some r -> Rnode.commit_index r | None -> 0
-
+let commit_index t = commit_index_internal t
 let applied_index t = t.applied_ptr
 
 let log_length t =
-  match t.raft with Some r -> Rlog.last_index (Rnode.log r) | None -> 0
+  if has_consensus t then Rlog.last_index (consensus_log t) else 0
 
-let log_base t = match t.raft with Some r -> Rlog.base (Rnode.log r) | None -> 0
+let log_base t = if has_consensus t then Rlog.base (consensus_log t) else 0
 
 let snapshot_index t =
-  match t.raft with Some r -> Rnode.snapshot_index r | None -> 0
+  match (t.raft, t.rabia) with
+  | Some r, _ -> Rnode.snapshot_index r
+  | None, Some rb -> Rb.snapshot_index rb
+  | None, None -> 0
 
 let snapshots_taken t = Metrics.value t.c_snapshots
 let installs_received t = Metrics.value t.c_installs_recv
@@ -1778,6 +1999,12 @@ let app_fingerprint t = Op.fingerprint t.app_state
 let executed_ops t = Op.executed t.app_state
 let replies_sent t = Metrics.value t.c_replies
 let store_size t = Unordered.size t.store
+
+let ordering_pending t =
+  match t.rabia with Some rb -> Rb.pending rb | None -> 0
+
+let ordering_next_slot t =
+  match t.rabia with Some rb -> Rb.next_slot rb | None -> 0
 let recoveries_sent t = Metrics.value t.c_recoveries
 let recovery_escalations t = Metrics.value t.c_recovery_escalations
 let pending_recoveries t = Rid_tbl.length t.pending_recovery
@@ -1806,7 +2033,21 @@ let stage_stalls t =
 let apply_threads t = Array.length t.apps
 let apply_busy_times t = Array.map Cpu.busy_time t.apps
 let apply_stalls t = Metrics.hist_count t.h_apply_stall
-let raft_node t = t.raft
+
+(* Log inspection without exposing the backend: history checkers walk
+   the committed/applied prefix through these instead of reaching into
+   the Raft node (which may not exist under the rabia backend). *)
+let log_first_index t =
+  if has_consensus t then Rlog.first_index (consensus_log t) else 1
+
+let iter_log t ~lo ~hi f =
+  if has_consensus t then
+    Rlog.iter_range (consensus_log t) ~lo ~hi (fun idx e ->
+        f idx e.Rtypes.term e.Rtypes.cmd)
+
+let aggregated t =
+  match t.raft with Some r -> Rnode.aggregated r | None -> false
+
 let metrics t = t.metrics
 let trace t = t.trace
 let election_timeout t = t.election_timeout
@@ -1820,15 +2061,28 @@ let config_index t =
 let raft_members t =
   match t.raft with Some r -> Rnode.members r | None -> t.members
 
-let bootstrap t = feed_raft t Rnode.Election_timeout
+let bootstrap t =
+  (* Leaderless consensus needs no bootstrap election; the first client
+     command starts slot 0. *)
+  if t.rabia = None then feed_raft t Rnode.Election_timeout
 
 let propose_reconfig t ~members:ms =
   if ms = [] then invalid_arg "Hnode.propose_reconfig: empty membership";
+  if t.rabia <> None then
+    invalid_arg
+      "Hnode.propose_reconfig: the rabia backend is fixed-membership \
+       (quorum-intersection over locked proposals assumes a static member \
+       set)";
   feed_raft t
     (Rnode.Client_command
        (Protocol.config_cmd ~members:(Array.of_list (List.sort_uniq compare ms))))
 
-let transfer_leadership t ~target = feed_raft t (Rnode.Transfer_leadership target)
+let transfer_leadership t ~target =
+  if t.rabia <> None then
+    invalid_arg
+      "Hnode.transfer_leadership: the rabia backend is leaderless — there \
+       is no leadership to transfer";
+  feed_raft t (Rnode.Transfer_leadership target)
 
 let preload t ops =
   List.iter (fun op -> ignore (Op.apply t.app_state op)) ops;
@@ -1937,14 +2191,18 @@ let restart t =
   t.probe_sent_term <- -1;
   t.hb_gen <- t.hb_gen + 1;
   Hashtbl.reset t.lease_heard;
-  (match t.raft with
-  | Some raft ->
+  (match (t.raft, t.rabia) with
+  | Some raft, _ ->
       Rnode.recover raft;
       t.applied_ptr <- Rnode.applied_index raft;
       (* The checkpoint is durable (part of the applied state machine's
          persistence); restart from it rather than re-cutting early. *)
       t.last_snap <- Rnode.snapshot_index raft
-  | None -> ());
+  | None, Some rb ->
+      Rb.recover rb;
+      t.applied_ptr <- Rb.applied_index rb;
+      t.last_snap <- Rb.snapshot_index rb
+  | None, None -> ());
   (* The parallel dispatcher restarts with nothing in flight; its
      watermark and round-robin pointer are recomputed from the durable
      applied prefix so a replayed log redispatches identically. *)
@@ -1964,7 +2222,9 @@ let restart t =
   t.election_timeout <- draw_timeout t;
   (match t.p.mode with
   | Vanilla | Hover | Hover_pp ->
-      start_election_clock t;
+      (match t.rabia with
+      | Some _ -> start_rabia_ticker t
+      | None -> start_election_clock t);
       start_gc_loop t
   | Unreplicated -> ());
   tr t Trace.Warn ~kind:"restarted" (fun () ->

@@ -28,6 +28,16 @@ type mode = Unreplicated | Vanilla | Hover | Hover_pp
     but every read burns leader CPU). *)
 type read_mode = Replicated_reads | Leader_leases
 
+(** The ordering backend beneath the HovercRaft dataplane
+    ({!Hovercraft_ordering.Ordering.kind}, re-exported): [Raft] is the
+    paper's leader-based log; [Rabia] a leaderless randomized-agreement
+    machine ({!Hovercraft_ordering.Rabia}) — no elections, no failover
+    gap, but per-slot vote rounds. [Rabia] requires [mode = Hover] with
+    replicated reads (validated): the aggregated fast path, vanilla body
+    shipping, leases, reconfiguration and leadership transfer are all
+    leader-shaped. *)
+type backend = Hovercraft_ordering.Ordering.kind = Raft | Rabia
+
 val pp_mode : Format.formatter -> mode -> unit
 val mode_of_string : string -> (mode, string) result
 
@@ -129,6 +139,7 @@ type feature_params = {
 
 type params = {
   mode : mode;
+  backend : backend;  (** Ordering backend; [Raft] unless stated. *)
   n : int;  (** Bootstrap cluster size (1 for [Unreplicated]). *)
   seed : int;
   cost : cost_params;
@@ -136,17 +147,20 @@ type params = {
   features : feature_params;
 }
 
-val params : ?mode:mode -> ?n:int -> unit -> params
+val params : ?mode:mode -> ?backend:backend -> ?n:int -> unit -> params
 (** Calibrated defaults (see DESIGN.md §5); [mode] defaults to [Hover],
-    [n] to 3. Validates the result (see {!validate_params}). *)
+    [backend] to [Raft], [n] to 3. Validates the result (see
+    {!validate_params}). *)
 
 val validate_params : params -> unit
 (** Raises [Invalid_argument] on inconsistent settings: [n < 1],
     [election_min] non-positive or above [election_max],
     [lease_window >= election_min] (a lease must not outlive an election),
     [bound < 1], [batch_max < 1], negative retries/retention, [loss_prob]
-    outside [[0, 1)], non-positive clocks. {!create} calls this, so
-    records assembled by [with]-update are checked too. *)
+    outside [[0, 1)], non-positive clocks, and backend-inapplicable
+    combinations ([Rabia] with any mode but [Hover], or with
+    [Leader_leases]). {!create} calls this, so records assembled by
+    [with]-update are checked too. *)
 
 type t
 
@@ -174,7 +188,13 @@ val create :
 val id : t -> int
 val alive : t -> bool
 val mode : t -> mode
+
+val backend : t -> backend
+(** Which ordering backend this node runs. *)
+
 val is_leader : t -> bool
+(** Whether this node currently leads ([false] on every node under the
+    leaderless [Rabia] backend; [true] when unreplicated). *)
 
 val leader_hint : t -> int option
 (** This node's current belief about who leads ([None] when unreplicated,
@@ -202,6 +222,15 @@ val app_fingerprint : t -> int
 val executed_ops : t -> int
 val replies_sent : t -> int
 val store_size : t -> int
+
+val ordering_pending : t -> int
+(** Commands sitting in the leaderless backend's proposal pool, waiting
+    for a slot to decide them; always 0 under {!Raft}. *)
+
+val ordering_next_slot : t -> int
+(** The leaderless backend's next undecided slot (slots ≠ log indices:
+    one slot appends a whole batch); 0 under {!Raft}. *)
+
 val recoveries_sent : t -> int
 
 val recovery_escalations : t -> int
@@ -247,8 +276,25 @@ val apply_stalls : t -> int
 (** Number of per-thread barrier waits the scheduler recorded (samples in
     the [apply_stall_ns] histogram). 0 when K = 1. *)
 
-val raft_node : t -> (Protocol.cmd, Protocol.snap) Hovercraft_raft.Node.t option
-(** The embedded consensus state machine ([None] when unreplicated). *)
+(** {2 Log inspection}
+
+    History checkers walk the ordered log through these; the backend
+    itself (Raft or Rabia state machine) is not exposed. *)
+
+val log_first_index : t -> int
+(** First index still present in the consensus log (1 when nothing has
+    compacted; 1 with an empty/absent log). *)
+
+val iter_log : t -> lo:int -> hi:int -> (int -> int -> Protocol.cmd -> unit) -> unit
+(** [iter_log t ~lo ~hi f] calls [f idx term cmd] for each log entry in
+    [max lo (log_first_index t) .. min hi (log_length t)], in index
+    order. No-op when unreplicated. Under the rabia backend [term] is the
+    entry's slot number. *)
+
+val aggregated : t -> bool
+(** Whether the consensus layer is currently routing replication through
+    the in-network aggregator (HovercRaft++ leaders only; always [false]
+    under [Rabia]). *)
 
 val metrics : t -> Hovercraft_obs.Metrics.t
 (** The node's counter/gauge/histogram registry. Counters include
@@ -302,7 +348,8 @@ val redraw_election_timeout : t -> Timebase.t
 
 val bootstrap : t -> unit
 (** Fire an immediate election timeout (used to elect a deterministic
-    initial leader at simulation start). *)
+    initial leader at simulation start). No-op under the leaderless
+    [Rabia] backend — the first client command starts slot 0. *)
 
 val propose_reconfig : t -> members:int list -> unit
 (** Leader only: append a single-server membership-change entry carrying
@@ -311,13 +358,17 @@ val propose_reconfig : t -> members:int list -> unit
     previous change is still uncommitted, a transfer is pending, or the
     change touches more than one voter. Takes effect on append for
     replication/quorum purposes, and durably — replier set, retirement,
-    aggregator hand-off — when the entry is applied. *)
+    aggregator hand-off — when the entry is applied.
+
+    Raises [Invalid_argument] under the [Rabia] backend: its candidate
+    uniqueness rests on quorum intersection over a static member set. *)
 
 val transfer_leadership : t -> target:int -> unit
 (** Leader only: cooperatively hand leadership to [target] (Raft §3.10).
     The leader stops accepting client commands, brings the target fully up
     to date, then tells it to start an election immediately. No-op on
-    non-leaders, non-member targets, and self. *)
+    non-leaders, non-member targets, and self. Raises [Invalid_argument]
+    under the leaderless [Rabia] backend. *)
 
 val preload : t -> Hovercraft_apps.Op.t list -> unit
 (** Apply operations directly to the local application state, bypassing

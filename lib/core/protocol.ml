@@ -88,6 +88,10 @@ type payload =
   | Reconfig of { term : int; members : int array }
       (** Leader -> aggregator: the membership changed; flush soft state,
           resize the quorum and rebuild the followers fan-out group. *)
+  | Rabia of (cmd, snap) Hovercraft_ordering.Rabia.msg
+      (** Leaderless randomized-agreement traffic (the rabia ordering
+          backend). Like HovercRaft append_entries, batch values on the
+          wire are metadata-sized — bodies ride the client multicast. *)
 
 let meta_wire_bytes = 32
 let hdr = R2p2.header_bytes
@@ -122,6 +126,29 @@ let payload_bytes ~with_bodies = function
   | Feedback _ | Nack _ -> hdr + 8
   | Wrong_shard _ -> hdr + 16
   | Reconfig { members; _ } -> hdr + 16 + (8 * Array.length members)
+  | Rabia msg -> (
+      let value_bytes = function
+        | Hovercraft_ordering.Rabia.Bot -> 0
+        | Hovercraft_ordering.Rabia.Batch arr ->
+            meta_wire_bytes * Array.length arr
+      in
+      match msg with
+      | Hovercraft_ordering.Rabia.Proposal { value; _ } ->
+          hdr + 24 + value_bytes value
+      | Hovercraft_ordering.Rabia.State { value; _ }
+      | Hovercraft_ordering.Rabia.Vote { value; _ } ->
+          hdr + 32 + value_bytes value
+      | Hovercraft_ordering.Rabia.Status _ -> hdr + 16
+      | Hovercraft_ordering.Rabia.Repair { decisions; _ } ->
+          List.fold_left
+            (fun acc (_, v) -> acc + 16 + value_bytes v)
+            (hdr + 16) decisions
+      | Hovercraft_ordering.Rabia.Snap { meta; _ } ->
+          (* Whole-image install: one (large) packet carrying the full
+             serialized snapshot. *)
+          hdr + 48
+          + (8 * List.length meta.Hovercraft_raft.Snapshot.members)
+          + meta.Hovercraft_raft.Snapshot.size)
 
 (* Payload tags are interned: hot-path accounting (the per-packet
    rx.<tag> counters) indexes a pre-resolved array by [tag_index] instead
@@ -149,6 +176,12 @@ let tag_index = function
   | Nack _ -> 17
   | Wrong_shard _ -> 18
   | Reconfig _ -> 19
+  | Rabia (Hovercraft_ordering.Rabia.Proposal _) -> 20
+  | Rabia (Hovercraft_ordering.Rabia.State _) -> 21
+  | Rabia (Hovercraft_ordering.Rabia.Vote _) -> 22
+  | Rabia (Hovercraft_ordering.Rabia.Status _) -> 23
+  | Rabia (Hovercraft_ordering.Rabia.Repair _) -> 24
+  | Rabia (Hovercraft_ordering.Rabia.Snap _) -> 25
 
 let tag_names =
   [|
@@ -172,6 +205,12 @@ let tag_names =
     "nack";
     "wrong_shard";
     "reconfig";
+    "rabia_proposal";
+    "rabia_state";
+    "rabia_vote";
+    "rabia_status";
+    "rabia_repair";
+    "rabia_snap";
   |]
 
 let tag_count = Array.length tag_names

@@ -77,6 +77,10 @@ type payload =
   | Reconfig of { term : int; members : int array }
       (** Leader -> aggregator: membership changed; flush soft state,
           resize the quorum, rebuild the followers fan-out group. *)
+  | Rabia of (cmd, snap) Hovercraft_ordering.Rabia.msg
+      (** Leaderless randomized-agreement traffic (the rabia ordering
+          backend). Batch values on the wire are metadata-sized, like
+          HovercRaft append_entries — bodies ride the client multicast. *)
 
 val meta_wire_bytes : int
 (** Fixed size of one entry's ordering metadata inside append_entries. *)

@@ -46,7 +46,7 @@ let handle t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Response _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
   | Protocol.Agg_commit _ | Protocol.Nack _ | Protocol.Wrong_shard _
-  | Protocol.Reconfig _ ->
+  | Protocol.Reconfig _ | Protocol.Rabia _ ->
       ()
 
 let create engine fabric ~n ?(bound = 16) ?(seed = 97) ~rate_gbps () =

@@ -56,13 +56,14 @@ let unordered_bindings t =
   |> List.sort (fun (_, (a : slot)) (_, (b : slot)) -> compare a.seq b.seq)
   |> List.map (fun (rid, s) -> (rid, s.op))
 
-let gc t =
+let gc ?(keep = fun _ -> false) t =
   let now = t.now () in
   let dead = ref [] in
   Tbl.iter
     (fun rid s ->
       let limit = if s.ordered then t.gc_ordered else t.gc_unordered in
-      if now - s.added > limit then dead := rid :: !dead)
+      if now - s.added > limit && not ((not s.ordered) && keep rid) then
+        dead := rid :: !dead)
     t.table;
   List.iter (Tbl.remove t.table) !dead;
   List.length !dead

@@ -47,8 +47,15 @@ val unordered_bindings : t -> (R2p2.req_id * Hovercraft_apps.Op.t) list
 (** Bodies not yet ordered, oldest first — what a freshly elected leader
     ingests into its log (§5). *)
 
-val gc : t -> int
-(** Collect expired entries; returns how many were dropped. *)
+val gc : ?keep:(R2p2.req_id -> bool) -> t -> int
+(** Collect expired entries; returns how many were dropped. Unordered
+    bodies for which [keep] holds are never dropped regardless of age —
+    a leaderless ordering backend pins bodies still sitting in its
+    proposal pool, where time-to-order is unbounded (an ordering stall
+    under a partition can outlast any fixed timeout, and a body dropped
+    everywhere before its command decides wedges the apply loop for
+    good). Ordered bodies are never subject to [keep]; their retention
+    window already covers recovery. *)
 
 val size : t -> int
 val unordered_count : t -> int

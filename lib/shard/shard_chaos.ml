@@ -59,14 +59,13 @@ let reference_cmds (d : Deploy.t) =
             if Hnode.commit_index n > Hnode.commit_index b then Some n else best)
       None (Deploy.live_nodes d)
   in
-  match Option.bind reference Hnode.raft_node with
+  match reference with
   | None -> []
-  | Some r ->
-      let log = Rnode.log r in
-      let hi = min (Rnode.commit_index r) (Rlog.last_index log) in
+  | Some node ->
+      let hi = min (Hnode.commit_index node) (Hnode.log_length node) in
       let acc = ref [] in
-      Rlog.iter_range log ~lo:(Rlog.first_index log) ~hi (fun _ e ->
-          let c = e.Rtypes.cmd in
+      Hnode.iter_log node ~lo:(Hnode.log_first_index node) ~hi
+        (fun _ _ c ->
           if not c.Protocol.meta.Protocol.internal then acc := c :: !acc);
       List.rev !acc
 

@@ -309,9 +309,8 @@ let move_shard t ?(on_done = fun () -> ()) ~slots ~target () =
   List.iter (fun s -> Hashtbl.replace moved_slot s ()) slots;
   let keep k = Hashtbl.mem moved_slot (Shard_map.slot_of_key t.map k) in
   let last_index node =
-    match Hnode.raft_node node with
-    | Some r -> Rlog.last_index (Rnode.log r)
-    | None -> Hnode.applied_index node
+    if Hnode.mode node = Hnode.Unreplicated then Hnode.applied_index node
+    else Hnode.log_length node
   in
   (* The cut is the source leader's last log index, captured post-fence:
      everything at or below it may still execute on the moved range;

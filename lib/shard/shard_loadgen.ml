@@ -126,7 +126,7 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Wrong_shard { rid; _ } -> on_wrong_shard t rid
   | Protocol.Request _ | Protocol.Raft _ | Protocol.Recovery_request _
   | Protocol.Recovery_response _ | Protocol.Probe _ | Protocol.Probe_reply _
-  | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ ->
+  | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ | Protocol.Rabia _ ->
       ()
 
 let create sd ~clients ~rate_rps ~workload ?retry ?on_reply ?on_nack ~seed () =

@@ -17,4 +17,5 @@ let () =
       ("shard", Test_shard.suite);
       ("invariants", Test_invariants.suite);
       ("mc", Test_mc.suite);
+      ("backend", Test_backend.suite);
     ]

@@ -32,15 +32,11 @@ let run_cluster ?(mode = Hnode.Hover_pp) ?(n = 3) ?(rate = 40_000.)
 
 (* Extract the committed request-id sequence of a node's log. *)
 let committed_rids node =
-  match Hnode.raft_node node with
-  | None -> []
-  | Some raft ->
-      let log = Rnode.log raft in
-      let out = ref [] in
-      Rlog.iter_range log ~lo:1 ~hi:(Rnode.commit_index raft) (fun _ e ->
-          let meta = e.Hovercraft_raft.Types.cmd.Protocol.meta in
-          if not meta.internal then out := meta.rid :: !out);
-      List.rev !out
+  let out = ref [] in
+  Hnode.iter_log node ~lo:1 ~hi:(Hnode.commit_index node) (fun _ _ cmd ->
+      let meta = cmd.Protocol.meta in
+      if not meta.internal then out := meta.rid :: !out);
+  List.rev !out
 
 let test_committed_prefix_agreement () =
   let deploy, _ = run_cluster ~seed:41 () in
@@ -103,14 +99,10 @@ let test_read_write_executes_everywhere () =
 let test_aggregated_mode_engages () =
   let deploy, _ = run_cluster ~mode:Hnode.Hover_pp ~seed:45 () in
   let leader = Option.get (Deploy.leader deploy) in
-  (match Hnode.raft_node leader with
-  | Some r -> check "hover++ leader uses the aggregator" true (Rnode.aggregated r)
-  | None -> Alcotest.fail "no raft");
+  check "hover++ leader uses the aggregator" true (Hnode.aggregated leader);
   let deploy', _ = run_cluster ~mode:Hnode.Hover ~seed:45 () in
   let leader' = Option.get (Deploy.leader deploy') in
-  match Hnode.raft_node leader' with
-  | Some r -> check "plain hover never aggregates" false (Rnode.aggregated r)
-  | None -> Alcotest.fail "no raft"
+  check "plain hover never aggregates" false (Hnode.aggregated leader')
 
 let test_leader_message_complexity () =
   (* Table 1's structural claim, as an assertion: at low load the
@@ -232,12 +224,9 @@ let test_duplicate_requests_not_reexecuted () =
   check "every request retried" true (Loadgen.retried gen >= report.Loadgen.sent);
   (* List length on any replica equals unique requests, not requests+retries. *)
   let node = deploy.Deploy.nodes.(0) in
-  match Hnode.raft_node node with
-  | Some _ ->
-      let log_len = Hnode.applied_index node in
-      (* applied = unique writes + election no-op, not sends+retries *)
-      check "no duplicate execution" true (log_len <= report.Loadgen.sent + 4)
-  | None -> Alcotest.fail "no raft"
+  let log_len = Hnode.applied_index node in
+  (* applied = unique writes + election no-op, not sends+retries *)
+  check "no duplicate execution" true (log_len <= report.Loadgen.sent + 4)
 
 (* --- read leases -------------------------------------------------------- *)
 

@@ -124,9 +124,48 @@ let test_detects_commit_divergence () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "planted divergence not detected"
 
+(* --- rabia: randomized agreement over pure instances ----------------- *)
+
+let test_rabia_agreement () =
+  List.iter
+    (fun seed ->
+      let cfg = { Hovercraft_mc.Rabia_check.default with seed } in
+      let o = Hovercraft_mc.Rabia_check.run cfg in
+      if o.Hovercraft_mc.Rabia_check.violations <> [] then
+        Alcotest.failf "seed %d: %s" seed
+          (String.concat "; " o.Hovercraft_mc.Rabia_check.violations);
+      Alcotest.(check bool) "agreed" true o.Hovercraft_mc.Rabia_check.agreed;
+      Alcotest.(check bool) "valid" true o.Hovercraft_mc.Rabia_check.valid;
+      Alcotest.(check bool)
+        "all decided" true o.Hovercraft_mc.Rabia_check.all_decided;
+      if o.Hovercraft_mc.Rabia_check.decided <= 0 then
+        Alcotest.failf "seed %d: nothing decided" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_rabia_agreement_five_nodes () =
+  let o =
+    Hovercraft_mc.Rabia_check.run
+      {
+        Hovercraft_mc.Rabia_check.default with
+        n = 5;
+        cmds = 10;
+        steps = 6_000;
+        drop_prob = 0.15;
+        recover_prob = 0.004;
+        seed = 9;
+      }
+  in
+  if o.Hovercraft_mc.Rabia_check.violations <> [] then
+    Alcotest.failf "%s"
+      (String.concat "; " o.Hovercraft_mc.Rabia_check.violations)
+
 let suite =
   [
     Alcotest.test_case "bounded raft safe" `Slow test_bounded_raft_safe;
+    Alcotest.test_case "rabia agreement under drop+dup+reorder+recover"
+      `Quick test_rabia_agreement;
+    Alcotest.test_case "rabia agreement, five nodes" `Quick
+      test_rabia_agreement_five_nodes;
     Alcotest.test_case "bounded hovercraft++ safe" `Slow test_bounded_hoverpp_safe;
     Alcotest.test_case "safe with dup+drop" `Slow test_duplication_and_drops_safe;
     Alcotest.test_case "five nodes safe" `Slow test_five_nodes_safe;
