@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make check`.
 
-.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard applyscale netscale backendscale clean
+.PHONY: all build test check obs-snapshot snapshot chaos reconfig shard bench-shard applyscale netscale backendscale control autoscale clean
 
 all: build
 
@@ -63,6 +63,20 @@ netscale:
 # set diverges.
 backendscale:
 	dune exec bench/main.exe -- backendscale
+
+# Control-plane smoke: the flagship hotspot-drift scenario with the
+# SLO-driven controller attached; per-window verdicts plus the full
+# history-checker battery. Exits non-zero if the SLO fraction is missed
+# or any checker trips.
+control:
+	dune exec bin/hovercraft.exe -- control hotspot-drift --seed 11 \
+	  --out hovercraft_control.json
+
+# The autoscaling figure: same scenario and seed, controller off vs on.
+# The baseline must violate the SLO, the controller run must hold it,
+# and every safety checker must stay green in both runs.
+autoscale:
+	dune exec bench/main.exe -- autoscale
 
 clean:
 	dune clean

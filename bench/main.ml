@@ -479,6 +479,42 @@ let netscale_sanity () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* autoscale: the control-plane figure. One seeded hotspot-drift +
+   node-loss scenario, controller off vs on; the JSON artifact carries
+   both per-window p99 series, the action log and the safety summary.
+   Exits nonzero if the baseline holds the SLO (the scenario no longer
+   discriminates), the controller run misses it, or any checker trips. *)
+
+let autoscale ~out () =
+  let module Cexp = Hovercraft_control.Experiment in
+  let module Cscn = Hovercraft_control.Scenario in
+  Printf.printf
+    "\n\
+     === autoscale: SLO under hotspot drift + node loss, controller off/on ===\n\
+     (4 co-located groups on 1 GbE hosts, 2M-user drifting zipf, YCSB-B)\n";
+  let r = Cexp.autoscale ~seed:11 () in
+  Cexp.print Format.std_formatter r;
+  let oc = open_out out in
+  output_string oc (Hovercraft_obs.Json.to_string_pretty (Cexp.to_json r));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  figure written to %s\n" out;
+  if not (Cscn.checkers_green r.Cexp.off && Cscn.checkers_green r.Cexp.on_)
+  then begin
+    Printf.eprintf "autoscale: a safety checker tripped\n";
+    exit 1
+  end;
+  if Cscn.slo_held ~fraction:r.Cexp.slo_fraction r.Cexp.off then begin
+    Printf.eprintf
+      "autoscale: baseline holds the SLO — scenario no longer discriminates\n";
+    exit 1
+  end;
+  if not (Cscn.slo_held ~fraction:r.Cexp.slo_fraction r.Cexp.on_) then begin
+    Printf.eprintf "autoscale: controller run misses the SLO\n";
+    exit 1
+  end
+
 (* Artifacts land under _build/ (or the temp dir when there is no build
    tree), never the repository root; --out overrides. *)
 let default_out name =
@@ -498,14 +534,21 @@ let () =
     | a :: rest -> extract_out (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let out, args = extract_out [] args in
+  let out_opt, args = extract_out [] args in
   let args = List.filter (fun a -> a <> "--full") args in
   let out =
-    match out with Some p -> p | None -> default_out "hovercraft_snapshot.json"
+    match out_opt with
+    | Some p -> p
+    | None -> default_out "hovercraft_snapshot.json"
+  in
+  let autoscale_out =
+    match out_opt with
+    | Some p -> p
+    | None -> default_out "hovercraft_autoscale.json"
   in
   let special =
     [ "micro"; "snapshot"; "shardscale"; "applyscale"; "netscale";
-      "netscale-sanity"; "backendscale"; "backendscale-sanity" ]
+      "netscale-sanity"; "backendscale"; "backendscale-sanity"; "autoscale" ]
   in
   let wanted_figures, wants =
     match args with
@@ -531,5 +574,6 @@ let () =
   if want "netscale-sanity" then netscale_sanity ();
   if want "backendscale" then backendscale ~quality ();
   if want "backendscale-sanity" then backendscale_sanity ();
+  if want "autoscale" then autoscale ~out:autoscale_out ();
   if want "snapshot" then obs_snapshot ~file:out ();
   if want "micro" then microbenchmarks ()

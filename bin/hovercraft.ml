@@ -20,6 +20,9 @@
      shard     — Multi-Raft sharding smoke: split the active groups onto
                  dormant ones and rebalance with a live move_shard under
                  YCSB-B load, checked by the shard-aware history checker;
+     control   — run one scenario from the autoscaling suite with the
+                 SLO-driven controller on (or --off for the baseline),
+                 judged per window and by the history-checker battery;
      repro     — regenerate the paper's tables and figures by id;
      mc        — model-check bounded Raft / HovercRaft++ instances. *)
 
@@ -34,129 +37,9 @@ module Shard_chaos = Hovercraft_shard.Shard_chaos
 
 (* --- shared arguments ------------------------------------------------ *)
 
-let mode_conv =
-  let parse s = Hnode.mode_of_string s |> Result.map_error (fun e -> `Msg e) in
-  let print fmt m = Hnode.pp_mode fmt m in
-  Arg.conv (parse, print)
-
-let mode_arg =
-  let doc = "Deployment mode: unrep, vanilla, hover or hoverpp." in
-  Arg.(value & opt mode_conv Hnode.Hover_pp & info [ "m"; "mode" ] ~doc)
-
-let backend_conv =
-  let parse s =
-    Hovercraft_ordering.Ordering.kind_of_string s
-    |> Result.map_error (fun e -> `Msg e)
-  in
-  let print fmt k = Hovercraft_ordering.Ordering.pp_kind fmt k in
-  Arg.conv (parse, print)
-
-let backend_arg =
-  let doc =
-    "Ordering backend: raft (the paper's leader-based log) or rabia \
-     (leaderless randomized agreement; requires -m hover and a fixed \
-     membership)."
-  in
-  Arg.(value & opt backend_conv Hnode.Raft & info [ "backend" ] ~doc)
-
-(* Knob validation lives in Hnode/Deploy and raises Invalid_argument with
-   a sentence worth showing; turn it into a clean CLI failure instead of
-   a backtrace. *)
-let or_die f =
-  try f ()
-  with Invalid_argument msg ->
-    Printf.eprintf "hovercraft: %s\n" msg;
-    exit 2
-
-let nodes_arg =
-  let doc = "Cluster size (ignored for unrep, which runs one node)." in
-  Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc)
-
-let rate_arg =
-  let doc = "Offered load in requests per second." in
-  Arg.(value & opt float 100_000. & info [ "r"; "rate" ] ~doc)
-
-let duration_arg =
-  let doc = "Measured duration in simulated milliseconds." in
-  Arg.(value & opt int 100 & info [ "d"; "duration-ms" ] ~doc)
-
-let seed_arg =
-  let doc = "Random seed (simulations are deterministic per seed)." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
-
-let service_us_arg =
-  let doc = "Mean service time of the synthetic workload, in microseconds." in
-  Arg.(value & opt float 1.0 & info [ "service-us" ] ~doc)
-
-let read_fraction_arg =
-  let doc = "Fraction of requests that are read-only." in
-  Arg.(value & opt float 0. & info [ "read-fraction" ] ~doc)
-
-let req_bytes_arg =
-  let doc = "Request payload size in bytes." in
-  Arg.(value & opt int 24 & info [ "req-bytes" ] ~doc)
-
-let rep_bytes_arg =
-  let doc = "Reply payload size in bytes." in
-  Arg.(value & opt int 8 & info [ "rep-bytes" ] ~doc)
-
-let bimodal_arg =
-  let doc = "Use the paper's bimodal service distribution (10% of requests 10x longer)." in
-  Arg.(value & flag & info [ "bimodal" ] ~doc)
-
-let ycsb_arg =
-  let doc = "Run YCSB-E on the Redis-like store instead of the synthetic service." in
-  Arg.(value & flag & info [ "ycsb" ] ~doc)
-
-let no_lb_arg =
-  let doc = "Disable reply/read-only load balancing (leader answers everything)." in
-  Arg.(value & flag & info [ "no-reply-lb" ] ~doc)
-
-let random_lb_arg =
-  let doc = "Use RANDOM replier selection instead of JBSQ." in
-  Arg.(value & flag & info [ "random-lb" ] ~doc)
-
-let bound_arg =
-  let doc = "Bounded-queue size B (max assigned-but-unapplied ops per node)." in
-  Arg.(value & opt int 128 & info [ "bound" ] ~doc)
-
-let snapshot_interval_arg =
-  let doc =
-    "Checkpoint the state machine every this many applied entries and let \
-     the log compact past lagging followers (they catch up via \
-     Install_snapshot); 0 disables snapshots."
-  in
-  Arg.(value & opt int 0 & info [ "snapshot-interval" ] ~doc)
-
-let flow_cap_arg =
-  let doc = "Enable the flow-control middlebox with this many in-flight requests." in
-  Arg.(value & opt (some int) None & info [ "flow-cap" ] ~doc)
-
-let metrics_arg =
-  let doc =
-    "Write a JSON observability snapshot (per-node metrics, per-link fabric \
-     counters, the protocol-event trace) to $(docv) after the run; use - for \
-     stdout."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
-
-let trace_conv =
-  let parse s =
-    match Hovercraft_obs.Trace.severity_of_string s with
-    | Some sev -> Ok sev
-    | None -> Error (`Msg (Printf.sprintf "unknown trace level %S" s))
-  in
-  let print fmt sev =
-    Format.pp_print_string fmt (Hovercraft_obs.Trace.severity_to_string sev)
-  in
-  Arg.conv (parse, print)
-
-let trace_arg =
-  let doc =
-    "Record protocol events at $(docv) (debug, info, warn or error) and print \
-     the trace ring after the run."
-  in
-  Arg.(value & opt (some trace_conv) None & info [ "trace" ] ~doc ~docv:"LEVEL")
+(* The knob surface (cluster shape, workload, feature flags, observability
+   outputs) is shared across verbs and lives in Knobs. *)
+open Knobs
 
 let emit_snapshot ~metrics_out ~trace_level (deploy : Deploy.t) extra =
   (match trace_level with
@@ -783,6 +666,104 @@ let shard_cmd =
           any violation.")
     term
 
+(* --- control ------------------------------------------------------------------- *)
+
+let control_cmd =
+  let module Cscn = Hovercraft_control.Scenario in
+  let module Cctl = Hovercraft_control.Controller in
+  let module Cexp = Hovercraft_control.Experiment in
+  let action scenario seed off require_slo out =
+    match Cscn.find scenario with
+    | None ->
+        Printf.eprintf "hovercraft: unknown scenario %S; known: %s\n" scenario
+          (String.concat ", " Cscn.names);
+        exit 2
+    | Some spec ->
+        let controller =
+          if off then None
+          else Some (Cctl.config ~slo_p99:spec.Cscn.slo_p99 ())
+        in
+        let outcome = or_die (fun () -> Cscn.run ?controller spec ~seed ()) in
+        Printf.printf "control: scenario %s, seed %d, controller %s\n"
+          spec.Cscn.name seed (if off then "off" else "on");
+        List.iter
+          (fun (at, s) -> Printf.printf "  fault  %6.2fs  %s\n" at s)
+          outcome.Cscn.events;
+        List.iter
+          (fun (w : Cscn.window_verdict) ->
+            Printf.printf "  window %6.2fs  %6d done  p99 %8.1f us  %s\n"
+              w.Cscn.w_end_s w.Cscn.w_count w.Cscn.w_p99_us
+              (if w.Cscn.w_good then "ok" else "BAD"))
+          outcome.Cscn.windows;
+        Cexp.pp_outcome Format.std_formatter outcome;
+        List.iter
+          (fun (at, s) -> Printf.printf "  note   %6.2fs  %s\n" at s)
+          outcome.Cscn.notes;
+        (match out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            output_string oc
+              (Hovercraft_obs.Json.to_string_pretty (Cexp.outcome_json outcome));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "  outcome written to %s\n" file);
+        if not (Cscn.checkers_green outcome) then begin
+          Printf.eprintf "hovercraft control: a safety checker tripped\n";
+          exit 1
+        end;
+        if not (Cscn.slo_held ~fraction:require_slo outcome) then begin
+          Printf.eprintf
+            "hovercraft control: SLO held in %d/%d windows, below the \
+             required %.0f%%\n"
+            outcome.Cscn.good_windows outcome.Cscn.n_windows
+            (100. *. require_slo);
+          exit 1
+        end
+  in
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "hotspot-drift"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario name: hotspot-drift, flash-crowd, diurnal, slow-node \
+             or correlated-failure.")
+  in
+  let off =
+    Arg.(
+      value & flag
+      & info [ "off" ]
+          ~doc:
+            "Run the no-controller baseline (typically exits 1: the \
+             scenarios are calibrated so the baseline misses the SLO).")
+  in
+  let require_slo =
+    Arg.(
+      value & opt float 0.75
+      & info [ "require-slo" ] ~docv:"FRAC"
+          ~doc:
+            "Required fraction of measurement windows inside the p99 SLO; \
+             the default leaves room for the controller's reaction cost \
+             (breach hysteresis plus one migration fence).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the per-window JSON outcome to $(docv).")
+  in
+  let term =
+    Term.(const action $ scenario $ seed_arg $ off $ require_slo $ out)
+  in
+  Cmd.v
+    (Cmd.info "control"
+       ~doc:
+         "Run one scenario from the autoscaling suite with the SLO-driven \
+          controller attached (or --off for the baseline); exits non-zero \
+          if the SLO fraction is missed or any safety checker trips.")
+    term
+
 (* --- mc ------------------------------------------------------------------------ *)
 
 let mc_cmd =
@@ -872,6 +853,7 @@ let () =
             reconfig_cmd;
             snapshot_cmd;
             shard_cmd;
+            control_cmd;
             repro_cmd;
             mc_cmd;
           ]))

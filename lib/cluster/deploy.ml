@@ -274,7 +274,11 @@ let add_node t =
   let id = Array.length t.nodes in
   let members = List.sort_uniq compare (id :: current_membership t) in
   let node =
-    Hnode.create ~trace:t.trace ~members t.engine t.fabric t.params ~id
+    (* Passive: the newcomer must not campaign before the add commits and
+       a leader contacts it — nobody honours a non-member's votes, and
+       the inflated term would depose the leader at the first contact. *)
+    Hnode.create ~trace:t.trace ~members ~passive:true t.engine t.fabric
+      t.params ~id
   in
   t.nodes <- Array.append t.nodes [| node |];
   drive_membership t ~id ~present:true ~on_done:(fun _ -> ());

@@ -36,6 +36,8 @@ type t = {
   engine : Engine.t;
   mutable endpoints : endpoint array;
   rate_rps : float;
+  profile : Traffic.profile option;
+  mutable run_start : Timebase.t;
   workload : Rng.t -> Op.t;
   target : Addr.t option;
   unrestricted_reads : bool;
@@ -109,7 +111,7 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ | Protocol.Rabia _ ->
       ()
 
-let create deploy ~clients ~rate_rps ~workload ?target
+let create deploy ~clients ~rate_rps ?profile ~workload ?target
     ?(unrestricted_reads = false) ?retry ?on_reply ?on_nack ~seed () =
   if clients <= 0 then invalid_arg "Loadgen.create: need at least one client";
   if rate_rps <= 0. then invalid_arg "Loadgen.create: rate must be positive";
@@ -121,6 +123,8 @@ let create deploy ~clients ~rate_rps ~workload ?target
       engine;
       endpoints = [||];
       rate_rps;
+      profile;
+      run_start = 0;
       workload;
       target;
       unrestricted_reads;
@@ -194,14 +198,23 @@ let send_one t =
   | Some (_, attempts) -> arm_retry t ep rid op attempts
   | None -> ()
 
+(* The same exponential draw whether or not a profile is installed — a
+   profile only substitutes the instantaneous rate, so constant-rate runs
+   consume the identical RNG stream and stay byte-identical. *)
 let interarrival t =
   let u = 1.0 -. Rng.float t.rng in
-  let gap_ns = -.log u *. 1e9 /. t.rate_rps in
+  let rate =
+    match t.profile with
+    | None -> t.rate_rps
+    | Some p -> Traffic.rate_at p (Engine.now t.engine - t.run_start)
+  in
+  let gap_ns = -.log u *. 1e9 /. rate in
   max 1 (int_of_float gap_ns)
 
 let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   let start = Engine.now t.engine in
   let stop_at = start + duration in
+  t.run_start <- start;
   t.measure_from <- start + warmup;
   t.measure_to <- stop_at;
   let rec arrival () =
@@ -224,8 +237,13 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   let completed = Metrics.value t.c_completed in
   let window_s = Timebase.to_s_f (t.measure_to - t.measure_from) in
   let pct p = if Stats.count t.stats = 0 then 0. else Timebase.to_us_f (Stats.percentile t.stats p) in
+  let offered =
+    match t.profile with
+    | None -> t.rate_rps
+    | Some p -> Traffic.mean_over p ~duration
+  in
   {
-    offered_rps = t.rate_rps;
+    offered_rps = offered;
     sent = Metrics.value t.c_sent;
     completed;
     nacked = Metrics.value t.c_nacked;

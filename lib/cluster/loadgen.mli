@@ -30,6 +30,7 @@ val create :
   Deploy.t ->
   clients:int ->
   rate_rps:float ->
+  ?profile:Traffic.profile ->
   workload:(Rng.t -> Hovercraft_apps.Op.t) ->
   ?target:Addr.t ->
   ?unrestricted_reads:bool ->
@@ -44,7 +45,12 @@ val create :
   seed:int ->
   unit ->
   t
-(** Attach [clients] endpoints to the deployment's fabric. [target]
+(** Attach [clients] endpoints to the deployment's fabric. [profile]
+    makes the offered rate follow a {!Traffic.profile} (times relative to
+    {!run}'s start) instead of the constant [rate_rps]; arrivals draw the
+    same RNG stream either way, so a run without a profile is
+    byte-identical to the pre-schedule generator, and
+    [report.offered_rps] becomes the profile's time-average. [target]
     defaults to {!Deploy.client_target} evaluated per request (so vanilla
     clients follow a leader change). With [unrestricted_reads], read-only
     operations are tagged [Unrestricted] and sent to the request router

@@ -1,0 +1,68 @@
+open Hovercraft_sim
+
+type profile = { points : (Timebase.t * float) array }
+
+let profile points =
+  if points = [] then invalid_arg "Traffic.profile: empty control-point list";
+  List.iter
+    (fun (at, r) ->
+      if at < 0 then invalid_arg "Traffic.profile: negative control-point time";
+      if r <= 0. then invalid_arg "Traffic.profile: rate must be positive")
+    points;
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  if not (sorted points) then
+    invalid_arg "Traffic.profile: control points must be sorted by time";
+  { points = Array.of_list points }
+
+let constant rate_rps = profile [ (0, rate_rps) ]
+
+let rate_at p t =
+  let pts = p.points in
+  let n = Array.length pts in
+  let t0, r0 = pts.(0) in
+  let tn, rn = pts.(n - 1) in
+  if t <= t0 then r0
+  else if t >= tn then rn
+  else begin
+    (* Linear interpolation inside the segment containing t. *)
+    let i = ref 1 in
+    while fst pts.(!i) < t do incr i done;
+    let ta, ra = pts.(!i - 1) and tb, rb = pts.(!i) in
+    if tb = ta then rb
+    else
+      let f = float_of_int (t - ta) /. float_of_int (tb - ta) in
+      ra +. (f *. (rb -. ra))
+  end
+
+let peak p = Array.fold_left (fun acc (_, r) -> Float.max acc r) 0. p.points
+
+let mean_over p ~duration =
+  if duration <= 0 then invalid_arg "Traffic.mean_over: non-positive duration";
+  (* Trapezoid integration over the profile's segments clipped to
+     [0, duration], plus the constant tails outside the control points. *)
+  let pts = p.points in
+  let n = Array.length pts in
+  let clip t = max 0 (min duration t) in
+  let area = ref 0. in
+  let add ta ra tb rb =
+    let a = clip ta and b = clip tb in
+    if b > a then begin
+      (* Rates at the clipped edges of this (linear) segment. *)
+      let interp t =
+        if tb = ta then rb
+        else ra +. (float_of_int (t - ta) /. float_of_int (tb - ta) *. (rb -. ra))
+      in
+      area := !area +. ((interp a +. interp b) /. 2. *. float_of_int (b - a))
+    end
+  in
+  let t0, r0 = pts.(0) and tn, rn = pts.(n - 1) in
+  add 0 r0 t0 r0;
+  for i = 1 to n - 1 do
+    let ta, ra = pts.(i - 1) and tb, rb = pts.(i) in
+    add ta ra tb rb
+  done;
+  add tn rn duration rn;
+  !area /. float_of_int duration

@@ -1,0 +1,31 @@
+(** Time-varying offered-load schedules.
+
+    A profile is a piecewise-linear curve of offered rate (RPS) over time
+    relative to the start of a load run: flat before the first control
+    point, linearly interpolated between points, flat after the last.
+    Diurnal ramps, flash crowds and drain-downs are all a handful of
+    control points. Load generators consult {!rate_at} per arrival, so a
+    run without a profile never touches this module — constant-rate runs
+    stay byte-identical to the pre-schedule code path. *)
+
+open Hovercraft_sim
+
+type profile
+
+val profile : (Timebase.t * float) list -> profile
+(** Control points [(time since run start, rate in RPS)], sorted by
+    time. Raises [Invalid_argument] on an empty or unsorted list, a
+    negative time, or a non-positive rate. *)
+
+val constant : float -> profile
+(** A flat profile — equivalent to running without one. *)
+
+val rate_at : profile -> Timebase.t -> float
+(** Offered rate at [t] (time since the run started). *)
+
+val peak : profile -> float
+(** The highest control-point rate (the interpolant never exceeds it). *)
+
+val mean_over : profile -> duration:Timebase.t -> float
+(** Time-averaged rate over [0, duration] — what a run of that length
+    actually offers, for goodput accounting. *)

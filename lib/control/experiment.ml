@@ -1,0 +1,125 @@
+module Json = Hovercraft_obs.Json
+
+type autoscale_result = {
+  spec : Scenario.spec;
+  seed : int;
+  slo_fraction : float;
+  off : Scenario.outcome;
+  on_ : Scenario.outcome;
+}
+
+(* Default required fraction of in-SLO windows for the controller-on run.
+   The controller pays an inherent reaction cost on a short (18-window) run:
+   two windows of breach hysteresis before the first action fires (the
+   controller refuses to migrate on a single noisy sample) and roughly two
+   windows while a split's migration fence drains and the tail settles.
+   0.75 requires every remaining window to hold the SLO; the off-run
+   baseline sits at 0% on the same seed, so the margin is not thin. *)
+let autoscale ?(spec = Scenario.hotspot_drift ()) ?(slo_fraction = 0.75)
+    ?controller ~seed () =
+  let cfg =
+    match controller with
+    | Some c -> c
+    | None -> Controller.config ~slo_p99:spec.Scenario.slo_p99 ()
+  in
+  let off = Scenario.run spec ~seed () in
+  let on_ = Scenario.run ~controller:cfg spec ~seed () in
+  { spec; seed; slo_fraction; off; on_ }
+
+(* The figure's claim: the controller turns an SLO-violating run into an
+   SLO-holding one, without giving up a single safety property. *)
+let pass r =
+  Scenario.checkers_green r.off
+  && Scenario.checkers_green r.on_
+  && (not (Scenario.slo_held ~fraction:r.slo_fraction r.off))
+  && Scenario.slo_held ~fraction:r.slo_fraction r.on_
+
+let outcome_json (o : Scenario.outcome) =
+  let open Scenario in
+  Json.Obj
+    [
+      ("controller", Json.Bool o.controller_on);
+      ( "windows",
+        Json.List
+          (List.map
+             (fun w ->
+               Json.Obj
+                 [
+                   ("end_s", Json.Float w.w_end_s);
+                   ("count", Json.Int w.w_count);
+                   ("expected", Json.Float w.w_expected);
+                   ("p99_us", Json.Float w.w_p99_us);
+                   ("good", Json.Bool w.w_good);
+                 ])
+             o.windows) );
+      ("good_windows", Json.Int o.good_windows);
+      ("n_windows", Json.Int o.n_windows);
+      ("slo_fraction", Json.Float o.slo_fraction);
+      ("worst_p99_us", Json.Float o.worst_p99_us);
+      ("goodput_rps", Json.Float o.report.Hovercraft_cluster.Loadgen.goodput_rps);
+      ("lost", Json.Int o.report.Hovercraft_cluster.Loadgen.lost);
+      ( "actions",
+        Json.List
+          (List.map
+             (fun (at, s) ->
+               Json.Obj [ ("at_s", Json.Float at); ("what", Json.String s) ])
+             o.actions) );
+      ( "events",
+        Json.List
+          (List.map
+             (fun (at, s) ->
+               Json.Obj [ ("at_s", Json.Float at); ("what", Json.String s) ])
+             o.events) );
+      ("migrations", Json.Int o.migrations);
+      ("map_version", Json.Int o.map_version);
+      ("retried", Json.Int o.retried);
+      ("rerouted", Json.Int o.rerouted);
+      ("violations", Json.List (List.map (fun s -> Json.String s) o.violations));
+      ("exactly_once_ok", Json.Bool o.exactly_once_ok);
+      ("committed_preserved", Json.Bool o.committed_preserved);
+      ("caught_up", Json.Bool o.caught_up);
+      ("consistent", Json.Bool o.consistent);
+      ("checkers_green", Json.Bool (Scenario.checkers_green o));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("experiment", Json.String "autoscale");
+      ("scenario", Json.String r.spec.Scenario.name);
+      ("seed", Json.Int r.seed);
+      ("slo_p99_us", Json.Float (Hovercraft_sim.Timebase.to_us_f r.spec.Scenario.slo_p99));
+      ("required_fraction", Json.Float r.slo_fraction);
+      ("controller_off", outcome_json r.off);
+      ("controller_on", outcome_json r.on_);
+      ("pass", Json.Bool (pass r));
+    ]
+
+let pp_outcome ppf (o : Scenario.outcome) =
+  let open Scenario in
+  Format.fprintf ppf
+    "  %-4s | windows %2d/%2d in SLO (%.0f%%) | worst p99 %8.1f us | goodput %9.0f rps | lost %d@."
+    (if o.controller_on then "on" else "off")
+    o.good_windows o.n_windows
+    (100. *. o.slo_fraction)
+    o.worst_p99_us o.report.Hovercraft_cluster.Loadgen.goodput_rps
+    o.report.Hovercraft_cluster.Loadgen.lost;
+  List.iter
+    (fun (at, s) -> Format.fprintf ppf "         %6.2fs  %s@." at s)
+    o.actions;
+  if o.violations <> [] then
+    List.iter
+      (fun v -> Format.fprintf ppf "         VIOLATION: %s@." v)
+      o.violations
+
+let print ppf r =
+  Format.fprintf ppf "autoscale: scenario %s, seed %d, SLO p99 <= %.0f us in >= %.0f%% of windows@."
+    r.spec.Scenario.name r.seed
+    (Hovercraft_sim.Timebase.to_us_f r.spec.Scenario.slo_p99)
+    (100. *. r.slo_fraction);
+  List.iter
+    (fun (at, s) -> Format.fprintf ppf "  fault  %6.2fs  %s@." at s)
+    r.off.Scenario.events;
+  pp_outcome ppf r.off;
+  pp_outcome ppf r.on_;
+  Format.fprintf ppf "  => %s@." (if pass r then "PASS" else "FAIL")

@@ -1,0 +1,43 @@
+(** The autoscaling figure: one scenario, controller off vs on, same
+    seed. The paper-shaped claim is that the control plane converts an
+    SLO-violating run into an SLO-holding one while every safety checker
+    stays green in both runs. *)
+
+type autoscale_result = {
+  spec : Scenario.spec;
+  seed : int;
+  slo_fraction : float;  (** Required fraction of good windows. *)
+  off : Scenario.outcome;  (** Baseline: no control loop. *)
+  on_ : Scenario.outcome;  (** Same seed, controller attached. *)
+}
+
+val autoscale :
+  ?spec:Scenario.spec ->
+  ?slo_fraction:float ->
+  ?controller:Controller.config ->
+  seed:int ->
+  unit ->
+  autoscale_result
+(** Defaults: the {!Scenario.hotspot_drift} scenario, 75% of windows
+    required (breach hysteresis and a split's migration fence
+    legitimately cost about four windows on a short run — the point is
+    the baseline holds almost none), a controller configured with the
+    scenario's own SLO. *)
+
+val pass : autoscale_result -> bool
+(** Both runs' checkers green, the baseline misses the SLO fraction, the
+    controller run makes it. *)
+
+val to_json : autoscale_result -> Hovercraft_obs.Json.t
+(** The figure artifact: per-window p99/count/verdict series for both
+    runs, the action and fault timelines, and the safety summary. *)
+
+val outcome_json : Scenario.outcome -> Hovercraft_obs.Json.t
+(** One run's share of the artifact (the CLI [control] verb emits a
+    single outcome rather than an off/on pair). *)
+
+val pp_outcome : Format.formatter -> Scenario.outcome -> unit
+(** One outcome's summary line plus its action log and violations. *)
+
+val print : Format.formatter -> autoscale_result -> unit
+(** Human-readable table plus the controller's action log. *)

@@ -262,6 +262,12 @@ type t = {
       (* Incremented on every kill: the election-clock and GC loops capture
          the life they were started under and stop when it changes, so a
          quick kill/restart cycle cannot leave two live loops running. *)
+  mutable passive : bool;
+      (* A node added to a running cluster boots passive: it must not
+         campaign (and inflate its term, disrupting the leader it will
+         later meet) before it has heard from any leader — it is not in
+         the committed configuration yet, so its candidacies can only be
+         ignored. First leader contact clears the flag. *)
   mutable last_activity : Timebase.t;
   mutable election_timeout : Timebase.t;
   mutable hb_gen : int;  (* invalidates stale heartbeat loops *)
@@ -605,7 +611,9 @@ and perform t action =
   | Rnode.Appended idx -> on_appended t idx
   | Rnode.Became_leader -> on_became_leader t
   | Rnode.Became_follower _ -> on_became_follower t
-  | Rnode.Leader_activity -> t.last_activity <- Engine.now t.engine
+  | Rnode.Leader_activity ->
+      t.passive <- false;
+      t.last_activity <- Engine.now t.engine
   | Rnode.Reject_command _ -> Metrics.incr t.c_rejected
 
 and on_appended t idx =
@@ -1251,7 +1259,13 @@ and request_recovery t rid =
    rid, so giving up would wedge it forever (commit advances past the hole
    never). Unicast probes walk the group; once the retry budget is spent we
    escalate to a cluster-group broadcast, which reaches every node that
-   could possibly hold the body in one shot. *)
+   could possibly hold the body in one shot. Retries back off
+   exponentially (capped at 10 ms): a node catching up after a long dead
+   window has hundreds of recoveries in flight, and re-probing each at a
+   fixed 200 us would flood its own NIC with more retry traffic than a
+   thin link carries — starving the very answers (and append acks) it is
+   waiting for. The healthy path is unaffected: the first probe resolves
+   in an RTT. *)
 and send_recovery t rid retries =
   if t.alive && Rid_tbl.mem t.pending_recovery rid then begin
     let escalated = retries >= t.p.features.recovery_retry_max in
@@ -1275,7 +1289,12 @@ and send_recovery t rid retries =
         transmit_stage t stage_replier ~dst
           (Protocol.Recovery_request { rid; asker = t.id })
     | None -> ());
-    Engine.after t.engine t.p.timing.recovery_timeout (fun () ->
+    let backoff =
+      min
+        (t.p.timing.recovery_timeout * (1 lsl min retries 6))
+        (Timebase.ms 10)
+    in
+    Engine.after t.engine backoff (fun () ->
         match Rid_tbl.find_opt t.pending_recovery rid with
         | Some (r, issued_at) when r = retries ->
             Rid_tbl.replace t.pending_recovery rid (retries + 1, issued_at);
@@ -1686,6 +1705,9 @@ let start_election_clock t =
             t.last_activity <- now;
             arm (now + t.election_timeout)
           end
+          else if t.passive then
+            (* Joining node, no leader heard yet: never self-start. *)
+            arm (now + t.election_timeout)
           else if now - t.last_activity >= t.election_timeout then begin
             feed_raft t Rnode.Election_timeout;
             t.last_activity <- now;
@@ -1778,7 +1800,25 @@ let on_raft_event t = function
   | Rnode.Obs_config_changed (idx, ms) ->
       tr t Trace.Info ~kind:"config_effective" (fun () ->
           Printf.sprintf "idx=%d members=[%s]" idx
-            (String.concat ";" (List.map string_of_int ms)))
+            (String.concat ";" (List.map string_of_int ms)));
+      (* A leader that just appended this entry dropped the aggregated
+         fast path (the switch's quorum and fan-out group are for the old
+         membership). Re-arm the dataplane NOW, not at commit: the
+         followers keep sending their acks to the aggregator regardless
+         of what the leader does, and the aggregator only advances commit
+         against the announcements it forwarded itself — so until it
+         learns the new membership, no ack ever reaches the leader and
+         the config entry can never commit. Waiting for commit to re-arm
+         is a deadlock broken only by an election. *)
+      (match t.raft with
+      | Some raft when t.p.mode = Hover_pp && is_leader t && t.alive ->
+          let term = Rnode.term raft in
+          transmit_net t ~dst:Addr.Netagg
+            (Protocol.Reconfig { term; members = Array.of_list ms });
+          t.probe_sent_term <- term;
+          transmit_net t ~dst:Addr.Netagg
+            (Protocol.Probe { term; leader = t.id })
+      | Some _ | None -> ())
   | Rnode.Obs_transfer_sent target ->
       Metrics.incr t.c_transfers;
       t.last_transfer <- Some target;
@@ -1802,7 +1842,7 @@ let on_raft_event t = function
       tr t Trace.Info ~kind:"install_completed" (fun () ->
           Printf.sprintf "peer=%d idx=%d" peer idx)
 
-let create ?trace ?members engine fabric p ~id =
+let create ?trace ?members ?(passive = false) engine fabric p ~id =
   validate_params p;
   let members =
     match members with
@@ -1883,6 +1923,7 @@ let create ?trace ?members engine fabric p ~id =
       members;
       alive = true;
       life = 0;
+      passive;
       last_activity = 0;
       election_timeout = 0;
       hb_gen = 0;

@@ -167,12 +167,20 @@ type t
 val create :
   ?trace:Hovercraft_obs.Trace.t ->
   ?members:int list ->
+  ?passive:bool ->
   Engine.t -> Protocol.payload Fabric.t -> params -> id:int -> t
 (** Attach node [id] (address [Node id]) to the fabric and start its
     election clock and GC loops. Nodes join the cluster multicast group
     themselves. [trace] is the event ring protocol events are recorded
     into — pass one ring to every node of a cluster for an interleaved
     timeline (each node creates a private ring otherwise).
+
+    [passive] (default false) suppresses the node's election timeout
+    until it first hears from a leader: a node added to a running
+    cluster is not in the committed configuration yet, so campaigning
+    can only inflate its term — which would depose the legitimate leader
+    the moment the join completes. Pass [true] when creating a node that
+    joins via reconfiguration.
 
     [members] is the node's view of the cluster at birth (default
     [0 .. n-1]). A node joining an existing cluster is created with the

@@ -19,6 +19,13 @@ type counter
 type gauge
 type histogram
 
+type windowed
+(** A sliding-window histogram: two fixed windows, current and previous.
+    Samples land in the current window; {!rotate} retires it. Readers
+    see recent tails only — the just-completed window ([last_*]) or the
+    merge of both live windows ([window_*]) — instead of the whole run's
+    cumulative distribution. *)
+
 val create : unit -> t
 
 (** {1 Handles}
@@ -30,6 +37,7 @@ val create : unit -> t
 val counter : t -> string -> counter
 val gauge : t -> string -> gauge
 val histogram : t -> string -> histogram
+val windowed : t -> string -> windowed
 
 (** {1 Hot-path updates} *)
 
@@ -39,6 +47,10 @@ val set : gauge -> int -> unit
 
 val observe : histogram -> int -> unit
 (** Record a (non-negative) sample; negative samples clamp to 0. *)
+
+val wobserve : windowed -> int -> unit
+(** Record a sample into the current window (same clamping as
+    {!observe}). *)
 
 (** {1 Reading} *)
 
@@ -59,8 +71,38 @@ val hist_percentile : histogram -> float -> int
     exact observed min/max. 0 on an empty histogram; raises
     [Invalid_argument] on a rank outside [0, 1]. *)
 
+(** {1 Windowed views}
+
+    The registry never rotates windows itself: the consumer that owns the
+    measurement cadence (a control loop's tick, a scenario runner) calls
+    {!rotate}, so all readers of one registry agree on window edges. *)
+
+val rotate : windowed -> unit
+(** End the current window: it becomes the previous window (replacing
+    the old one, whose samples vanish — nothing older than two windows
+    is ever visible) and a zeroed current window starts. Allocation-free. *)
+
+val rotations : windowed -> int
+(** Rotations performed since creation (or the last registry {!clear}). *)
+
+val last_count : windowed -> int
+val last_max : windowed -> int
+
+val last_percentile : windowed -> float -> int
+(** Percentile of the just-completed window alone ({!hist_percentile}
+    semantics). 0 before any rotation or on an empty window. *)
+
+val window_count : windowed -> int
+val window_max : windowed -> int
+
+val window_percentile : windowed -> float -> int
+(** Percentile over the merge of the current and previous windows — the
+    freshest tail that never reads a half-filled window in isolation.
+    Clamped to the min/max observed across the two windows. *)
+
 val clear : t -> unit
-(** Zero every metric, keeping registrations (new measurement window). *)
+(** Zero every metric, keeping registrations (new measurement window).
+    Windowed histograms drop both windows and their rotation count. *)
 
 val snapshot : t -> Json.t
 (** The whole registry as

@@ -629,6 +629,12 @@ let on_append_entries t ~term ~leader ~prev_idx ~prev_term ~entries ~commit ~seq
       let new_match = prev_idx + Array.length entries in
       t.verified <- max t.verified new_match;
       set_commit t (min commit t.verified) emit;
+      (* Claim at least our commit index: committed entries are immutable
+         and present in every current leader's log (Leader Completeness),
+         so the leader may fast-forward its next-index past them. Without
+         this, a leader whose per-peer cursor went stale (e.g. while the
+         aggregated fast path carried replication) re-walks the whole
+         already-replicated log one batch per round trip. *)
       emit
         (Send
            ( leader,
@@ -638,7 +644,7 @@ let on_append_entries t ~term ~leader ~prev_idx ~prev_term ~entries ~commit ~seq
                  from = t.cfg.id;
                  success = true;
                  seq;
-                 match_idx = new_match;
+                 match_idx = max new_match t.commit;
                  applied_idx = t.applied;
                } ))
     end

@@ -22,6 +22,18 @@ type migration =
 
 val pp_migration : Format.formatter -> migration -> unit
 
+val cross_map_check :
+  Hovercraft_cluster.Deploy.t array ->
+  completed_writes:Hovercraft_r2p2.R2p2.req_id list ->
+  string list * bool * bool
+(** The map-level history check on its own, for runners (the scenario
+    suite) that drive their own deployments: given the quiesced groups
+    and the client-observed completed writes, returns
+    [(violations, exactly_once_ok, committed_preserved)] — no write in
+    more than one group's committed history, none lost. Scan the groups
+    only after convergence (heal, restart, settle), with [log_retain]
+    pinned high so full histories are available. *)
+
 type outcome = {
   report : Hovercraft_cluster.Loadgen.report;
   events : (float * string) list;

@@ -69,6 +69,7 @@ type t = {
   mutable migrations : int;
   drivers : driver array;
   notes : (Timebase.t * string) list ref;
+  heat : int array; (* per-slot client routing tallies, cumulative *)
 }
 
 (* Every node's filter is one closure over the LIVE map and fence state:
@@ -178,6 +179,7 @@ let create (cfg : config) =
       migrations = 0;
       drivers;
       notes = ref [];
+      heat = Array.make cfg.slots 0;
     }
   in
   install_filters t;
@@ -185,6 +187,10 @@ let create (cfg : config) =
 
 let engine t = t.engine
 let map t = t.map
+
+(* Nodes created after the deployment (Deploy.add_node replacements) are
+   born without a shard filter; re-installing closes that gap. *)
+let refresh_filters t = install_filters t
 let groups t = t.groups
 let shards t = t.cfg.shards
 let migrating t = t.migrating
@@ -194,6 +200,16 @@ let notes t = List.rev !(t.notes)
 let client_target t ~key =
   let g = Shard_map.owner_of_key t.map key in
   (g, Deploy.client_target t.groups.(g))
+
+(* Key-slot heat: one tally per client routing decision, charged to the
+   key's slot. Cumulative — samplers (the autoscaling controller) diff
+   successive snapshots, so several consumers can read concurrently
+   without stealing each other's deltas. *)
+let record_access t ~key =
+  let s = Shard_map.slot_of_key t.map key in
+  t.heat.(s) <- t.heat.(s) + 1
+
+let slot_heat t = Array.copy t.heat
 
 (* Preload by ownership: each record lands only on the group that owns its
    key (a later migration ships moved sub-ranges explicitly), keyless ops
@@ -238,16 +254,37 @@ let driver_propose t ~group op ~on_done =
       ~dst:(Deploy.client_target t.groups.(group))
       ~bytes payload
   in
-  let retry = Timebase.ms 10 in
-  let rec arm () =
-    Engine.after t.engine retry (fun () ->
+  (* A Merge carries the moved range's completion records on the wire —
+     megabytes on a large cut. On a thin NIC slice one copy can take
+     longer to serialize than a fixed retry interval, and a fixed-rate
+     retransmit then enqueues copies faster than the link drains them:
+     the target group's ingress collapses under the driver's own
+     duplicates and the response never comes. Scale the first retry to
+     the payload's serialization time on the group's NIC slice (even one
+     duplicate of a megabyte op queues ahead of the commit traffic on
+     every replica's ingress), and back off exponentially from there so
+     the gap also outgrows ordering and apply time. *)
+  let slice_gbps =
+    t.cfg.params.Hnode.cost.Hnode.link_gbps /. float_of_int t.cfg.shards
+  in
+  let first_bytes =
+    Protocol.payload_bytes ~with_bodies:false
+      (Protocol.Request { rid; policy = R2p2.Replicated_req; op })
+  in
+  let base =
+    max (Timebase.ms 10)
+      (4 * Wire.serialize_ns ~rate_gbps:slice_gbps ~bytes:first_bytes)
+  in
+  let rec arm retries =
+    let backoff = min (base * (1 lsl min retries 7)) (Timebase.s 2) in
+    Engine.after t.engine backoff (fun () ->
         if Rid_tbl.mem d.d_pending rid then begin
           send ();
-          arm ()
+          arm (retries + 1)
         end)
   in
   send ();
-  arm ()
+  arm 0
 
 (* --- live migration -------------------------------------------------- *)
 

@@ -73,9 +73,23 @@ val client_target : t -> key:string -> int * Hovercraft_net.Addr.t
 (** Where a request for [key] goes under the current map: the owning
     group's index and that group's {!Deploy.client_target}. *)
 
+val record_access : t -> key:string -> unit
+(** Tally one client routing decision against [key]'s slot in the heat
+    map ({!Shard_loadgen} calls this per keyed transmission). *)
+
+val slot_heat : t -> int array
+(** Cumulative per-slot access tallies (index = slot), as a fresh copy.
+    Samplers diff successive snapshots for per-interval heat, so
+    multiple consumers can watch the same deployment. *)
+
 val preload : t -> Hovercraft_apps.Op.t list -> unit
 (** Preload by ownership: each keyed op lands on every replica of the
     group owning its key; keyless ops land on every group. *)
+
+val refresh_filters : t -> unit
+(** Re-install every node's shard filter. Required after growing a group
+    ({!Deploy.add_node}): a node born after {!create} has no filter until
+    the next map flip would install one. *)
 
 val quiesce : t -> ?extra:Timebase.t -> unit -> unit
 val consistent : t -> bool

@@ -7,6 +7,7 @@ module Op = Hovercraft_apps.Op
 module Metrics = Hovercraft_obs.Metrics
 module Deploy = Hovercraft_cluster.Deploy
 module Loadgen = Hovercraft_cluster.Loadgen
+module Traffic = Hovercraft_cluster.Traffic
 
 module Rid_tbl = Hashtbl.Make (struct
   type t = R2p2.req_id
@@ -28,6 +29,8 @@ type t = {
   engine : Engine.t;
   mutable endpoints : endpoint array;
   rate_rps : float;
+  profile : Traffic.profile option;
+  mutable run_start : Timebase.t;
   workload : Rng.t -> Op.t;
   retry : (Timebase.t * int) option;
   on_reply :
@@ -46,6 +49,8 @@ type t = {
   c_rerouted : Metrics.counter;
   c_lost : Metrics.counter;
   h_latency_ns : Metrics.histogram;
+  w_latency : Metrics.windowed;
+  w_groups : Metrics.windowed array; (* index = owning group at reply time *)
   mutable measure_from : Timebase.t;
   mutable measure_to : Timebase.t;
   mutable next_endpoint : int;
@@ -53,12 +58,21 @@ type t = {
 
 let client_link_gbps = 10.
 
-(* Route by the operation's key under the LIVE shard map; keyless ops go
-   to a deterministic group derived from the request id. *)
-let route t rid op =
+(* Owning group of an op under the LIVE shard map; keyless ops go to a
+   deterministic group derived from the request id. *)
+let owner_of t rid op =
   match Op.key op with
   | Some k -> fst (Shard_deploy.client_target t.sd ~key:k)
   | None -> rid.R2p2.id mod Shard_deploy.shards t.sd
+
+(* Route = ownership lookup + one tally against the key's slot in the
+   deployment's heat map. Counting at transmit time (retries included)
+   makes heat reflect the demand each slot actually generates. *)
+let route t rid op =
+  (match Op.key op with
+  | Some k -> Shard_deploy.record_access t.sd ~key:k
+  | None -> ());
+  owner_of t rid op
 
 let transmit t ep rid op =
   let g = route t rid op in
@@ -108,6 +122,8 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
             Metrics.incr t.c_completed;
             Stats.add t.stats latency;
             Metrics.observe t.h_latency_ns latency;
+            Metrics.wobserve t.w_latency latency;
+            Metrics.wobserve t.w_groups.(owner_of t rid op) latency;
             match t.on_reply with
             | Some f -> f ~rid ~op ~sent_at ~latency
             | None -> ()
@@ -129,7 +145,8 @@ let on_packet t (pkt : Protocol.payload Fabric.packet) =
   | Protocol.Agg_commit _ | Protocol.Feedback _ | Protocol.Reconfig _ | Protocol.Rabia _ ->
       ()
 
-let create sd ~clients ~rate_rps ~workload ?retry ?on_reply ?on_nack ~seed () =
+let create sd ~clients ~rate_rps ?profile ~workload ?retry ?on_reply ?on_nack
+    ~seed () =
   if clients <= 0 then
     invalid_arg "Shard_loadgen.create: need at least one client";
   if rate_rps <= 0. then
@@ -142,6 +159,8 @@ let create sd ~clients ~rate_rps ~workload ?retry ?on_reply ?on_nack ~seed () =
       engine;
       endpoints = [||];
       rate_rps;
+      profile;
+      run_start = 0;
       workload;
       retry;
       on_reply;
@@ -158,6 +177,10 @@ let create sd ~clients ~rate_rps ~workload ?retry ?on_reply ?on_nack ~seed () =
       c_rerouted = Metrics.counter metrics "rerouted";
       c_lost = Metrics.counter metrics "lost";
       h_latency_ns = Metrics.histogram metrics "latency_ns";
+      w_latency = Metrics.windowed metrics "latency_ns_window";
+      w_groups =
+        Array.init (Shard_deploy.shards sd) (fun g ->
+            Metrics.windowed metrics (Printf.sprintf "g%d_latency_ns_window" g));
       measure_from = max_int;
       measure_to = max_int;
       next_endpoint = 0;
@@ -209,14 +232,22 @@ let send_one t =
   | Some (_, attempts) -> arm_retry t ep epi rid op attempts
   | None -> ()
 
+(* Same draw with or without a profile — see Loadgen.interarrival: the
+   constant-rate path stays byte-identical. *)
 let interarrival t =
   let u = 1.0 -. Rng.float t.rng in
-  let gap_ns = -.log u *. 1e9 /. t.rate_rps in
+  let rate =
+    match t.profile with
+    | None -> t.rate_rps
+    | Some p -> Traffic.rate_at p (Engine.now t.engine - t.run_start)
+  in
+  let gap_ns = -.log u *. 1e9 /. rate in
   max 1 (int_of_float gap_ns)
 
 let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   let start = Engine.now t.engine in
   let stop_at = start + duration in
+  t.run_start <- start;
   t.measure_from <- start + warmup;
   t.measure_to <- stop_at;
   let rec arrival () =
@@ -242,8 +273,13 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
     if Stats.count t.stats = 0 then 0.
     else Timebase.to_us_f (Stats.percentile t.stats p)
   in
+  let offered =
+    match t.profile with
+    | None -> t.rate_rps
+    | Some p -> Traffic.mean_over p ~duration
+  in
   {
-    Loadgen.offered_rps = t.rate_rps;
+    Loadgen.offered_rps = offered;
     sent = Metrics.value t.c_sent;
     completed;
     nacked = Metrics.value t.c_nacked;
@@ -257,6 +293,13 @@ let run t ~warmup ~duration ?(drain = Timebase.ms 20) () =
   }
 
 let stats t = t.stats
+let latency_window t = t.w_latency
+
+let group_latency_window t g =
+  if g < 0 || g >= Array.length t.w_groups then
+    invalid_arg "Shard_loadgen.group_latency_window: unknown group";
+  t.w_groups.(g)
+
 let backoff_entries t = Rid_tbl.length t.backoff
 let retried t = Metrics.value t.c_retried
 let rerouted t = Metrics.value t.c_rerouted

@@ -17,6 +17,7 @@ val create :
   Shard_deploy.t ->
   clients:int ->
   rate_rps:float ->
+  ?profile:Hovercraft_cluster.Traffic.profile ->
   workload:(Rng.t -> Hovercraft_apps.Op.t) ->
   ?retry:Timebase.t * int ->
   ?on_reply:
@@ -32,7 +33,11 @@ val create :
 (** Attach [clients] endpoints; each endpoint has one request-id source
     (ids stay globally unique across groups — the cross-map exactly-once
     checker depends on that) and a port on every group's fabric.
-    [retry]/[on_reply]/[on_nack] as in {!Hovercraft_cluster.Loadgen.create}. *)
+    [profile]/[retry]/[on_reply]/[on_nack] as in
+    {!Hovercraft_cluster.Loadgen.create} (constant-rate runs stay
+    byte-identical without a profile). Every keyed transmission also
+    tallies its slot in the deployment's heat map
+    ({!Shard_deploy.slot_heat}). *)
 
 val run :
   t ->
@@ -43,6 +48,15 @@ val run :
   Hovercraft_cluster.Loadgen.report
 
 val stats : t -> Stats.t
+
+val latency_window : t -> Hovercraft_obs.Metrics.windowed
+(** Sliding-window view of measured completion latency, all groups
+    together. The consumer owning the tick cadence rotates it. *)
+
+val group_latency_window : t -> int -> Hovercraft_obs.Metrics.windowed
+(** Per-group sliding-window latency, attributed to the group owning the
+    op's key at reply time — the SLI a per-group control loop watches.
+    Raises [Invalid_argument] on an unknown group. *)
 
 val retried : t -> int
 (** Timeout retransmissions (same rid, re-routed per attempt). *)

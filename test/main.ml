@@ -15,6 +15,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("reconfig", Test_reconfig.suite);
       ("shard", Test_shard.suite);
+      ("control", Test_control.suite);
       ("invariants", Test_invariants.suite);
       ("mc", Test_mc.suite);
       ("backend", Test_backend.suite);

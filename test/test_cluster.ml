@@ -80,6 +80,75 @@ let test_loadgen_deterministic () =
   in
   check "same seed, identical run" true (run () = run ())
 
+(* The Traffic guarantee loadgen.mli promises: a flat profile draws the
+   same RNG stream as no profile at all, so the two runs are
+   byte-identical — same request timeline, same report, same replica
+   state. A schedule-path divergence (an extra draw, a reordered one)
+   breaks this immediately. *)
+let test_flat_profile_byte_identical () =
+  let run profile =
+    let deploy =
+      Deploy.create (Deploy.config (Hnode.params ~mode:Hnode.Hover ~n:3 ()))
+    in
+    let gen =
+      Loadgen.create deploy ~clients:2 ~rate_rps:20_000. ?profile
+        ~workload:(Service.sample (Service.spec ())) ~seed:3 ()
+    in
+    let r = Loadgen.run gen ~warmup:0 ~duration:(Timebase.ms 20) () in
+    Deploy.quiesce deploy ();
+    let prints =
+      Array.map
+        (fun n -> (Hnode.applied_index n, Hnode.app_fingerprint n))
+        deploy.Deploy.nodes
+    in
+    ( (r.Loadgen.sent, r.Loadgen.completed, r.Loadgen.lost),
+      (r.Loadgen.p50_us, r.Loadgen.p99_us, r.Loadgen.mean_us),
+      prints )
+  in
+  let bare = run None in
+  let flat = run (Some (Traffic.constant 20_000.)) in
+  check "flat profile is byte-identical to no profile" true (bare = flat);
+  (* A genuinely time-varying profile must NOT be identical (otherwise
+     the check above is vacuous). *)
+  let ramp =
+    run
+      (Some
+         (Traffic.profile
+            [ (0, 5_000.); (Timebase.ms 10, 40_000.) ]))
+  in
+  let counts (c, _, _) = c in
+  check "ramp actually diverges" true (counts ramp <> counts bare)
+
+(* Piecewise-linear interpolation semantics: flat before the first
+   point, linear between, flat after the last; peak and time-average
+   agree with the curve. *)
+let test_traffic_rate_at () =
+  let near a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs b) in
+  let p =
+    Traffic.profile
+      [ (Timebase.ms 10, 1_000.); (Timebase.ms 20, 3_000.) ]
+  in
+  check "flat before first point" true (near (Traffic.rate_at p 0) 1_000.);
+  check "at first point" true (near (Traffic.rate_at p (Timebase.ms 10)) 1_000.);
+  check "midpoint interpolates" true
+    (near (Traffic.rate_at p (Timebase.ms 15)) 2_000.);
+  check "at last point" true (near (Traffic.rate_at p (Timebase.ms 20)) 3_000.);
+  check "flat after last" true (near (Traffic.rate_at p (Timebase.s 1)) 3_000.);
+  check "peak is max control point" true (near (Traffic.peak p) 3_000.);
+  (* Mean over [0,30ms]: 10ms at 1000, a 10ms ramp averaging 2000, 10ms
+     at 3000 -> 2000. *)
+  check "time-average over the curve" true
+    (near (Traffic.mean_over p ~duration:(Timebase.ms 30)) 2_000.);
+  check "invalid profiles rejected" true
+    (List.for_all
+       (fun pts ->
+         try
+           ignore (Traffic.profile pts);
+           false
+         with Invalid_argument _ -> true)
+       [ []; [ (Timebase.ms 5, 100.); (Timebase.ms 2, 100.) ];
+         [ (-1, 100.) ]; [ (0, 0.) ] ])
+
 let test_experiment_point_low_load () =
   let s =
     Experiment.setup
@@ -210,6 +279,9 @@ let suite =
     Alcotest.test_case "loadgen latency measurement" `Quick
       test_loadgen_measures_latency;
     Alcotest.test_case "loadgen determinism" `Quick test_loadgen_deterministic;
+    Alcotest.test_case "flat profile byte-identical" `Quick
+      test_flat_profile_byte_identical;
+    Alcotest.test_case "traffic rate_at semantics" `Quick test_traffic_rate_at;
     Alcotest.test_case "experiment low-load point" `Quick test_experiment_point_low_load;
     Alcotest.test_case "experiment SLO search" `Slow test_experiment_slo_search_brackets;
     Alcotest.test_case "experiment preload" `Quick test_experiment_preload;

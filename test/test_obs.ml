@@ -71,6 +71,59 @@ let test_histogram_percentiles () =
   Metrics.clear m2;
   check_int "clear resets" 0 (Metrics.hist_count h2)
 
+(* Rotation edge cases for the sliding-window histogram: what each view
+   sees before the first rotation, across back-to-back rotations (empty
+   windows included), and that nothing older than two windows ever leaks
+   into a reported tail. *)
+let test_windowed_rotation () =
+  let m = Metrics.create () in
+  let w = Metrics.windowed m "lat" in
+  (* Before any rotation: no completed window, but the merged view must
+     already see the in-progress samples. *)
+  List.iter (Metrics.wobserve w) [ 100; 200; 300 ];
+  check_int "no rotation yet" 0 (Metrics.rotations w);
+  check_int "last empty before rotate" 0 (Metrics.last_count w);
+  check_int "last p99 empty before rotate" 0 (Metrics.last_percentile w 0.99);
+  check_int "merged sees current" 3 (Metrics.window_count w);
+  check_int "merged max" 300 (Metrics.window_max w);
+  (* First rotation retires those samples into the readable window. *)
+  Metrics.rotate w;
+  check_int "one rotation" 1 (Metrics.rotations w);
+  check_int "last sees retired window" 3 (Metrics.last_count w);
+  check_int "last max exact" 300 (Metrics.last_max w);
+  check_int "merged unchanged across rotate" 3 (Metrics.window_count w);
+  (* A hot current window: merged = both, last = previous only. *)
+  List.iter (Metrics.wobserve w) [ 5_000; 7_000 ];
+  check_int "last still previous only" 3 (Metrics.last_count w);
+  check_int "merged both windows" 5 (Metrics.window_count w);
+  check_int "merged max spans current" 7_000 (Metrics.window_max w);
+  (* Second rotation: the 100/200/300 samples fall off the edge — tails
+     must reflect the recent spike, not the whole run. *)
+  Metrics.rotate w;
+  check_int "last is the spike" 2 (Metrics.last_count w);
+  check "old samples vanished" true (Metrics.last_percentile w 0.01 >= 5_000);
+  check_int "merged dropped the old window" 2 (Metrics.window_count w);
+  (* Rotating an idle stream yields an honestly-empty window, not a
+     stale echo of the spike. *)
+  Metrics.rotate w;
+  check_int "empty window reads 0" 0 (Metrics.last_count w);
+  check_int "empty p99 is 0" 0 (Metrics.last_percentile w 0.99);
+  check_int "merged now empty" 0 (Metrics.window_count w);
+  check_int "rotations keep counting" 3 (Metrics.rotations w);
+  (* Negative samples clamp like the cumulative histogram's. *)
+  Metrics.wobserve w (-3);
+  Metrics.rotate w;
+  check_int "negative clamps to 0" 0 (Metrics.last_max w);
+  check_int "clamped sample counted" 1 (Metrics.last_count w);
+  (* The registry snapshot carries a "windows" section, and clear drops
+     both windows and the rotation count. *)
+  (match Json.member "windows" (Metrics.snapshot m) with
+  | Some (Json.Obj [ ("lat", _) ]) -> ()
+  | _ -> Alcotest.fail "snapshot windows section malformed");
+  Metrics.clear m;
+  check_int "clear zeroes rotations" 0 (Metrics.rotations w);
+  check_int "clear empties windows" 0 (Metrics.window_count w)
+
 (* --- json ---------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -377,6 +430,7 @@ let suite =
   [
     Alcotest.test_case "metrics counters and gauges" `Quick test_metrics_counters;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "windowed rotation" `Quick test_windowed_rotation;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "trace ring wraparound" `Quick test_trace_ring_wraparound;
     Alcotest.test_case "trace severity filtering" `Quick
